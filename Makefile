@@ -1,0 +1,37 @@
+# DIABLO reproduction — convenience targets (plain `go` commands work too).
+
+GO ?= go
+
+.PHONY: build test test-short bench exhibits exhibits-quick examples clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One Go benchmark per table/figure, reduced scale.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every table and figure at the paper's full deployment scale
+# (~15 minutes) with CSV series under results/.
+exhibits:
+	$(GO) run ./cmd/diablo-exp --csv=results all
+
+# Laptop-scale exhibits (~1 minute).
+exhibits-quick:
+	$(GO) run ./cmd/diablo-exp --node-scale=10 all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/custom-blockchain
+	$(GO) run ./examples/london-fees
+	$(GO) run ./examples/exchange-nasdaq
+	$(GO) run ./examples/robustness-sweep
+
+clean:
+	rm -f diablo test_output.txt bench_output.txt

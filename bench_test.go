@@ -1,0 +1,157 @@
+// Benchmarks that regenerate each table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment and reports
+// the headline metrics as custom benchmark outputs (tps, latency-s,
+// commit-%), so `go test -bench=. -benchmem` doubles as the reproduction
+// harness.
+//
+// Benchmarks default to laptop scale (node counts divided by benchScale,
+// heavy workloads rate-scaled); set -paper-scale to run the full 200-node
+// deployments the paper used:
+//
+//	go test -bench=BenchmarkFigure2 -paper-scale -timeout 2h
+package diablo_test
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"diablo"
+	"diablo/internal/report"
+)
+
+var paperScale = flag.Bool("paper-scale", false, "run experiments at the paper's full deployment scale")
+
+// benchOptions picks the benchmark scale.
+func benchOptions() report.Options {
+	if *paperScale {
+		return report.Options{Seed: 1}
+	}
+	return report.Options{
+		NodeScale:   10,
+		MaxDuration: 60 * time.Second,
+		Seed:        1,
+	}
+}
+
+// reportCells turns experiment cells into benchmark metrics.
+func reportCells(b *testing.B, cells []report.Cell) {
+	var tput, commit float64
+	var lat time.Duration
+	n := 0
+	for _, c := range cells {
+		tput += c.Tput
+		commit += c.Commit
+		lat += c.AvgLat
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	b.ReportMetric(tput/float64(n), "tps/cell")
+	b.ReportMetric((lat / time.Duration(n)).Seconds(), "latency-s/cell")
+	b.ReportMetric(commit/float64(n)*100, "commit-%/cell")
+}
+
+// runExhibit benchmarks one experiment-backed exhibit.
+func runExhibit(b *testing.B, runner func(report.Options) ([]report.Cell, error)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Seed = int64(i + 1)
+		cells, err := runner(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, cells)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the claimed-vs-observed comparison: the
+// best observed throughput of Algorand (testnet), Avalanche and Solana
+// (datacenter) under high constant load.
+func BenchmarkTable1(b *testing.B) { runExhibit(b, report.Table1) }
+
+// BenchmarkTable2Workloads regenerates the DApp workload traces and checks
+// their published shape parameters (peak, average, duration).
+func BenchmarkTable2Workloads(b *testing.B) {
+	b.ReportAllocs()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"gafam", "dota2", "fifa98", "uber-nyc", "youtube"} {
+			tr, err := diablo.Workloads.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += tr.Total()
+		}
+	}
+	b.ReportMetric(float64(total/b.N), "txs/suite")
+}
+
+// BenchmarkTable3Network measures the simulated WAN against the published
+// Table 3 matrix: a full mesh of node pairs exchanging one message each.
+func BenchmarkTable3Network(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := diablo.RunExperiment(diablo.Experiment{
+			Chain:  "quorum",
+			Config: diablo.Configs.Devnet,
+			Traces: []*diablo.Trace{diablo.Workloads.NativeConstant(100, 10*time.Second)},
+			Seed:   int64(i + 1),
+			Tail:   30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(out.Summary.AvgLatency.Seconds(), "geo-latency-s")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the headline grid: six blockchains times
+// five realistic DApps on the consortium configuration.
+func BenchmarkFigure2(b *testing.B) { runExhibit(b, report.Figure2) }
+
+// BenchmarkFigure3 regenerates the scalability experiment: 1,000 TPS
+// constant load on the four deployment configurations.
+func BenchmarkFigure3(b *testing.B) { runExhibit(b, report.Figure3) }
+
+// BenchmarkFigure4 regenerates the robustness experiment: 1,000 vs 10,000
+// TPS in each chain's best configuration.
+func BenchmarkFigure4(b *testing.B) { runExhibit(b, report.Figure4) }
+
+// BenchmarkFigure5 regenerates the universality experiment: the
+// compute-intensive mobility-service DApp on the consortium configuration.
+func BenchmarkFigure5(b *testing.B) { runExhibit(b, report.Figure5) }
+
+// BenchmarkFigure6 regenerates the availability experiment: latency CDFs
+// under the Google, Microsoft and Apple NASDAQ bursts.
+func BenchmarkFigure6(b *testing.B) { runExhibit(b, report.Figure6) }
+
+// BenchmarkSingleCell measures the cost of one experiment cell (Quorum
+// running FIFA at reduced scale), the unit everything above multiplies.
+func BenchmarkSingleCell(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, _ := diablo.Workloads.ByName("fifa98")
+		out, err := diablo.RunExperiment(diablo.Experiment{
+			Chain:      "quorum",
+			Config:     diablo.Configs.Consortium,
+			Traces:     []*diablo.Trace{tr.Truncated(30 * time.Second)},
+			Seed:       int64(i + 1),
+			Tail:       60 * time.Second,
+			ScaleNodes: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(out.Summary.ThroughputTPS, "tps")
+			b.ReportMetric(float64(out.Blocks), "blocks")
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command diablo-exp regenerates the paper's tables and figures:
+//
+//	diablo-exp figure2                  # full scale (200 nodes, full rates)
+//	diablo-exp --node-scale=10 figure6  # laptop scale
+//	diablo-exp --csv=results/ all       # everything, with CSV output
+//
+// Each exhibit runs the corresponding experiment on the simulated testbed
+// and prints the paper's layout; --csv also writes machine-readable series
+// for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"diablo/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	nodeScale := flag.Int("node-scale", 1, "divide node counts by this factor (1 = paper scale)")
+	rateScale := flag.Float64("rate-scale", 1, "multiply workload rates by this factor")
+	maxDur := flag.Duration("max-duration", 0, "truncate traces (0 = full length)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: diablo-exp [flags] <exhibit>...\nexhibits: %v or 'all'\n", report.IDs())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = report.IDs()
+	}
+	opts := report.Options{
+		NodeScale:   *nodeScale,
+		RateScale:   *rateScale,
+		MaxDuration: *maxDur,
+		Seed:        *seed,
+	}
+	for _, id := range ids {
+		runner, ok := report.Experiments[id]
+		if !ok {
+			log.Fatalf("diablo-exp: unknown exhibit %q (want one of %v)", id, report.IDs())
+		}
+		start := time.Now()
+		var cells []report.Cell
+		if runner != nil {
+			var err error
+			cells, err = runner(opts)
+			if err != nil {
+				log.Fatalf("diablo-exp: %s: %v", id, err)
+			}
+		}
+		if err := report.Render(os.Stdout, id, cells); err != nil {
+			log.Fatalf("diablo-exp: %s: %v", id, err)
+		}
+		fmt.Printf("\n[%s regenerated in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+
+		if *csvDir != "" && cells != nil {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.WriteCellsCSV(f, cells)
+			f.Close()
+			if id == "figure6" {
+				path := filepath.Join(*csvDir, "figure6-cdf.csv")
+				f, err := os.Create(path)
+				if err != nil {
+					log.Fatal(err)
+				}
+				report.WriteCDFCSV(f, cells)
+				f.Close()
+			}
+			fmt.Printf("[CSV written to %s]\n\n", path)
+		}
+	}
+}

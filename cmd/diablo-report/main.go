@@ -1,0 +1,47 @@
+// Command diablo-report converts DIABLO result JSON files (optionally
+// gzip-compressed) to CSV, like the artifact's csv-results script:
+//
+//	diablo-report results.json > results.csv
+//	diablo-report --summary results.json.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"diablo/internal/collect"
+)
+
+func main() {
+	log.SetFlags(0)
+	summary := flag.Bool("summary", false, "print the summary line instead of CSV")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: diablo-report [--summary] <results.json>...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("diablo-report: %v", err)
+		}
+		rep, err := collect.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("diablo-report: %s: %v", path, err)
+		}
+		if *summary {
+			fmt.Println(collect.StatLine(rep))
+			continue
+		}
+		if err := collect.WriteCSV(os.Stdout, rep); err != nil {
+			log.Fatalf("diablo-report: %v", err)
+		}
+	}
+}

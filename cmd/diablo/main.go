@@ -1,0 +1,316 @@
+// Command diablo is the DIABLO benchmark CLI, mirroring the paper's usage
+// (§5.3):
+//
+//	diablo primary -vvv --port=5000 --output=results.json --compress \
+//	       --stat 10 setup.yaml workload.yaml
+//	diablo secondary -vvv --port=5000 --primary=HOST --tag=us-east-2
+//	diablo run setup.yaml workload.yaml            (single-process mode)
+//
+// The primary coordinates the experiment over TCP: it waits for the given
+// number of secondaries, deploys the DApps, dispatches the workload,
+// gathers pre-signed transactions, runs the benchmark against the
+// simulated blockchain deployment named in the setup file and aggregates
+// the results. `diablo run` does all of it in one process for quick local
+// use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"diablo/internal/bench"
+	"diablo/internal/collect"
+	"diablo/internal/remote"
+	"diablo/internal/spec"
+	"diablo/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "primary":
+		err = runPrimary(os.Args[2:])
+	case "secondary":
+		err = runSecondary(os.Args[2:])
+	case "run":
+		err = runLocal(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("diablo: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  diablo primary   [flags] <secondaries> <setup.yaml> <workload.yaml>
+  diablo secondary [flags]
+  diablo run       [flags] <setup.yaml> <workload.yaml>
+
+primary flags:
+  --port=5000         port the secondaries connect to
+  --output=FILE       write the aggregated results JSON
+  --compress          gzip the output
+  --stat              print summary statistics to standard output
+  -v / -vv / -vvv     verbosity
+
+secondary flags:
+  --primary=HOST:PORT address of the primary
+  --port=5000         primary port (used when --primary has no port)
+  --tag=LOCATION      the secondary's location tag
+
+run flags:
+  --output=FILE --compress --stat --tail=120s   (as above)`)
+}
+
+// verbosity consumes -v/-vv/-vvv flags, returning the level and the rest.
+func verbosity(args []string) (int, []string) {
+	level := 0
+	var rest []string
+	for _, a := range args {
+		switch a {
+		case "-v":
+			level = 1
+		case "-vv":
+			level = 2
+		case "-vvv":
+			level = 3
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return level, rest
+}
+
+func logger(level int) func(string, ...any) {
+	if level == 0 {
+		return func(string, ...any) {}
+	}
+	return func(format string, args ...any) { log.Printf(format, args...) }
+}
+
+func runPrimary(args []string) error {
+	level, args := verbosity(args)
+	fs := flag.NewFlagSet("primary", flag.ExitOnError)
+	port := fs.Int("port", 5000, "listen port")
+	output := fs.String("output", "", "results JSON path")
+	compress := fs.Bool("compress", false, "gzip the output")
+	stat := fs.Bool("stat", false, "print statistics to standard output")
+	var envs multiFlag
+	fs.Var(&envs, "env", "environment assignments (accounts=..., contracts=...); accepted for compatibility")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 3 {
+		return fmt.Errorf("primary needs <secondaries> <setup.yaml> <workload.yaml>")
+	}
+	var secondaries int
+	if _, err := fmt.Sscanf(rest[0], "%d", &secondaries); err != nil || secondaries <= 0 {
+		return fmt.Errorf("bad secondary count %q", rest[0])
+	}
+	setup, benchmark, benchYAML, err := loadSpecs(rest[1], rest[2])
+	if err != nil {
+		return err
+	}
+	res, err := remote.RunPrimary(remote.PrimaryConfig{
+		Listen:        fmt.Sprintf(":%d", *port),
+		Secondaries:   secondaries,
+		Setup:         setup,
+		Benchmark:     benchmark,
+		BenchmarkYAML: benchYAML,
+		Log:           logger(level),
+	})
+	if err != nil {
+		return err
+	}
+	rep := reportFromPrimary(res, setup, benchmark)
+	if *stat {
+		fmt.Println(collect.StatLine(rep))
+		for i, st := range res.Stats {
+			fmt.Printf("secondary %d (%s): sent %d, committed %d, avg latency %.1f s\n",
+				i, st.Location, st.Sent, st.Committed, st.AvgLatS)
+		}
+	}
+	if *output != "" {
+		if err := writeReport(*output, rep, *compress); err != nil {
+			return err
+		}
+		logger(level)("results written to %s", *output)
+	}
+	return nil
+}
+
+func runSecondary(args []string) error {
+	level, args := verbosity(args)
+	fs := flag.NewFlagSet("secondary", flag.ExitOnError)
+	primary := fs.String("primary", "127.0.0.1", "primary address")
+	port := fs.Int("port", 5000, "primary port")
+	tag := fs.String("tag", "", "location tag")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addr := *primary
+	if _, _, err := splitHostPort(addr); err != nil {
+		addr = fmt.Sprintf("%s:%d", *primary, *port)
+	}
+	st, err := remote.RunSecondary(remote.SecondaryConfig{
+		Primary:  addr,
+		Location: *tag,
+		Log:      logger(level),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("secondary done: sent %d, committed %d, avg latency %.1f s\n",
+		st.Sent, st.Committed, st.AvgLatS)
+	return nil
+}
+
+func runLocal(args []string) error {
+	level, args := verbosity(args)
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	output := fs.String("output", "", "results JSON path")
+	compress := fs.Bool("compress", false, "gzip the output")
+	stat := fs.Bool("stat", true, "print statistics")
+	tail := fs.Duration("tail", 120*time.Second, "observation tail after the last submission")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("run needs <setup.yaml> <workload.yaml>")
+	}
+	setup, benchmark, _, err := loadSpecs(rest[0], rest[1])
+	if err != nil {
+		return err
+	}
+	traces, err := benchmark.Traces()
+	if err != nil {
+		return err
+	}
+	var locations []string
+	for _, wl := range benchmark.Workloads {
+		locations = append(locations, wl.Locations...)
+	}
+	logger(level)("running %s on %s (%d workload traces)", setup.Chain, setup.Config.Name, len(traces))
+	out, err := bench.Run(bench.Experiment{
+		Chain:      setup.Chain,
+		Config:     setup.Config,
+		Traces:     traces,
+		Seed:       setup.Seed,
+		Tail:       *tail,
+		ScaleNodes: setup.NodeScale,
+		Locations:  locations,
+	})
+	if err != nil {
+		return err
+	}
+	rep := collect.FromOutcome(out, true)
+	if *stat {
+		fmt.Println(collect.StatLine(rep))
+	}
+	if *output != "" {
+		if err := writeReport(*output, rep, *compress); err != nil {
+			return err
+		}
+		logger(level)("results written to %s", *output)
+	}
+	return nil
+}
+
+func loadSpecs(setupPath, workloadPath string) (*spec.Setup, *spec.Benchmark, string, error) {
+	setupSrc, err := os.ReadFile(setupPath)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	setup, err := spec.ParseSetup(string(setupSrc))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	benchSrc, err := os.ReadFile(workloadPath)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	benchmark, err := spec.ParseBenchmark(string(benchSrc))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return setup, benchmark, string(benchSrc), nil
+}
+
+func writeReport(path string, rep *collect.Report, compress bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return collect.WriteJSON(f, rep, compress)
+}
+
+// reportFromPrimary converts a distributed run's aggregate to the output
+// document.
+func reportFromPrimary(res *remote.PrimaryResult, setup *spec.Setup, benchmark *spec.Benchmark) *collect.Report {
+	summary := stats.Summarize(res.Records, benchmark.Duration())
+	rep := &collect.Report{
+		Chain:  res.Chain,
+		Config: setup.Config.Name,
+		Seed:   setup.Seed,
+	}
+	rep.Summary.Submitted = summary.Submitted
+	rep.Summary.Committed = summary.Committed
+	rep.Summary.Aborted = summary.Aborted
+	rep.Summary.Pending = summary.Pending
+	rep.Summary.Dropped = res.Dropped
+	rep.Summary.AvgLoadTPS = summary.AvgLoadTPS
+	rep.Summary.ThroughputTPS = summary.ThroughputTPS
+	rep.Summary.AvgLatencyS = summary.AvgLatency.Seconds()
+	rep.Summary.MedianLatencyS = summary.MedianLatency.Seconds()
+	rep.Summary.P95LatencyS = summary.P95Latency.Seconds()
+	rep.Summary.MaxLatencyS = summary.MaxLatency.Seconds()
+	rep.Summary.CommitRatio = summary.CommitRatio
+	rep.Summary.DurationS = summary.Duration.Seconds()
+	rep.Transactions = make([]collect.TxRecord, len(res.Records))
+	for i, r := range res.Records {
+		tx := collect.TxRecord{SubmitS: r.Submit.Seconds(), CommitS: -1, Status: "pending"}
+		switch {
+		case r.Aborted:
+			tx.Status = "aborted"
+		case r.Committed():
+			tx.Status = "committed"
+			tx.CommitS = r.Commit.Seconds()
+		}
+		rep.Transactions[i] = tx
+	}
+	return rep
+}
+
+// multiFlag accepts repeated --env flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func splitHostPort(addr string) (string, string, error) {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i], addr[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("no port in %q", addr)
+}

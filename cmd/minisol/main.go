@@ -1,0 +1,96 @@
+// Command minisol compiles MiniSol contract sources for either VM family
+// and prints the ABI and disassembly — the developer tool for the DApp
+// suite's "write once, target every chain's language" workflow (the
+// paper's authors maintained Solidity, PyTeal and Move ports by hand).
+//
+//	minisol contract.sol              # EVM-style bytecode
+//	minisol --target=avm contract.sol # TEAL-style AVM program
+//	minisol --dapp=uber               # compile a suite DApp by name
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"diablo/internal/avm"
+	"diablo/internal/dapps"
+	"diablo/internal/minisol"
+	"diablo/internal/vm"
+)
+
+func main() {
+	log.SetFlags(0)
+	target := flag.String("target", "evm", "vm family: evm or avm")
+	dapp := flag.String("dapp", "", "compile a suite DApp by registry name instead of a file")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: minisol [--target=evm|avm] (<file.sol> | --dapp=NAME)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var src, name string
+	switch {
+	case *dapp != "":
+		d, err := dapps.Get(*dapp)
+		if err != nil {
+			log.Fatalf("minisol: %v", err)
+		}
+		src, name = d.Source, d.ContractName
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatalf("minisol: %v", err)
+		}
+		src, name = string(data), flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	switch *target {
+	case "evm":
+		c, err := minisol.Compile(src)
+		if err != nil {
+			log.Fatalf("minisol: %v", err)
+		}
+		fmt.Printf("contract %s (%s): %d bytes of EVM-style bytecode\n\n", c.Name, name, len(c.Code))
+		printABI(c.Functions)
+		fmt.Println("\ndisassembly:")
+		fmt.Print(vm.Disassemble(c.Code))
+	case "avm":
+		c, err := minisol.CompileAVM(src)
+		if err != nil {
+			log.Fatalf("minisol: %v", err)
+		}
+		fmt.Printf("contract %s (%s): %d bytes of AVM program\n\n", c.Name, name, len(c.Program))
+		printABI(c.Functions)
+		fmt.Println("\ndisassembly:")
+		fmt.Print(avm.Disassemble(c.Program))
+	default:
+		log.Fatalf("minisol: unknown target %q (want evm or avm)", *target)
+	}
+}
+
+func printABI(fns map[string]*minisol.FuncMeta) {
+	names := make([]string, 0, len(fns))
+	for n := range fns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("ABI:")
+	for _, n := range names {
+		m := fns[n]
+		vis := "internal"
+		if m.Public {
+			vis = "public"
+		}
+		ret := ""
+		if m.Returns {
+			ret = " returns (uint)"
+		}
+		fmt.Printf("  %-10s %s/%d%s  selector=0x%016x\n", vis, m.Name, m.NumParams, ret, m.Selector)
+	}
+}

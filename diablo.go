@@ -1,0 +1,178 @@
+// Package diablo is the public API of this DIABLO reproduction: a
+// benchmark suite that evaluates blockchains with realistic decentralized
+// applications (Gramoli et al., EuroSys 2023).
+//
+// The library exposes four layers:
+//
+//   - Experiments: RunExperiment executes a (blockchain, deployment
+//     configuration, workload) cell and returns the aggregate metrics the
+//     paper reports — throughput, latency, commit ratio, drops and
+//     collapse events.
+//   - Exhibits: the report sub-API regenerates every table and figure of
+//     the paper's evaluation (see internal/report via the Exhibit
+//     helpers).
+//   - The blockchain abstraction <E, R, I> of §4: implement Blockchain
+//     and Client (four functions: create_client, create_resource, encode,
+//     trigger) to benchmark a new chain; see examples/custom-blockchain.
+//   - Specifications: the workload specification language of §4 and the
+//     setup file of §5.3, via ParseBenchmark and ParseSetup.
+//
+// Quick start:
+//
+//	out, err := diablo.RunExperiment(diablo.Experiment{
+//	    Chain:  "quorum",
+//	    Config: diablo.Configs.Consortium,
+//	    Traces: []*diablo.Trace{diablo.Workloads.FIFA()},
+//	})
+//	fmt.Println(out.Summary.ThroughputTPS)
+package diablo
+
+import (
+	"io"
+	"time"
+
+	"diablo/internal/bench"
+	"diablo/internal/configs"
+	"diablo/internal/core"
+	"diablo/internal/report"
+	"diablo/internal/spec"
+	"diablo/internal/workloads"
+
+	chainsreg "diablo/internal/chains"
+)
+
+// Experiment is one benchmark run: a blockchain, a Table 3 deployment
+// configuration and one or more workload traces.
+type Experiment = bench.Experiment
+
+// Outcome is an experiment's result.
+type Outcome = bench.Outcome
+
+// Trace is a workload: a per-second submission schedule bound to a DApp
+// function (or to native transfers).
+type Trace = workloads.Trace
+
+// Config is a Table 3 deployment configuration.
+type Config = configs.Config
+
+// RunExperiment executes an experiment on the simulated testbed.
+func RunExperiment(e Experiment) (*Outcome, error) { return bench.Run(e) }
+
+// Chains lists the six evaluated blockchains: algorand, avalanche, diem,
+// ethereum, quorum, solana.
+func Chains() []string { return chainsreg.Names() }
+
+// Configs groups the five deployment configurations of Table 3.
+var Configs = struct {
+	Datacenter, Testnet, Devnet, Community, Consortium *Config
+}{
+	Datacenter: configs.Datacenter,
+	Testnet:    configs.Testnet,
+	Devnet:     configs.Devnet,
+	Community:  configs.Community,
+	Consortium: configs.Consortium,
+}
+
+// ConfigByName resolves a Table 3 configuration name.
+func ConfigByName(name string) (*Config, error) { return configs.ByName(name) }
+
+// Workloads groups the DApp workload constructors of §3.
+var Workloads = struct {
+	// GAFAM is the accumulated five-stock NASDAQ exchange workload.
+	GAFAM func() *Trace
+	// NASDAQ is one stock's opening burst (google, amazon, facebook,
+	// microsoft, apple).
+	NASDAQ func(stock string) (*Trace, error)
+	// Dota2 is the ~13,000 TPS gaming workload.
+	Dota2 func() *Trace
+	// FIFA is the 1998 world-cup web-service workload.
+	FIFA func() *Trace
+	// Uber is the compute-intensive mobility-service workload.
+	Uber func() *Trace
+	// YouTube is the 38,761 TPS video-sharing workload.
+	YouTube func() *Trace
+	// Constant is a fixed-rate trace against a DApp function.
+	Constant func(name, dapp, fn string, tps float64, duration time.Duration) *Trace
+	// NativeConstant is a fixed-rate native-transfer trace.
+	NativeConstant func(tps float64, duration time.Duration) *Trace
+	// ByName resolves any suite trace by name.
+	ByName func(name string) (*Trace, error)
+}{
+	GAFAM:          workloads.GAFAM,
+	NASDAQ:         workloads.NASDAQ,
+	Dota2:          workloads.Dota2,
+	FIFA:           workloads.FIFA,
+	Uber:           workloads.Uber,
+	YouTube:        workloads.YouTube,
+	Constant:       workloads.Constant,
+	NativeConstant: workloads.NativeConstant,
+	ByName:         workloads.ByName,
+}
+
+// Blockchain is the §4 abstraction a new chain implements to run under
+// DIABLO: Endpoints (the set E), CreateClient, CreateResource, and — on
+// the returned Client — Encode and Trigger.
+type Blockchain = core.Blockchain
+
+// Client is a worker's connection to blockchain nodes.
+type Client = core.Client
+
+// Endpoint identifies a blockchain node (an element of the set E).
+type Endpoint = core.Endpoint
+
+// Interaction is an encoded, pre-signed interaction.
+type Interaction = core.Interaction
+
+// InteractionSpec describes an interaction before encoding.
+type InteractionSpec = core.InteractionSpec
+
+// Observation reports a triggered interaction's fate.
+type Observation = core.Observation
+
+// Resource and ResourceSpec model the resource set R.
+type (
+	Resource     = core.Resource
+	ResourceSpec = core.ResourceSpec
+)
+
+// Interaction and resource kinds.
+const (
+	InteractTransfer = core.InteractTransfer
+	InteractInvoke   = core.InteractInvoke
+	ResourceAccount  = core.ResourceAccount
+	ResourceContract = core.ResourceContract
+)
+
+// BenchmarkSpec configures a core-engine run against any Blockchain
+// implementation.
+type BenchmarkSpec = core.BenchmarkSpec
+
+// RunBenchmark drives a workload through any Blockchain implementation on
+// the given scheduler (see examples/custom-blockchain).
+var RunBenchmark = core.Run
+
+// ParseBenchmark parses a workload specification document (§4).
+func ParseBenchmark(src string) (*spec.Benchmark, error) { return spec.ParseBenchmark(src) }
+
+// ParseSetup parses a blockchain setup document (§5.3).
+func ParseSetup(src string) (*spec.Setup, error) { return spec.ParseSetup(src) }
+
+// ExhibitIDs lists the reproducible tables and figures.
+func ExhibitIDs() []string { return report.IDs() }
+
+// ExhibitOptions scales exhibit runs (zero value = the paper's full scale).
+type ExhibitOptions = report.Options
+
+// RunExhibit regenerates a table or figure, rendering it to w.
+func RunExhibit(w io.Writer, id string, o ExhibitOptions) error {
+	runner := report.Experiments[id]
+	var cells []report.Cell
+	if runner != nil {
+		var err error
+		cells, err = runner(o)
+		if err != nil {
+			return err
+		}
+	}
+	return report.Render(w, id, cells)
+}

@@ -1,0 +1,133 @@
+package diablo_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"diablo"
+)
+
+func TestChainsAndConfigs(t *testing.T) {
+	if len(diablo.Chains()) != 6 {
+		t.Fatalf("chains = %v", diablo.Chains())
+	}
+	for _, name := range []string{"datacenter", "testnet", "devnet", "community", "consortium"} {
+		cfg, err := diablo.ConfigByName(name)
+		if err != nil || cfg.Nodes == 0 {
+			t.Fatalf("config %s: %v", name, err)
+		}
+	}
+	if _, err := diablo.ConfigByName("moon"); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	out, err := diablo.RunExperiment(diablo.Experiment{
+		Chain:      "solana",
+		Config:     diablo.Configs.Devnet,
+		Traces:     []*diablo.Trace{diablo.Workloads.NativeConstant(50, 10*time.Second)},
+		Seed:       1,
+		ScaleNodes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Summary.Committed != 500 {
+		t.Fatalf("committed = %d/500", out.Summary.Committed)
+	}
+}
+
+func TestWorkloadConstructors(t *testing.T) {
+	if tr := diablo.Workloads.GAFAM(); tr.Peak() != 19100 {
+		t.Fatalf("GAFAM peak = %v", tr.Peak())
+	}
+	if tr := diablo.Workloads.YouTube(); tr.Average() != 38761 {
+		t.Fatalf("YouTube avg = %v", tr.Average())
+	}
+	if _, err := diablo.Workloads.NASDAQ("apple"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diablo.Workloads.ByName("uber-nyc"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecFacade(t *testing.T) {
+	b, err := diablo.ParseBenchmark(`
+workloads:
+  - client:
+      behavior:
+        - interaction: !transfer
+          load:
+            0: 5
+            10: 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := b.Traces()
+	if err != nil || len(traces) != 1 || traces[0].Total() != 50 {
+		t.Fatalf("traces = %v, %v", traces, err)
+	}
+	s, err := diablo.ParseSetup("blockchain: diem\nconfiguration: testnet")
+	if err != nil || s.Chain != "diem" {
+		t.Fatalf("setup = %+v, %v", s, err)
+	}
+}
+
+func TestRunExhibitFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := diablo.RunExhibit(&buf, "table4", diablo.ExhibitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "HotStuff") {
+		t.Fatal("table 4 content missing")
+	}
+	if err := diablo.RunExhibit(&buf, "figure99", diablo.ExhibitOptions{}); err == nil {
+		t.Fatal("unknown exhibit accepted")
+	}
+	if len(diablo.ExhibitIDs()) != 10 {
+		t.Fatalf("exhibits = %v", diablo.ExhibitIDs())
+	}
+}
+
+// ExampleRunExperiment shows the one-call experiment API.
+func ExampleRunExperiment() {
+	out, err := diablo.RunExperiment(diablo.Experiment{
+		Chain:      "quorum",
+		Config:     diablo.Configs.Devnet,
+		Traces:     []*diablo.Trace{diablo.Workloads.NativeConstant(10, 10*time.Second)},
+		Seed:       1,
+		ScaleNodes: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("committed %d/%d\n", out.Summary.Committed, out.Summary.Submitted)
+	// Output: committed 100/100
+}
+
+// ExampleParseBenchmark shows the workload specification language.
+func ExampleParseBenchmark() {
+	b, _ := diablo.ParseBenchmark(`
+let:
+  - &dapp { sample: !contract { name: "fifa" } }
+workloads:
+  - number: 2
+    client:
+      behavior:
+        - interaction: !invoke
+            contract: *dapp
+            function: "add()"
+          load:
+            0: 100
+            60: 0
+`)
+	traces, _ := b.Traces()
+	fmt.Printf("%s rate=%v total=%d\n", traces[0].DApp, traces[0].Rates[0], traces[0].Total())
+	// Output: fifa rate=200 total=12000
+}

@@ -1,0 +1,62 @@
+// Exchange DApp example: deploy the ExchangeContractGafam decentralized
+// exchange and stress two blockchains with the NASDAQ Apple opening burst
+// (10,000 trades in the first second), then compare their latency
+// distributions — a miniature of the paper's Fig. 6.
+//
+//	go run ./examples/exchange-nasdaq
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"diablo"
+	"diablo/internal/stats"
+)
+
+func main() {
+	apple, err := diablo.Workloads.NASDAQ("apple")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %.0f TPS burst, then %.0f TPS for %.0fs\n\n",
+		apple.Name, apple.Peak(), apple.Rates[1], apple.Duration().Seconds())
+
+	for _, chain := range []string{"quorum", "algorand"} {
+		out, err := diablo.RunExperiment(diablo.Experiment{
+			Chain:  chain,
+			Config: diablo.Configs.Consortium,
+			Traces: []*diablo.Trace{apple},
+			Seed:   1,
+			Tail:   180 * time.Second,
+			// Scale the 200-node consortium down 10x so the example runs
+			// in seconds; drop ScaleNodes for the full-size run.
+			ScaleNodes: 10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cdf := stats.NewCDF(out.Latencies, out.Summary.Submitted)
+		fmt.Printf("%s:\n", chain)
+		fmt.Printf("  committed %.1f%% of %d trades (%d dropped by the mempool)\n",
+			out.Summary.CommitRatio*100, out.Summary.Submitted, out.Dropped)
+		fmt.Printf("  latency: p50 %s  p90 %s  max %.1fs\n",
+			fmtQ(cdf.Quantile(0.5)), fmtQ(cdf.Quantile(0.9)), out.Summary.MaxLatency.Seconds())
+		fmt.Print("  CDF: ")
+		for _, at := range []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second, 16 * time.Second, 32 * time.Second} {
+			fmt.Printf("<=%ds:%.0f%%  ", int(at.Seconds()), cdf.At(at)*100)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+	fmt.Println("Quorum's IBFT never drops a request and commits the burst quickly;")
+	fmt.Println("Algorand's bounded pool sheds part of it — the paper's availability result.")
+}
+
+func fmtQ(d time.Duration) string {
+	if d < 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}

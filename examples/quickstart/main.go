@@ -1,0 +1,44 @@
+// Quickstart: run a small native-transfer benchmark against a simulated
+// Quorum deployment, the same flow as the artifact's
+// workload-native-10.yaml example.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"diablo"
+)
+
+func main() {
+	// 10 transactions per second for 60 seconds against Quorum deployed
+	// in the geo-distributed devnet configuration (10 nodes, 10 regions).
+	out, err := diablo.RunExperiment(diablo.Experiment{
+		Chain:  "quorum",
+		Config: diablo.Configs.Devnet,
+		Traces: []*diablo.Trace{diablo.Workloads.NativeConstant(10, 60*time.Second)},
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := out.Summary
+	fmt.Printf("chain:       %s on %s (%d blocks)\n", out.Result.Chain, out.Experiment.Config.Name, out.Blocks)
+	fmt.Printf("submitted:   %d transactions (%.1f TPS average load)\n", s.Submitted, s.AvgLoadTPS)
+	fmt.Printf("committed:   %d (%.1f%%), throughput %.1f TPS\n", s.Committed, s.CommitRatio*100, s.ThroughputTPS)
+	fmt.Printf("latency:     avg %.2fs, median %.2fs, p95 %.2fs, max %.2fs\n",
+		s.AvgLatency.Seconds(), s.MedianLatency.Seconds(), s.P95Latency.Seconds(), s.MaxLatency.Seconds())
+	fmt.Printf("simulated:   %.0fs of virtual time in %s of wall time\n",
+		out.VirtualTime.Seconds(), out.WallTime.Round(time.Millisecond))
+
+	// The per-second committed series shows the chain keeping up.
+	fmt.Print("commits/s:   ")
+	for i := 0; i < 10; i++ {
+		fmt.Printf("%d ", out.CommittedPerSec.Counts[i])
+	}
+	fmt.Println("...")
+}

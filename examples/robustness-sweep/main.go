@@ -1,0 +1,48 @@
+// Robustness sweep: stress every blockchain with increasing constant
+// workloads and watch who saturates, who sheds load and who collapses —
+// an extended version of the paper's Fig. 4 with a full rate sweep.
+//
+//	go run ./examples/robustness-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"diablo"
+)
+
+func main() {
+	rates := []float64{500, 1000, 2000, 5000, 10000}
+
+	fmt.Printf("%-11s", "chain")
+	for _, r := range rates {
+		fmt.Printf("%12.0f", r)
+	}
+	fmt.Println("   (offered TPS)")
+
+	for _, chain := range diablo.Chains() {
+		fmt.Printf("%-11s", chain)
+		for _, rate := range rates {
+			out, err := diablo.RunExperiment(diablo.Experiment{
+				Chain:  chain,
+				Config: diablo.Configs.Devnet,
+				Traces: []*diablo.Trace{diablo.Workloads.NativeConstant(rate, 60*time.Second)},
+				Seed:   1,
+				Tail:   60 * time.Second,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cell := fmt.Sprintf("%.0f", out.Summary.ThroughputTPS)
+			if out.Crashed {
+				cell += "*"
+			}
+			fmt.Printf("%12s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ncommitted TPS; * = the network collapsed during the run")
+	fmt.Println("(devnet configuration: 10 nodes across ten regions)")
+}

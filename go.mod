@@ -1,0 +1,3 @@
+module diablo
+
+go 1.22

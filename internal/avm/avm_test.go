@@ -1,0 +1,284 @@
+package avm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, program []byte, ctx *Context) Result {
+	t.Helper()
+	if ctx == nil {
+		ctx = &Context{}
+	}
+	if ctx.State == nil {
+		ctx.State = NewMapKV(0)
+	}
+	return Execute(program, ctx)
+}
+
+func approveWith(v uint64) []byte {
+	return NewAssembler().PushInt(v).Op(OpReturn).MustBuild()
+}
+
+func TestApproveReject(t *testing.T) {
+	if r := run(t, approveWith(1), nil); r.Outcome != Approved {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+	if r := run(t, approveWith(0), nil); r.Outcome != Rejected {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	cases := []struct {
+		build func(*Assembler) *Assembler
+		want  uint64
+	}{
+		{func(a *Assembler) *Assembler { return a.PushInt(2).PushInt(3).Op(OpPlus) }, 5},
+		{func(a *Assembler) *Assembler { return a.PushInt(7).PushInt(3).Op(OpMinus) }, 4},
+		{func(a *Assembler) *Assembler { return a.PushInt(6).PushInt(7).Op(OpMul) }, 42},
+		{func(a *Assembler) *Assembler { return a.PushInt(20).PushInt(6).Op(OpDiv) }, 3},
+		{func(a *Assembler) *Assembler { return a.PushInt(20).PushInt(6).Op(OpMod) }, 2},
+		{func(a *Assembler) *Assembler { return a.PushInt(1).PushInt(2).Op(OpLt) }, 1},
+		{func(a *Assembler) *Assembler { return a.PushInt(2).PushInt(2).Op(OpLe) }, 1},
+		{func(a *Assembler) *Assembler { return a.PushInt(3).PushInt(2).Op(OpGt) }, 1},
+		{func(a *Assembler) *Assembler { return a.PushInt(2).PushInt(2).Op(OpGe) }, 1},
+		{func(a *Assembler) *Assembler { return a.PushInt(2).PushInt(2).Op(OpEq) }, 1},
+		{func(a *Assembler) *Assembler { return a.PushInt(2).PushInt(3).Op(OpNeq) }, 1},
+		{func(a *Assembler) *Assembler { return a.PushInt(5).PushInt(9).Op(OpAnd) }, 1},
+		{func(a *Assembler) *Assembler { return a.PushInt(0).PushInt(9).Op(OpOr) }, 1},
+		{func(a *Assembler) *Assembler { return a.PushInt(0).Op(OpNot) }, 1},
+		{func(a *Assembler) *Assembler { return a.PushInt(9).Op(OpNot) }, 0},
+	}
+	for i, c := range cases {
+		// Leave the result as the approval value +1 so zero results are
+		// distinguishable: log it instead.
+		a := NewAssembler()
+		c.build(a)
+		a.PushInt(77).Log(1)
+		a.PushInt(1).Op(OpReturn)
+		r := run(t, a.MustBuild(), nil)
+		if r.Outcome != Approved || len(r.Events) != 1 {
+			t.Fatalf("case %d: %v %v", i, r.Outcome, r.Err)
+		}
+		if r.Events[0].Args[0] != c.want {
+			t.Fatalf("case %d = %d, want %d", i, r.Events[0].Args[0], c.want)
+		}
+	}
+}
+
+func TestDivisionByZeroErrors(t *testing.T) {
+	p := NewAssembler().PushInt(5).PushInt(0).Op(OpDiv).Op(OpReturn).MustBuild()
+	r := run(t, p, nil)
+	if r.Outcome != Errored || !errors.Is(r.Err, ErrDivByZero) {
+		t.Fatalf("outcome = %v err = %v", r.Outcome, r.Err)
+	}
+}
+
+func TestBranchesAndSubroutines(t *testing.T) {
+	// result = double(21) via a subroutine; skip over an err block.
+	a := NewAssembler()
+	a.Branch(OpBranch, "main")
+	a.Label("double")
+	a.PushInt(2).Op(OpMul)
+	a.Op(OpRetSub)
+	a.Label("main")
+	a.PushInt(21)
+	a.Branch(OpCallSub, "double")
+	a.PushInt(42).Op(OpEq)
+	a.Op(OpReturn)
+	r := run(t, a.MustBuild(), nil)
+	if r.Outcome != Approved {
+		t.Fatalf("outcome = %v err = %v", r.Outcome, r.Err)
+	}
+}
+
+func TestScratchSlots(t *testing.T) {
+	a := NewAssembler()
+	a.PushInt(7).Store(3)
+	a.PushInt(5).Store(200)
+	a.Load(3).Load(200).Op(OpPlus)
+	a.PushInt(12).Op(OpEq).Op(OpReturn)
+	if r := run(t, a.MustBuild(), nil); r.Outcome != Approved {
+		t.Fatalf("scratch failed: %v %v", r.Outcome, r.Err)
+	}
+}
+
+func TestAppGlobalStateAndRollback(t *testing.T) {
+	kv := NewMapKV(0)
+	put := NewAssembler().PushInt(1).PushInt(42).Op(OpAppGlobalPut).PushInt(1).Op(OpReturn).MustBuild()
+	if r := run(t, put, &Context{State: kv}); r.Outcome != Approved {
+		t.Fatal(r.Outcome)
+	}
+	if v, _ := kv.Get(1); v != 42 {
+		t.Fatalf("state = %d", v)
+	}
+	// A rejected program must roll its writes back.
+	rejected := NewAssembler().PushInt(1).PushInt(99).Op(OpAppGlobalPut).PushInt(0).Op(OpReturn).MustBuild()
+	if r := run(t, rejected, &Context{State: kv}); r.Outcome != Rejected {
+		t.Fatal(r.Outcome)
+	}
+	if v, _ := kv.Get(1); v != 42 {
+		t.Fatalf("rejected write leaked: %d", v)
+	}
+	// An erroring program rolls back too, including deletes of new keys.
+	erroring := NewAssembler().PushInt(5).PushInt(1).Op(OpAppGlobalPut).Op(OpErr).MustBuild()
+	run(t, erroring, &Context{State: kv})
+	if _, ok := kv.Get(5); ok {
+		t.Fatal("errored write leaked")
+	}
+}
+
+func TestBoundedState(t *testing.T) {
+	kv := NewMapKV(2)
+	for i := uint64(0); i < 2; i++ {
+		p := NewAssembler().PushInt(i).PushInt(1).Op(OpAppGlobalPut).PushInt(1).Op(OpReturn).MustBuild()
+		if r := run(t, p, &Context{State: kv}); r.Outcome != Approved {
+			t.Fatal(r.Outcome)
+		}
+	}
+	p := NewAssembler().PushInt(9).PushInt(1).Op(OpAppGlobalPut).PushInt(1).Op(OpReturn).MustBuild()
+	r := run(t, p, &Context{State: kv})
+	if r.Outcome != Errored || !errors.Is(r.Err, ErrStateFull) {
+		t.Fatalf("outcome = %v err = %v", r.Outcome, r.Err)
+	}
+	// Updates to existing keys still work at the bound.
+	upd := NewAssembler().PushInt(0).PushInt(9).Op(OpAppGlobalPut).PushInt(1).Op(OpReturn).MustBuild()
+	if r := run(t, upd, &Context{State: kv}); r.Outcome != Approved {
+		t.Fatal(r.Outcome)
+	}
+}
+
+func TestTxnAndGlobals(t *testing.T) {
+	ctx := &Context{Sender: 77, Args: []uint64{1, 2, 3}, Round: 9, Time: 1000, State: NewMapKV(0)}
+	a := NewAssembler()
+	a.Op(OpTxnSender)         // 77
+	a.Op(OpTxnNumArgs)        // 3
+	a.PushInt(1).Op(OpTxnArg) // 2
+	a.Op(OpGlobalRound)       // 9
+	a.Op(OpGlobalTime)        // 1000
+	a.PushInt(88).Log(5)
+	a.PushInt(1).Op(OpReturn)
+	r := Execute(a.MustBuild(), ctx)
+	if r.Outcome != Approved {
+		t.Fatal(r.Outcome, r.Err)
+	}
+	want := []uint64{77, 3, 2, 9, 1000}
+	for i, w := range want {
+		if r.Events[0].Args[i] != w {
+			t.Fatalf("env[%d] = %d, want %d", i, r.Events[0].Args[i], w)
+		}
+	}
+	// Out-of-range arg reads zero.
+	p := NewAssembler().PushInt(99).Op(OpTxnArg).Op(OpNot).Op(OpReturn).MustBuild()
+	if r := Execute(p, ctx); r.Outcome != Approved {
+		t.Fatal("missing arg should read zero")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	// Infinite loop.
+	a := NewAssembler()
+	a.Label("loop")
+	a.Branch(OpBranch, "loop")
+	r := Execute(a.MustBuild(), &Context{State: NewMapKV(0), Budget: 100})
+	if r.Outcome != BudgetExceeded {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+	if r.OpsUsed > 100 {
+		t.Fatalf("ops %d over budget", r.OpsUsed)
+	}
+	// The budget rolls state back.
+	kv := NewMapKV(0)
+	b := NewAssembler()
+	b.PushInt(1).PushInt(1).Op(OpAppGlobalPut)
+	b.Label("spin")
+	b.Branch(OpBranch, "spin")
+	Execute(b.MustBuild(), &Context{State: kv, Budget: 200})
+	if _, ok := kv.Get(1); ok {
+		t.Fatal("budget-exceeded write leaked")
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []byte
+		err  error
+	}{
+		{"err op", NewAssembler().Op(OpErr).MustBuild(), ErrErrOp},
+		{"underflow", NewAssembler().Op(OpPlus).MustBuild(), ErrStackUnderflow},
+		{"no return", NewAssembler().PushInt(1).MustBuild(), ErrNoReturn},
+		{"retsub without call", NewAssembler().Op(OpRetSub).MustBuild(), ErrRetNoCall},
+		{"truncated push", []byte{byte(OpPushInt), 0}, ErrTruncated},
+		{"bad opcode", []byte{200}, ErrBadOpcode},
+		{"truncated branch", []byte{byte(OpBranch)}, ErrBadBranch},
+	}
+	for _, c := range cases {
+		r := run(t, c.prog, nil)
+		if r.Outcome != Errored || !errors.Is(r.Err, c.err) {
+			t.Errorf("%s: outcome = %v err = %v, want %v", c.name, r.Outcome, r.Err, c.err)
+		}
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	a := NewAssembler()
+	a.Label("f")
+	a.Branch(OpCallSub, "f")
+	r := run(t, a.MustBuild(), nil)
+	if r.Outcome != Errored || !errors.Is(r.Err, ErrCallDepth) {
+		t.Fatalf("outcome = %v err = %v", r.Outcome, r.Err)
+	}
+}
+
+func TestStateOpsCostMore(t *testing.T) {
+	cheap := run(t, approveWith(1), nil)
+	stateful := run(t, NewAssembler().PushInt(1).PushInt(2).Op(OpAppGlobalPut).PushInt(1).Op(OpReturn).MustBuild(), nil)
+	if stateful.OpsUsed <= cheap.OpsUsed+10 {
+		t.Fatalf("state op cost %d vs %d: state access should be the expensive class",
+			stateful.OpsUsed, cheap.OpsUsed)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	a := NewAssembler()
+	a.PushInt(5).Store(3).Load(3)
+	a.Branch(OpBNZ, "end")
+	a.Op(OpErr)
+	a.Label("end")
+	a.PushInt(1).Op(OpReturn)
+	dis := Disassemble(a.MustBuild())
+	for _, want := range []string{"pushint 5", "store 3", "load 3", "bnz", "return"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	if _, err := NewAssembler().Branch(OpBranch, "nowhere").Build(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-branch Branch did not panic")
+		}
+	}()
+	NewAssembler().Branch(OpPlus, "x")
+}
+
+// Property: the interpreter never panics and never exceeds its budget on
+// arbitrary byte programs.
+func TestNoPanicAndBudgetProperty(t *testing.T) {
+	f := func(program []byte, budget uint16) bool {
+		ctx := &Context{State: NewMapKV(0), Budget: uint64(budget%2000) + 1}
+		r := Execute(program, ctx)
+		return r.OpsUsed <= ctx.Budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package bench runs complete DIABLO experiments: it deploys a named
+// blockchain in one of the Table 3 configurations on the simulated WAN,
+// provisions accounts, runs workload traces through the core engine and
+// returns the aggregate result. Every table and figure of the paper is
+// regenerated through this package (see internal/report and cmd/diablo-exp).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"diablo/internal/chains"
+	"diablo/internal/chains/chain"
+	"diablo/internal/configs"
+	"diablo/internal/core"
+	"diablo/internal/sim"
+	"diablo/internal/simnet"
+	"diablo/internal/wallet"
+	"diablo/internal/workloads"
+)
+
+// Experiment is one (chain, configuration, workload) cell.
+type Experiment struct {
+	// Chain is the blockchain name (see chains.Names).
+	Chain string
+	// Config is the Table 3 deployment configuration.
+	Config *configs.Config
+	// Traces are the workloads to run concurrently.
+	Traces []*workloads.Trace
+	// Seed makes runs reproducible; runs with equal seeds are identical.
+	Seed int64
+	// Tail extends observation beyond the last submission (default 120s).
+	Tail time.Duration
+	// Scheme names the signature scheme ("fasthash" default; "ed25519"
+	// for full-fidelity signing at small scales).
+	Scheme string
+	// CacheAfter configures the executor's gas cache (full interpretation
+	// for the first N calls per contract function, replay afterwards);
+	// 0 uses the default of 16, negative disables caching entirely.
+	CacheAfter int
+	// ScaleNodes divides the configuration's node count for laptop-scale
+	// smoke runs (0 or 1 = full size).
+	ScaleNodes int
+	// Locations optionally restricts the Secondaries to endpoints in the
+	// named regions (the specification's !location sampler); empty =
+	// collocate with every endpoint.
+	Locations []string
+}
+
+// Outcome bundles the engine result with run-level diagnostics.
+type Outcome struct {
+	*core.Result
+	Experiment Experiment
+	// Crashed reports cluster collapse (Quorum under sustained overload).
+	Crashed bool
+	// CrashedAt is when the collapse happened.
+	CrashedAt time.Duration
+	// PoolDropped counts mempool policy rejections observed node-side.
+	PoolDropped uint64
+	// Blocks is the committed chain length.
+	Blocks uint64
+	// WallTime is how long the simulation took in real time.
+	WallTime time.Duration
+	// VirtualTime is how much simulated time elapsed.
+	VirtualTime time.Duration
+	// ExecutedTxs and ReplayedTxs report gas-cache behaviour.
+	ExecutedTxs uint64
+	ReplayedTxs uint64
+}
+
+// DefaultCacheAfter is how many full interpretations warm the gas cache.
+const DefaultCacheAfter = 16
+
+// Run executes the experiment.
+func Run(e Experiment) (*Outcome, error) {
+	if e.Config == nil {
+		return nil, fmt.Errorf("bench: experiment needs a configuration")
+	}
+	if len(e.Traces) == 0 {
+		return nil, fmt.Errorf("bench: experiment needs at least one trace")
+	}
+	params, err := chains.ParamsFor(e.Chain)
+	if err != nil {
+		return nil, err
+	}
+	schemeName := e.Scheme
+	if schemeName == "" {
+		schemeName = "fasthash"
+	}
+	scheme, err := wallet.SchemeByName(schemeName)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := e.Config
+	if e.ScaleNodes > 1 {
+		cfg = cfg.Scaled(e.ScaleNodes)
+	}
+
+	start := time.Now()
+	sched := sim.NewScheduler(e.Seed)
+	wan := simnet.New(sched)
+	net := chain.Deploy(sched, wan, params, chain.Deployment{
+		Nodes:   cfg.Nodes,
+		VCPUs:   cfg.VCPUs,
+		Regions: cfg.Regions,
+	})
+	switch {
+	case e.CacheAfter > 0:
+		net.Exec.CacheAfter = e.CacheAfter
+	case e.CacheAfter == 0:
+		net.Exec.CacheAfter = DefaultCacheAfter
+	default:
+		net.Exec.CacheAfter = 0 // full fidelity
+	}
+
+	accounts := cfg.AccountsFor(e.Chain)
+	w := wallet.New(scheme, fmt.Sprintf("%s-%s-%d", e.Chain, cfg.Name, e.Seed), accounts)
+	adapter := core.NewSimAdapter(net, w)
+
+	placement, err := ResolvePlacement(net, e.Locations)
+	if err != nil {
+		return nil, err
+	}
+
+	net.Start()
+	result, err := core.Run(sched, adapter, core.BenchmarkSpec{
+		Traces:    e.Traces,
+		Accounts:  accounts,
+		Seed:      e.Seed,
+		Tail:      e.Tail,
+		Placement: placement,
+	})
+	net.Stop()
+	if err != nil {
+		return nil, err
+	}
+
+	return &Outcome{
+		Result:      result,
+		Experiment:  e,
+		Crashed:     net.Crashed(),
+		CrashedAt:   net.CrashedAt,
+		PoolDropped: net.Pool.Dropped(),
+		Blocks:      net.Height(),
+		WallTime:    time.Since(start),
+		VirtualTime: sched.Now(),
+		ExecutedTxs: net.Exec.Executed,
+		ReplayedTxs: net.Exec.Replayed,
+	}, nil
+}
+
+// ResolvePlacement maps the specification's location tags to the deployed
+// endpoints living in those regions (the mapping function M). An empty
+// location list means no restriction.
+func ResolvePlacement(net *chain.Network, locations []string) ([]core.Endpoint, error) {
+	if len(locations) == 0 {
+		return nil, nil
+	}
+	want := map[simnet.Region]bool{}
+	for _, loc := range locations {
+		r, err := simnet.RegionByName(loc)
+		if err != nil {
+			return nil, err
+		}
+		want[r] = true
+	}
+	var out []core.Endpoint
+	for i, nd := range net.Nodes {
+		if want[nd.Sim.Region] {
+			out = append(out, core.Endpoint(i))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: no deployed node lives in %v", locations)
+	}
+	return out, nil
+}
+
+// GafamTraces returns the five concurrent per-stock NASDAQ traces of the
+// exchange DApp benchmark.
+func GafamTraces() []*workloads.Trace {
+	out := make([]*workloads.Trace, 0, len(workloads.Stocks))
+	for _, s := range workloads.Stocks {
+		tr, err := workloads.NASDAQ(s.Name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// TracesFor resolves a DApp benchmark name into its trace set.
+func TracesFor(name string) ([]*workloads.Trace, error) {
+	if name == "exchange" || name == "gafam" || name == "nasdaq" {
+		return GafamTraces(), nil
+	}
+	tr, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []*workloads.Trace{tr}, nil
+}
+
+// Scale reduces every trace's rate by factor f (for laptop-scale runs).
+func Scale(traces []*workloads.Trace, f float64) []*workloads.Trace {
+	if f == 1 {
+		return traces
+	}
+	out := make([]*workloads.Trace, len(traces))
+	for i, tr := range traces {
+		out[i] = tr.Scaled(f)
+	}
+	return out
+}

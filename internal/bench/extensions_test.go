@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"diablo/internal/configs"
+	"diablo/internal/workloads"
+)
+
+// TestRedbellyImmuneToOverloadCollapse reproduces the §6.3 contrast the
+// paper draws with the Smart Red Belly Blockchain: under the same
+// sustained 10,000 TPS that collapses Quorum's IBFT, the leaderless design
+// keeps a high throughput and never crashes.
+func TestRedbellyImmuneToOverloadCollapse(t *testing.T) {
+	run := func(chainName string) (*Outcome, error) {
+		return Run(Experiment{
+			Chain:      chainName,
+			Config:     configs.Community,
+			Traces:     []*workloads.Trace{workloads.NativeConstant(10000, 60*time.Second)},
+			Seed:       1,
+			Tail:       60 * time.Second,
+			ScaleNodes: 10, // 20 nodes: keeps the unit test fast
+		})
+	}
+	rb, err := run("redbelly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := run("quorum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Crashed {
+		t.Fatal("redbelly collapsed under sustained overload")
+	}
+	if !q.Crashed {
+		t.Fatal("quorum should collapse under the same load (the §6.3 baseline)")
+	}
+	if rb.Summary.ThroughputTPS < 20*q.Summary.ThroughputTPS {
+		t.Fatalf("redbelly %.0f TPS vs quorum %.0f TPS: the leaderless design should dominate under overload",
+			rb.Summary.ThroughputTPS, q.Summary.ThroughputTPS)
+	}
+	// Under the shared overload model (verification steals CPU), the
+	// leaderless chain still sustains high hundreds of TPS at 10x load on
+	// 4-vCPU community hardware, where the leader-based chain is at ~0.
+	if rb.Summary.ThroughputTPS < 800 {
+		t.Fatalf("redbelly only sustained %.0f TPS under overload", rb.Summary.ThroughputTPS)
+	}
+	t.Logf("redbelly %.0f TPS (no collapse) vs quorum %.0f TPS (collapsed at %v)",
+		rb.Summary.ThroughputTPS, q.Summary.ThroughputTPS, q.CrashedAt)
+}

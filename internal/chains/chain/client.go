@@ -1,0 +1,120 @@
+package chain
+
+import (
+	"time"
+
+	"diablo/internal/types"
+)
+
+// Client is a blockchain client attached to one node, as used by a DIABLO
+// Secondary: it submits pre-signed transactions to its collocated node and
+// watches the node's block stream to detect commits, honoring the chain's
+// confirmation depth (Solana clients wait 30 appended blocks).
+//
+// Commit detection is index-assisted: at assembly the network groups each
+// block's transactions by the node they were submitted to, so a client only
+// inspects the transactions that entered the network through its own node
+// instead of scanning every block in full. The observable timing is
+// identical to polling (the client learns about a transaction when the
+// block reaches its node); only the bookkeeping is cheaper.
+type Client struct {
+	net  *Network
+	node *Node
+
+	// OnDecided fires when a submitted transaction is observed committed
+	// (and confirmed) at this client's node.
+	OnDecided func(id types.Hash, status types.ExecStatus, at time.Duration)
+	// OnDropped fires when the node rejects a submission (mempool policy).
+	OnDropped func(id types.Hash, err error, at time.Duration)
+
+	pending map[types.Hash]struct{}
+	// waiting holds txs observed in a block, awaiting confirmation depth:
+	// waiting[i] are txs from block number waitBase+i.
+	waiting  [][]decidedTx
+	waitBase uint64
+}
+
+type decidedTx struct {
+	id     types.Hash
+	status types.ExecStatus
+}
+
+// rpcLatency is the client-to-collocated-node submission latency.
+const rpcLatency = 500 * time.Microsecond
+
+// NewClient attaches a client to the given node.
+func (n *Network) NewClient(nodeIdx int) *Client {
+	c := &Client{
+		net:     n,
+		node:    n.Nodes[nodeIdx],
+		pending: make(map[types.Hash]struct{}),
+	}
+	c.node.clients = append(c.node.clients, c)
+	return c
+}
+
+// NodeIndex returns the node this client talks to.
+func (c *Client) NodeIndex() int { return c.node.Index }
+
+// Pending returns the number of submitted-but-undecided transactions.
+func (c *Client) Pending() int { return len(c.pending) }
+
+// Submit sends a pre-signed transaction to the client's node. The
+// submission reaches the node after the chain's client-side overhead plus
+// RPC latency; policy rejection surfaces through OnDropped.
+func (c *Client) Submit(tx *types.Transaction) {
+	id := tx.ID()
+	c.pending[id] = struct{}{}
+	delay := rpcLatency + c.net.Params.SubmitOverhead
+	c.net.Sched.After(delay, func() {
+		if err := c.node.SubmitTx(tx); err != nil {
+			delete(c.pending, id)
+			if c.OnDropped != nil {
+				c.OnDropped(id, err, c.net.Sched.Now())
+			}
+		}
+	})
+}
+
+// onBlock handles a committed block arriving at the client's node. mine
+// lists the block's transactions that entered the network via this node.
+// Once ConfirmDepth further blocks have arrived, matches are decided.
+func (c *Client) onBlock(blk *types.Block, mine []decidedTx) {
+	if len(c.waiting) == 0 {
+		c.waitBase = blk.Number
+	}
+	for c.waitBase+uint64(len(c.waiting)) <= blk.Number {
+		c.waiting = append(c.waiting, nil)
+	}
+	if len(mine) > 0 && len(c.pending) > 0 {
+		slot := 0
+		if blk.Number > c.waitBase {
+			slot = int(blk.Number - c.waitBase)
+		}
+		for _, d := range mine {
+			if _, ok := c.pending[d.id]; ok {
+				c.waiting[slot] = append(c.waiting[slot], d)
+			}
+		}
+	}
+	// Decide everything at confirmation depth.
+	confirmed := int64(blk.Number) - int64(c.net.Params.ConfirmDepth) - int64(c.waitBase)
+	for i := int64(0); i <= confirmed && i < int64(len(c.waiting)); i++ {
+		for _, d := range c.waiting[i] {
+			if _, still := c.pending[d.id]; !still {
+				continue
+			}
+			delete(c.pending, d.id)
+			if c.OnDecided != nil {
+				c.OnDecided(d.id, d.status, c.net.Sched.Now())
+			}
+		}
+		c.waiting[i] = nil
+	}
+	// Trim the decided prefix of the window.
+	for len(c.waiting) > 0 && c.waiting[0] == nil &&
+		int64(c.waitBase) <= int64(blk.Number)-int64(c.net.Params.ConfirmDepth) {
+		c.waiting = c.waiting[1:]
+		c.waitBase++
+	}
+}

@@ -1,0 +1,102 @@
+package chain
+
+import (
+	"errors"
+	"time"
+)
+
+// Overload modeling (§6.3 of the paper). Every node verifies every
+// transaction that gossips through the network, so the network-wide
+// submission rate is bounded by one node's signature-verification
+// capacity. When submissions exceed it, verification steals CPU from
+// consensus: assembly and validation slow down by the overload ratio.
+// Chains whose pools are unbounded (Quorum's IBFT "never drop" design)
+// eventually exhaust node memory under sustained overload and collapse —
+// the paper's throughput-to-zero result — while bounded-pool chains shed
+// load and degrade gracefully.
+
+// ErrNodeDown reports submission to a crashed network.
+var ErrNodeDown = errors.New("chain: node is down (resource exhaustion)")
+
+// arrivalWindow tracks per-second submission counts for rate estimation
+// and accumulates the excess above the verification capacity.
+type arrivalWindow struct {
+	sec  int64
+	cur  int
+	prev int
+	// excess is the cumulative number of submissions beyond the node
+	// verification capacity across completed seconds.
+	excess uint64
+}
+
+func (w *arrivalWindow) record(now time.Duration, capPerSec int) {
+	s := int64(now / time.Second)
+	if s != w.sec {
+		// Close out the completed second(s).
+		if capPerSec > 0 && w.cur > capPerSec {
+			w.excess += uint64(w.cur - capPerSec)
+		}
+		if s == w.sec+1 {
+			w.prev = w.cur
+		} else {
+			w.prev = 0
+		}
+		w.cur = 0
+		w.sec = s
+	}
+	w.cur++
+}
+
+// rate estimates submissions per second (the last completed second, or
+// the current one if it is already busier).
+func (w *arrivalWindow) rate(now time.Duration) float64 {
+	s := int64(now / time.Second)
+	switch {
+	case s == w.sec:
+		if w.cur > w.prev {
+			return float64(w.cur)
+		}
+		return float64(w.prev)
+	case s == w.sec+1:
+		return float64(w.cur)
+	default:
+		return 0
+	}
+}
+
+// RecordArrival notes one client submission (called from SubmitTx).
+func (n *Network) recordArrival() {
+	n.arrivals.record(n.Sched.Now(), int(n.Params.VerifyPerSecPerVCPU*uint64(n.VCPUs)))
+	if n.Params.OverloadCrashExcess > 0 && n.arrivals.excess >= uint64(n.Params.OverloadCrashExcess) && !n.crashed {
+		n.CrashNetwork()
+	}
+}
+
+// OverloadRatio returns max(1, submissionRate / verificationCapacity).
+// Engines multiply their processing delays by this ratio.
+func (n *Network) OverloadRatio() float64 {
+	cap := float64(n.Params.VerifyPerSecPerVCPU * uint64(n.VCPUs))
+	if cap <= 0 {
+		return 1
+	}
+	r := n.arrivals.rate(n.Sched.Now()) / cap
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// CrashNetwork models cluster-wide resource exhaustion: block production
+// stops and nodes refuse submissions. Mirrors the paper's observation that
+// Quorum's throughput "drops to 0" under sustained 10,000 TPS.
+func (n *Network) CrashNetwork() {
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	n.CrashedAt = n.Sched.Now()
+	n.engine.Stop()
+}
+
+// Crashed reports whether the network has collapsed.
+func (n *Network) Crashed() bool { return n.crashed }

@@ -1,0 +1,105 @@
+package collect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"diablo/internal/bench"
+	"diablo/internal/configs"
+	"diablo/internal/workloads"
+)
+
+func sampleOutcome(t *testing.T) *bench.Outcome {
+	t.Helper()
+	out, err := bench.Run(bench.Experiment{
+		Chain:      "quorum",
+		Config:     configs.Devnet,
+		Traces:     []*workloads.Trace{workloads.NativeConstant(20, 5*time.Second)},
+		Seed:       3,
+		Tail:       60 * time.Second,
+		ScaleNodes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTripJSON(t *testing.T) {
+	rep := FromOutcome(sampleOutcome(t), true)
+	if rep.Chain != "quorum" || rep.Summary.Submitted != 100 {
+		t.Fatalf("report = %+v", rep.Summary)
+	}
+	if len(rep.Transactions) != 100 {
+		t.Fatalf("transactions = %d", len(rep.Transactions))
+	}
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, rep, compress); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		if got.Chain != rep.Chain || got.Summary.Committed != rep.Summary.Committed {
+			t.Fatalf("round trip mismatch: %+v", got.Summary)
+		}
+		if len(got.Transactions) != len(rep.Transactions) {
+			t.Fatal("transactions lost in round trip")
+		}
+	}
+}
+
+func TestWithoutTransactions(t *testing.T) {
+	rep := FromOutcome(sampleOutcome(t), false)
+	if len(rep.Transactions) != 0 {
+		t.Fatal("transactions included unexpectedly")
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "transactions") {
+		t.Fatal("empty transactions serialized")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rep := FromOutcome(sampleOutcome(t), true)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 101 {
+		t.Fatalf("csv lines = %d, want header+100", len(lines))
+	}
+	if lines[0] != "chain,workload,submit_s,latency_s,status" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "quorum,") || !strings.Contains(lines[1], "committed") {
+		t.Fatalf("line = %q", lines[1])
+	}
+}
+
+func TestStatLine(t *testing.T) {
+	rep := FromOutcome(sampleOutcome(t), false)
+	line := StatLine(rep)
+	for _, want := range []string{"quorum", "100 transactions sent", "100 committed", "average throughput"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("stat line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{broken")); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Package configs defines the five deployment configurations of Table 3:
+// datacenter, testnet, devnet, community and consortium, mapping AWS
+// instance families to node counts, vCPUs and regions.
+package configs
+
+import (
+	"fmt"
+
+	"diablo/internal/simnet"
+)
+
+// Config is one deployment configuration row of Table 3.
+type Config struct {
+	// Name is the configuration's name, e.g. "consortium".
+	Name string
+	// Nodes is the number of blockchain nodes (a Secondary is collocated
+	// with each node, per §5.3).
+	Nodes int
+	// VCPUs and MemoryGiB describe each machine (AWS c5 family).
+	VCPUs     int
+	MemoryGiB int
+	// Instance is the AWS instance type the paper used.
+	Instance string
+	// Regions is where nodes are placed (spread equally).
+	Regions []simnet.Region
+	// Accounts is how many pre-funded accounts the workloads sign from
+	// (the paper uses 2,000, except 130 for Diem on the two large
+	// configurations).
+	Accounts int
+}
+
+// ohioOnly is the single-datacenter placement.
+var ohioOnly = []simnet.Region{simnet.Ohio}
+
+// Datacenter: 10 c5.9xlarge machines (36 vCPUs, 72 GiB) in one datacenter.
+var Datacenter = &Config{
+	Name: "datacenter", Nodes: 10, VCPUs: 36, MemoryGiB: 72,
+	Instance: "c5.9xlarge", Regions: ohioOnly, Accounts: 2000,
+}
+
+// Testnet: 10 c5.xlarge machines (4 vCPUs, 8 GiB) in one datacenter.
+var Testnet = &Config{
+	Name: "testnet", Nodes: 10, VCPUs: 4, MemoryGiB: 8,
+	Instance: "c5.xlarge", Regions: ohioOnly, Accounts: 2000,
+}
+
+// Devnet: 10 c5.xlarge machines across all ten regions.
+var Devnet = &Config{
+	Name: "devnet", Nodes: 10, VCPUs: 4, MemoryGiB: 8,
+	Instance: "c5.xlarge", Regions: simnet.AllRegions(), Accounts: 2000,
+}
+
+// Community: 200 c5.xlarge machines across all ten regions.
+var Community = &Config{
+	Name: "community", Nodes: 200, VCPUs: 4, MemoryGiB: 8,
+	Instance: "c5.xlarge", Regions: simnet.AllRegions(), Accounts: 2000,
+}
+
+// Consortium: 200 c5.2xlarge machines (8 vCPUs, 16 GiB) across all ten
+// regions — the paper's "modern commodity computers" configuration used
+// for the headline Figure 2 results.
+var Consortium = &Config{
+	Name: "consortium", Nodes: 200, VCPUs: 8, MemoryGiB: 16,
+	Instance: "c5.2xlarge", Regions: simnet.AllRegions(), Accounts: 2000,
+}
+
+// All returns the five configurations in Table 3 order.
+func All() []*Config {
+	return []*Config{Datacenter, Testnet, Devnet, Community, Consortium}
+}
+
+// ByName resolves a configuration.
+func ByName(name string) (*Config, error) {
+	for _, c := range All() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("configs: unknown configuration %q", name)
+}
+
+// AccountsFor returns the number of signing accounts for a chain in this
+// configuration: Diem's provisioning tooling fails beyond 130 accounts, so
+// the paper restricts Diem to 130 on community and consortium (§5.2).
+func (c *Config) AccountsFor(chainName string) int {
+	if chainName == "diem" && c.Nodes >= 200 {
+		return 130
+	}
+	return c.Accounts
+}
+
+// Scaled returns a reduced copy of the configuration for laptop-scale test
+// runs: node count divided by factor (minimum 4), hardware unchanged.
+func (c *Config) Scaled(factor int) *Config {
+	if factor <= 1 {
+		return c
+	}
+	out := *c
+	out.Name = fmt.Sprintf("%s/%d", c.Name, factor)
+	out.Nodes = c.Nodes / factor
+	if out.Nodes < 4 {
+		out.Nodes = 4
+	}
+	return &out
+}

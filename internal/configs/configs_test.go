@@ -1,0 +1,72 @@
+package configs
+
+import "testing"
+
+func TestTable3Rows(t *testing.T) {
+	rows := []struct {
+		name     string
+		nodes    int
+		vcpus    int
+		memory   int
+		regions  int
+		instance string
+	}{
+		{"datacenter", 10, 36, 72, 1, "c5.9xlarge"},
+		{"testnet", 10, 4, 8, 1, "c5.xlarge"},
+		{"devnet", 10, 4, 8, 10, "c5.xlarge"},
+		{"community", 200, 4, 8, 10, "c5.xlarge"},
+		{"consortium", 200, 8, 16, 10, "c5.2xlarge"},
+	}
+	if len(All()) != len(rows) {
+		t.Fatalf("configs = %d", len(All()))
+	}
+	for _, r := range rows {
+		c, err := ByName(r.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Nodes != r.nodes || c.VCPUs != r.vcpus || c.MemoryGiB != r.memory ||
+			len(c.Regions) != r.regions || c.Instance != r.instance {
+			t.Errorf("%s = %+v, want %+v", r.name, c, r)
+		}
+		if c.Accounts != 2000 {
+			t.Errorf("%s accounts = %d", r.name, c.Accounts)
+		}
+	}
+	if _, err := ByName("mainnet"); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+}
+
+func TestAccountsForDiemRestriction(t *testing.T) {
+	// The paper restricts Diem to 130 accounts on the two 200-node
+	// configurations because its provisioning tooling fails beyond that.
+	if got := Consortium.AccountsFor("diem"); got != 130 {
+		t.Fatalf("consortium diem accounts = %d", got)
+	}
+	if got := Community.AccountsFor("diem"); got != 130 {
+		t.Fatalf("community diem accounts = %d", got)
+	}
+	if got := Testnet.AccountsFor("diem"); got != 2000 {
+		t.Fatalf("testnet diem accounts = %d", got)
+	}
+	if got := Consortium.AccountsFor("quorum"); got != 2000 {
+		t.Fatalf("consortium quorum accounts = %d", got)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Consortium.Scaled(10)
+	if s.Nodes != 20 || s.VCPUs != Consortium.VCPUs {
+		t.Fatalf("scaled = %+v", s)
+	}
+	if Consortium.Nodes != 200 {
+		t.Fatal("scaling mutated the original")
+	}
+	if tiny := Devnet.Scaled(100); tiny.Nodes != 4 {
+		t.Fatalf("minimum nodes = %d, want 4", tiny.Nodes)
+	}
+	if same := Devnet.Scaled(1); same != Devnet {
+		t.Fatal("unit scale should return the original")
+	}
+}

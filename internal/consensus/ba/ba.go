@@ -1,0 +1,237 @@
+// Package ba implements Algorand's Byzantine Agreement (BA*) round
+// structure: cryptographic sortition selects a block proposer and two
+// successive vote committees per round; the proposal and the committee
+// votes spread by gossip, and a round finishes when a node sees a
+// certifying quorum of the final committee's votes. Sortition means the
+// protocol's message complexity stays bounded as the network grows, and
+// the chain does not fork (transactions are final in one block) — the
+// properties behind Algorand's Table 4 row.
+package ba
+
+import (
+	"time"
+
+	"diablo/internal/chains/chain"
+	"diablo/internal/types"
+)
+
+const voteSize = 120
+
+// committeeSize is the expected sortition committee per vote step
+// (Algorand's soft-vote committee is ~2990 of millions; we scale to the
+// deployment sizes of Table 3, keeping the constant-committee property).
+const committeeSize = 40
+
+// threshold is the fraction of committee votes required.
+const thresholdNum, thresholdDen = 2, 3
+
+// retryIdle is the proposer's idle re-check interval.
+const retryIdle = 250 * time.Millisecond
+
+// processing models per-step vote processing time.
+const processing = 50 * time.Millisecond
+
+type softVote struct {
+	round uint64
+}
+
+type certVote struct {
+	round uint64
+}
+
+// roundState is one round's voting state; it lives until every node has
+// delivered so that laggards finish after the protocol advances.
+type roundState struct {
+	block      *types.Block
+	cost       chain.Cost
+	blockSeen  []bool
+	softSent   []bool
+	certSent   []bool
+	softCount  []int
+	certCount  []int
+	delivered  []bool
+	nDelivered int
+}
+
+// Engine runs BA* rounds for the deployment.
+type Engine struct {
+	net     *chain.Network
+	stopped bool
+
+	round  uint64
+	rounds map[uint64]*roundState
+
+	// Rounds counts completed rounds.
+	Rounds uint64
+}
+
+// New builds the engine.
+func New(n *chain.Network) chain.Engine {
+	e := &Engine{net: n, rounds: make(map[uint64]*roundState)}
+	for i, nd := range n.Nodes {
+		idx := i
+		nd.SetMessageHandler(func(from int, payload any) { e.onMessage(idx, payload) })
+	}
+	return e
+}
+
+// Start begins round 0.
+func (e *Engine) Start() { e.net.Sched.After(0, e.propose) }
+
+// Stop halts the engine.
+func (e *Engine) Stop() { e.stopped = true }
+
+// committee deterministically samples the committee for (round, step) via
+// the scheduler's seeded randomness — the sortition abstraction.
+func (e *Engine) committee(round uint64, step int) map[int]bool {
+	n := len(e.net.Nodes)
+	size := committeeSize
+	if size > n {
+		size = n
+	}
+	out := make(map[int]bool, size)
+	// Deterministic LCG seeded by (round, step) so every node agrees on
+	// the committee without communication, like VRF sortition.
+	x := round*2654435761 + uint64(step)*40503 + 12345
+	for len(out) < size {
+		x = x*6364136223846793005 + 1442695040888963407
+		out[int(x%uint64(n))] = true
+	}
+	return out
+}
+
+func (e *Engine) proposerOf(round uint64) int {
+	x := round*11400714819323198485 + 104729
+	x ^= x >> 33
+	n := len(e.net.Nodes)
+	p := int(x % uint64(n))
+	// Sortition falls through to the next candidate when the winner is
+	// down (in Algorand several candidates win sortition; the highest
+	// priority online one proposes).
+	for probe := 0; probe < n && e.net.Nodes[p].Sim.Crashed(); probe++ {
+		p = (p + 1) % n
+	}
+	return p
+}
+
+func (e *Engine) threshold() int {
+	size := committeeSize
+	if size > len(e.net.Nodes) {
+		size = len(e.net.Nodes)
+	}
+	return size*thresholdNum/thresholdDen + 1
+}
+
+// propose runs one BA* round from sortition to certification.
+func (e *Engine) propose() {
+	if e.stopped {
+		return
+	}
+	proposer := e.proposerOf(e.round)
+	blk, cost := e.net.AssembleBlock(proposer, false)
+	if blk == nil {
+		e.net.Sched.After(retryIdle, e.propose)
+		return
+	}
+	round := e.round
+	size := len(e.net.Nodes)
+	e.rounds[round] = &roundState{
+		block:     blk,
+		cost:      cost,
+		blockSeen: make([]bool, size),
+		softSent:  make([]bool, size),
+		certSent:  make([]bool, size),
+		softCount: make([]int, size),
+		certCount: make([]int, size),
+		delivered: make([]bool, size),
+	}
+	r := e.net.OverloadRatio()
+	e.net.Sched.After(time.Duration(float64(cost.Assemble)*r), func() {
+		if e.stopped {
+			return
+		}
+		e.net.Gossip(proposer, blk.Size()+64, chain.DefaultFanout, func(idx int, _ time.Duration) {
+			e.onBlock(idx, round)
+		})
+	})
+}
+
+// onBlock: a node received the round's proposal; soft-vote committee
+// members announce their vote to the network.
+func (e *Engine) onBlock(idx int, round uint64) {
+	st := e.rounds[round]
+	if e.stopped || st == nil || st.blockSeen[idx] {
+		return
+	}
+	st.blockSeen[idx] = true
+	validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
+	if e.committee(round, 0)[idx] && !st.softSent[idx] {
+		st.softSent[idx] = true
+		e.net.Sched.After(validation+processing, func() {
+			if e.stopped {
+				return
+			}
+			e.broadcast(idx, softVote{round: round})
+		})
+	}
+}
+
+// broadcast spreads a committee vote to every node by gossip (votes are
+// tiny; the tree keeps per-node fan-in bounded).
+func (e *Engine) broadcast(from int, payload any) {
+	e.net.Gossip(from, voteSize, chain.DefaultFanout, func(idx int, _ time.Duration) {
+		if e.stopped {
+			return
+		}
+		e.deliverVote(idx, payload)
+	})
+}
+
+func (e *Engine) onMessage(idx int, payload any) { e.deliverVote(idx, payload) }
+
+func (e *Engine) deliverVote(idx int, payload any) {
+	switch v := payload.(type) {
+	case softVote:
+		st := e.rounds[v.round]
+		if st == nil {
+			return
+		}
+		st.softCount[idx]++
+		// Cert-vote committee members move to the certifying step once
+		// the soft threshold is reached at them.
+		if st.softCount[idx] >= e.threshold() && e.committee(v.round, 1)[idx] && !st.certSent[idx] {
+			st.certSent[idx] = true
+			round := v.round
+			e.net.Sched.After(processing, func() {
+				if e.stopped {
+					return
+				}
+				e.broadcast(idx, certVote{round: round})
+			})
+		}
+	case certVote:
+		st := e.rounds[v.round]
+		if st == nil {
+			return
+		}
+		st.certCount[idx]++
+		if st.certCount[idx] >= e.threshold() && !st.delivered[idx] {
+			st.delivered[idx] = true
+			st.nDelivered++
+			e.net.DeliverBlock(idx, st.block)
+			if st.nDelivered == len(e.net.Nodes) {
+				delete(e.rounds, v.round)
+			}
+			if idx == e.proposerOf(v.round) && v.round == e.round {
+				e.advance()
+			}
+		}
+	}
+}
+
+func (e *Engine) advance() {
+	e.Rounds++
+	e.round++
+	wait := e.net.Params.MinBlockInterval
+	e.net.Sched.After(wait, e.propose)
+}

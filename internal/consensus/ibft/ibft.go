@@ -1,0 +1,238 @@
+// Package ibft implements the Istanbul Byzantine Fault Tolerant consensus
+// protocol used by Quorum: a three-phase (pre-prepare, prepare, commit)
+// leader-based protocol with all-to-all voting, immediate finality and no
+// artificial block delay. Its O(n²) vote traffic and its design choice to
+// never drop a client request are exactly the properties the paper probes:
+// excellent availability under bursts (§6.5), collapse under sustained
+// overload (§6.3).
+package ibft
+
+import (
+	"time"
+
+	"diablo/internal/chains/chain"
+	"diablo/internal/sim"
+	"diablo/internal/types"
+)
+
+// voteSize is the wire size of a prepare/commit vote.
+const voteSize = 160
+
+// baseTimeout is the initial round timeout before a round change; it
+// doubles per failed round (bounded), as in IBFT's round-change backoff.
+const baseTimeout = 10 * time.Second
+
+const maxTimeout = 160 * time.Second
+
+// retryIdle is how often the leader re-checks an empty pool.
+const retryIdle = 250 * time.Millisecond
+
+type vote struct {
+	seq   uint64
+	round int
+	phase int // 0 = prepare, 1 = commit
+}
+
+// seqState is the agreement state for one block height. It outlives the
+// sequence's completion so that laggard nodes still reach commit and
+// deliver the block to their clients.
+type seqState struct {
+	blk   *types.Block
+	cost  chain.Cost
+	round int
+
+	prepared     []bool
+	committedOut []bool
+	prepareCount []int
+	commitCount  []int
+	delivered    []bool
+	nDelivered   int
+}
+
+// Engine is the IBFT state machine for the whole deployed network. One
+// engine object orchestrates per-node state; every protocol message is a
+// real simulated network message.
+type Engine struct {
+	net     *chain.Network
+	stopped bool
+
+	seq       uint64 // sequence currently being agreed on
+	states    map[uint64]*seqState
+	timeout   time.Duration
+	timeoutEv sim.EventID
+
+	// Rounds counts proposer rounds; RoundChanges counts timeouts.
+	Rounds       uint64
+	RoundChanges uint64
+}
+
+// New builds the engine.
+func New(n *chain.Network) chain.Engine {
+	e := &Engine{net: n, timeout: baseTimeout, states: make(map[uint64]*seqState)}
+	for i, nd := range n.Nodes {
+		idx := i
+		nd.SetMessageHandler(func(from int, payload any) { e.onMessage(idx, payload) })
+	}
+	return e
+}
+
+// quorum is 2f+1 of n = 3f+1.
+func (e *Engine) quorum() int { return 2*len(e.net.Nodes)/3 + 1 }
+
+// Start begins the first sequence.
+func (e *Engine) Start() { e.net.Sched.After(0, e.propose) }
+
+// Stop halts the engine.
+func (e *Engine) Stop() {
+	e.stopped = true
+	e.timeoutEv.Cancel()
+}
+
+func (e *Engine) newState(size int) *seqState {
+	return &seqState{
+		prepared:     make([]bool, size),
+		committedOut: make([]bool, size),
+		prepareCount: make([]int, size),
+		commitCount:  make([]int, size),
+		delivered:    make([]bool, size),
+	}
+}
+
+// propose starts (or, after a round change, restarts) agreement on the
+// next block.
+func (e *Engine) propose() {
+	if e.stopped {
+		return
+	}
+	st := e.states[e.seq]
+	if st == nil {
+		leader := int(e.seq) % len(e.net.Nodes)
+		blk, cost := e.net.AssembleBlock(leader, false)
+		if blk == nil {
+			e.net.Sched.After(retryIdle, e.propose)
+			return
+		}
+		st = e.newState(len(e.net.Nodes))
+		st.blk = blk
+		st.cost = cost
+		e.seq = blk.Number
+		e.states[e.seq] = st
+	} else {
+		// Round change: reset the vote state for the retry.
+		nd := e.newState(len(e.net.Nodes))
+		nd.blk, nd.cost, nd.round = st.blk, st.cost, st.round
+		copy(nd.delivered, st.delivered)
+		nd.nDelivered = st.nDelivered
+		e.states[e.seq] = nd
+		st = nd
+	}
+	e.Rounds++
+	seq, round := e.seq, st.round
+	leader := int(seq+uint64(round)) % len(e.net.Nodes)
+	blk := st.blk
+	r := e.net.OverloadRatio()
+	e.timeoutEv.Cancel()
+	e.timeoutEv = e.net.Sched.After(e.timeout, e.onTimeout)
+	// Leader executes the block before disseminating, then gossips the
+	// pre-prepare carrying the full block body.
+	e.net.Sched.After(time.Duration(float64(st.cost.Assemble)*r), func() {
+		if e.stopped {
+			return
+		}
+		e.net.Gossip(leader, blk.Size()+64, chain.DefaultFanout, func(idx int, _ time.Duration) {
+			e.onPrePrepare(idx, seq, round)
+		})
+	})
+}
+
+// onPrePrepare runs at a node that received the proposal: validate
+// (re-execute) then broadcast a prepare vote.
+func (e *Engine) onPrePrepare(idx int, seq uint64, round int) {
+	st := e.states[seq]
+	if e.stopped || st == nil || round != st.round || st.prepared[idx] {
+		return
+	}
+	st.prepared[idx] = true
+	validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
+	e.net.Sched.After(validation, func() {
+		if e.stopped {
+			return
+		}
+		e.broadcastVote(idx, vote{seq: seq, round: round, phase: 0})
+	})
+}
+
+// broadcastVote sends a vote from node idx to every node (including a
+// local self-delivery, as real implementations count their own vote).
+func (e *Engine) broadcastVote(idx int, v vote) {
+	e.onVote(idx, v)
+	for i := range e.net.Nodes {
+		if i != idx {
+			e.net.Nodes[idx].Send(i, voteSize, v)
+		}
+	}
+}
+
+func (e *Engine) onMessage(at int, payload any) {
+	if v, ok := payload.(vote); ok {
+		e.onVote(at, v)
+	}
+}
+
+// onVote counts a phase vote at a node and advances it through the
+// prepare -> commit -> delivered pipeline. Votes for completed sequences
+// still drive laggard nodes to local commit.
+func (e *Engine) onVote(at int, v vote) {
+	st := e.states[v.seq]
+	if e.stopped || st == nil || v.round != st.round {
+		return
+	}
+	switch v.phase {
+	case 0:
+		st.prepareCount[at]++
+		if st.prepareCount[at] >= e.quorum() && !st.committedOut[at] {
+			st.committedOut[at] = true
+			e.broadcastVote(at, vote{seq: v.seq, round: v.round, phase: 1})
+		}
+	case 1:
+		st.commitCount[at]++
+		if st.commitCount[at] >= e.quorum() && !st.delivered[at] {
+			st.delivered[at] = true
+			st.nDelivered++
+			e.net.DeliverBlock(at, st.blk)
+			if st.nDelivered == len(e.net.Nodes) {
+				delete(e.states, v.seq)
+			}
+			leader := int(v.seq+uint64(v.round)) % len(e.net.Nodes)
+			if at == leader && v.seq == e.seq {
+				e.advance()
+			}
+		}
+	}
+}
+
+// advance finishes the current sequence and schedules the next proposal.
+func (e *Engine) advance() {
+	e.timeoutEv.Cancel()
+	e.seq++
+	e.timeout = baseTimeout
+	e.net.Sched.After(e.net.Params.MinBlockInterval, e.propose)
+}
+
+// onTimeout is the round-change path: a new leader re-proposes the same
+// block with a doubled timeout.
+func (e *Engine) onTimeout() {
+	if e.stopped {
+		return
+	}
+	st := e.states[e.seq]
+	if st == nil {
+		return
+	}
+	e.RoundChanges++
+	st.round++
+	if e.timeout < maxTimeout {
+		e.timeout *= 2
+	}
+	e.propose()
+}

@@ -1,0 +1,118 @@
+package poh
+
+import (
+	"testing"
+	"time"
+
+	"diablo/internal/chains/chain"
+	"diablo/internal/mempool"
+	"diablo/internal/sim"
+	"diablo/internal/simnet"
+	"diablo/internal/types"
+	"diablo/internal/vmprofiles"
+	"diablo/internal/wallet"
+)
+
+func deploy(t *testing.T, nodes, maxTxs int, verify uint64) (*sim.Scheduler, *chain.Network, *Engine) {
+	t.Helper()
+	sched := sim.NewScheduler(9)
+	wan := simnet.New(sched)
+	params := chain.Params{
+		Name: "poh-test", Consensus: "TowerBFT", Guarantee: "eventual",
+		VM: "eBPF", Lang: "Solidity",
+		Profile:             vmprofiles.EBPF,
+		MaxBlockTxs:         maxTxs,
+		MinBlockInterval:    SlotInterval,
+		Mempool:             mempool.Policy{Capacity: 100000},
+		VerifyPerSecPerVCPU: verify,
+		DefaultGasLimit:     1_000_000,
+		NewEngine:           New,
+	}
+	net := chain.Deploy(sched, wan, params, chain.Deployment{
+		Nodes: nodes, VCPUs: 8, Regions: []simnet.Region{simnet.Ohio},
+	})
+	return sched, net, net.Engine().(*Engine)
+}
+
+func TestSlotCadence(t *testing.T) {
+	sched, net, eng := deploy(t, 4, 1000, 0)
+	net.Start()
+	sched.RunUntil(10 * time.Second)
+	net.Stop()
+	// 400ms slots: 10s of virtual time is 25 slots (24-25 with rounding).
+	if eng.Slots < 24 || eng.Slots > 25 {
+		t.Fatalf("slots = %d, want ~25 in 10s", eng.Slots)
+	}
+	// Empty slots still produce blocks (the PoH stream never stops).
+	if net.Height() < 24 {
+		t.Fatalf("height = %d", net.Height())
+	}
+}
+
+func TestSlotCapBoundsThroughput(t *testing.T) {
+	sched, net, _ := deploy(t, 4, 3, 0) // 3 txs per slot
+	w := wallet.New(wallet.FastScheme{}, "poh", 30)
+	net.Start()
+	for i := 0; i < 30; i++ {
+		tx := &types.Transaction{Kind: types.KindTransfer, To: types.Address{1}, Value: 1, GasLimit: 21000}
+		w.Get(i).SignNext(tx)
+		if err := net.Nodes[0].SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(2 * time.Second) // 5 slots => at most 15 committed
+	committed := 0
+	for _, b := range net.Ledger() {
+		committed += len(b.Txs)
+	}
+	net.Stop()
+	if committed > 15 {
+		t.Fatalf("committed %d txs in 5 slots with a cap of 3", committed)
+	}
+	if committed < 9 {
+		t.Fatalf("committed only %d", committed)
+	}
+}
+
+func TestOverloadShrinksSlots(t *testing.T) {
+	// Verification capacity 8x10=80 TPS; sustain ~800 TPS for 3 seconds.
+	sched, net, _ := deploy(t, 4, 100, 10)
+	w := wallet.New(wallet.FastScheme{}, "poh-over", 100)
+	net.Start()
+	for i := 0; i < 2400; i++ {
+		i := i
+		sched.At(time.Duration(i)*1250*time.Microsecond, func() {
+			tx := &types.Transaction{Kind: types.KindTransfer, To: types.Address{1}, Value: 1, GasLimit: 21000}
+			w.Get(i % 100).SignNext(tx)
+			net.Nodes[0].SubmitTx(tx)
+		})
+	}
+	sched.RunUntil(3 * time.Second)
+	var biggest int
+	for _, b := range net.Ledger() {
+		if len(b.Txs) > biggest {
+			biggest = len(b.Txs)
+		}
+	}
+	net.Stop()
+	if biggest > 50 {
+		t.Fatalf("largest overloaded block = %d txs; the slot budget should shrink well below the 100 cap", biggest)
+	}
+	if biggest == 0 {
+		t.Fatal("nothing committed under overload")
+	}
+}
+
+func TestCrashedLeaderSkipsSlot(t *testing.T) {
+	sched, net, eng := deploy(t, 4, 1000, 0)
+	net.Nodes[1].Sim.Crash()
+	net.Start()
+	sched.RunUntil(4 * time.Second) // 10 slots; node 1 leads ~2-3 of them
+	net.Stop()
+	if eng.SkippedSlots == 0 {
+		t.Fatal("crashed leader's slots were not skipped")
+	}
+	if net.Height() < 6 {
+		t.Fatalf("height = %d; live leaders should keep producing", net.Height())
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"diablo/internal/dapps"
+	"diablo/internal/sim"
+	"diablo/internal/stats"
+	"diablo/internal/types"
+	"diablo/internal/workloads"
+)
+
+// BenchmarkSpec configures one benchmark run, as the Primary would parse it
+// from the benchmark configuration file.
+type BenchmarkSpec struct {
+	// Traces are the workloads to submit concurrently; the GAFAM exchange
+	// benchmark runs its five per-stock traces side by side.
+	Traces []*workloads.Trace
+	// Secondaries is the number of Secondary processes; each connects to
+	// its collocated endpoint (endpoint i for Secondary i mod |E|).
+	// Defaults to the number of endpoints.
+	Secondaries int
+	// Accounts is the number of signing accounts provisioned.
+	Accounts int
+	// Seed drives workload argument generation.
+	Seed int64
+	// Tail is how long to keep observing after the last submission so
+	// straggling commits are measured (Fig. 6 observes Avalanche commits
+	// 162 s in). Default 120s.
+	Tail time.Duration
+	// Placement optionally pins Secondaries to endpoints (the mapping
+	// function M derived from the specification's location tags);
+	// Secondary i connects to Placement[i mod len]. Empty = collocate
+	// round-robin with every endpoint.
+	Placement []Endpoint
+}
+
+// Result is the aggregated outcome the Primary reports.
+type Result struct {
+	Chain  string
+	Traces []string
+
+	Records []stats.TxRecord
+	Summary stats.Summary
+
+	// Dropped counts node-side rejections; AbortedExec counts committed
+	// transactions whose execution failed (e.g. "budget exceeded").
+	Dropped     int
+	AbortedExec int
+
+	// SubmittedPerSec and CommittedPerSec are 1-second time series.
+	SubmittedPerSec *stats.TimeSeries
+	CommittedPerSec *stats.TimeSeries
+
+	// Latencies of committed transactions, for CDFs.
+	Latencies []time.Duration
+
+	// DeployErr records a DApp that could not be deployed at all (the
+	// paper's YouTube-on-Algorand case); the run is then empty.
+	DeployErr error
+}
+
+// CommitRatio is committed / submitted.
+func (r *Result) CommitRatio() float64 { return r.Summary.CommitRatio }
+
+// submission is one pre-scheduled workload entry.
+type submission struct {
+	at     time.Duration
+	trace  int32
+	global int32
+}
+
+// batchWindow groups submissions into one simulation event.
+const batchWindow = 50 * time.Millisecond
+
+// Run executes a benchmark against a blockchain on the given scheduler.
+// The caller is responsible for starting the chain's block production
+// before calling Run and stopping it afterwards.
+func Run(sched *sim.Scheduler, bc Blockchain, spec BenchmarkSpec) (*Result, error) {
+	if len(spec.Traces) == 0 {
+		return nil, fmt.Errorf("core: no traces to run")
+	}
+	endpoints := bc.Endpoints()
+	if spec.Secondaries <= 0 {
+		spec.Secondaries = len(endpoints)
+	}
+	if spec.Accounts <= 0 {
+		spec.Accounts = 2000
+	}
+	if spec.Tail <= 0 {
+		spec.Tail = 120 * time.Second
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	res := &Result{Chain: bc.Name()}
+	for _, tr := range spec.Traces {
+		res.Traces = append(res.Traces, tr.Name)
+	}
+	dur := duration(spec.Traces)
+
+	// Primary phase 1: deploy the DApps the traces need.
+	contracts := map[string]Resource{}
+	dappOf := make([]*dapps.DApp, len(spec.Traces))
+	for i, tr := range spec.Traces {
+		if tr.DApp == "" {
+			continue
+		}
+		d, err := dapps.Get(tr.DApp)
+		if err != nil {
+			return nil, err
+		}
+		dappOf[i] = d
+		if _, done := contracts[tr.DApp]; done {
+			continue
+		}
+		r, err := bc.CreateResource(ResourceSpec{Kind: ResourceContract, Name: tr.DApp})
+		if err != nil {
+			// The chain cannot express this DApp (state-model limits):
+			// record and report an empty run, as the paper does.
+			res.DeployErr = err
+			res.Summary = stats.Summarize(nil, dur)
+			res.SubmittedPerSec = stats.NewTimeSeries(time.Second, dur)
+			res.CommittedPerSec = stats.NewTimeSeries(time.Second, dur)
+			return res, nil
+		}
+		contracts[tr.DApp] = r
+	}
+
+	// Primary phase 2: create the Secondaries' clients, one per Secondary,
+	// collocated per the placement (default: endpoint i mod |E|).
+	placement := spec.Placement
+	if len(placement) == 0 {
+		placement = endpoints
+	}
+	clients := make([]Client, spec.Secondaries)
+	for i := range clients {
+		c, err := bc.CreateClient([]Endpoint{placement[i%len(placement)]})
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+	}
+
+	// Result collection: records indexed by global submission order; the
+	// global index rides along as the trigger token.
+	total := 0
+	for _, tr := range spec.Traces {
+		total += tr.Total()
+	}
+	res.Records = make([]stats.TxRecord, total)
+	for i := range res.Records {
+		res.Records[i].Commit = -1
+	}
+	res.SubmittedPerSec = stats.NewTimeSeries(time.Second, dur)
+	res.CommittedPerSec = stats.NewTimeSeries(time.Second, dur+spec.Tail)
+
+	for ci := range clients {
+		clients[ci].Observe(func(token any, o Observation) {
+			idx, ok := token.(int32)
+			if !ok || int(idx) >= len(res.Records) {
+				return
+			}
+			rec := &res.Records[idx]
+			if o.Dropped {
+				res.Dropped++
+				return
+			}
+			rec.Commit = o.Decided
+			if o.Status != types.StatusOK {
+				rec.Aborted = true
+				res.AbortedExec++
+				return
+			}
+			res.CommittedPerSec.Add(o.Decided)
+			res.Latencies = append(res.Latencies, o.Decided-o.Submitted)
+		})
+	}
+
+	// Primary phase 3: schedule the workload, batched per 50ms window to
+	// bound event count. Encoding (including signing) happens inside the
+	// window event, modeling Secondaries pre-signing just ahead of the
+	// send schedule.
+	windows := map[int64][]submission{}
+	globalBase := int32(0)
+	for ti, tr := range spec.Traces {
+		ti32, base := int32(ti), globalBase
+		tr.ForEach(func(idx int, at time.Duration) {
+			w := int64(at / batchWindow)
+			windows[w] = append(windows[w], submission{at: at, trace: ti32, global: base + int32(idx)})
+		})
+		globalBase += int32(tr.Total())
+	}
+	for w, subs := range windows {
+		subs := subs
+		sched.At(time.Duration(w)*batchWindow, func() {
+			for _, s := range subs {
+				tr := spec.Traces[s.trace]
+				worker := int(s.global) % spec.Secondaries
+				var ispec InteractionSpec
+				if tr.DApp == "" {
+					ispec = InteractionSpec{
+						Kind:   InteractTransfer,
+						From:   int(s.global) % spec.Accounts,
+						To:     (int(s.global) + 1) % spec.Accounts,
+						Amount: 1,
+					}
+				} else {
+					d := dappOf[s.trace]
+					ispec = InteractionSpec{
+						Kind:           InteractInvoke,
+						From:           int(s.global) % spec.Accounts,
+						Contract:       contracts[tr.DApp],
+						Function:       tr.Func,
+						Args:           d.ArgGen(rng, tr.Func),
+						ExtraDataBytes: d.DataBytes,
+					}
+				}
+				res.Records[s.global].Submit = sched.Now()
+				res.SubmittedPerSec.Add(sched.Now())
+				e, err := clients[worker].Encode(ispec)
+				if err != nil {
+					res.Records[s.global].Aborted = true
+					res.AbortedExec++
+					continue
+				}
+				if err := clients[worker].Trigger(e, s.global); err != nil {
+					res.Records[s.global].Aborted = true
+					res.AbortedExec++
+				}
+			}
+		})
+	}
+
+	// Run to completion: the trace plus the observation tail.
+	sched.RunUntil(dur + spec.Tail)
+
+	res.Summary = stats.Summarize(res.Records, dur)
+	return res, nil
+}
+
+// duration returns the longest trace duration.
+func duration(traces []*workloads.Trace) time.Duration {
+	var d time.Duration
+	for _, tr := range traces {
+		if tr.Duration() > d {
+			d = tr.Duration()
+		}
+	}
+	return d
+}

@@ -1,0 +1,284 @@
+// Package mempool implements the transaction-pool policies whose
+// differences drive the paper's robustness findings (§6.3, §6.5):
+//
+//   - Quorum's IBFT was "historically designed to never drop a client
+//     request": an unbounded pool that queues everything and collapses
+//     under sustained overload.
+//   - Diem caps both the per-signer count (100 transactions per sender)
+//     and the pool size, dropping the excess: it sheds load during peaks
+//     but survives constant overload better.
+//   - geth-style pools are large but finite; Algorand's and Solana's are
+//     smaller, producing the commit-ratio plateaus of Fig. 6.
+//
+// The pool is logically global with per-node visibility delays: instead of
+// simulating per-transaction gossip between 200 replicas (memory- and
+// event-prohibitive), each entry records where and when it entered the
+// network, and a proposer only sees entries whose gossip delay from their
+// origin has elapsed. Consensus-protocol messages remain real simulated
+// messages; only transaction dissemination is aggregated this way.
+package mempool
+
+import (
+	"errors"
+	"time"
+
+	"diablo/internal/types"
+)
+
+// Policy configures a pool.
+type Policy struct {
+	// Capacity bounds the number of pending transactions; 0 = unbounded
+	// (the IBFT "never drop" design).
+	Capacity int
+	// PerSender bounds pending transactions from one sender (Diem: 100).
+	PerSender int
+}
+
+// Admission errors.
+var (
+	ErrPoolFull  = errors.New("mempool: pool is full")
+	ErrSenderCap = errors.New("mempool: too many pending transactions from sender")
+	ErrDuplicate = errors.New("mempool: duplicate transaction")
+)
+
+// Entry is a pending transaction with its network entry point.
+type Entry struct {
+	Tx     *types.Transaction
+	Origin int           // node the client submitted to
+	Seen   time.Duration // virtual time of submission
+}
+
+// VisibilityFunc returns the gossip delay for a transaction originating at
+// node origin to become visible at node viewer.
+type VisibilityFunc func(origin, viewer int) time.Duration
+
+// Pool is a FIFO transaction pool with policy enforcement and per-node
+// visibility. It is not safe for concurrent use; the simulation is
+// single-threaded.
+type Pool struct {
+	policy   Policy
+	entries  []Entry // FIFO by Seen time
+	byID     map[types.Hash]struct{}
+	bySender map[types.Address]int
+	visible  VisibilityFunc
+	dropped  uint64
+	accepted uint64
+}
+
+// New creates a pool. visible may be nil, meaning instant visibility.
+func New(policy Policy, visible VisibilityFunc) *Pool {
+	return &Pool{
+		policy:   policy,
+		byID:     make(map[types.Hash]struct{}),
+		bySender: make(map[types.Address]int),
+		visible:  visible,
+	}
+}
+
+// Len returns the number of pending transactions.
+func (p *Pool) Len() int { return len(p.entries) }
+
+// Dropped returns how many submissions were rejected by policy.
+func (p *Pool) Dropped() uint64 { return p.dropped }
+
+// Accepted returns how many submissions were admitted.
+func (p *Pool) Accepted() uint64 { return p.accepted }
+
+// Add admits a transaction submitted at node origin at virtual time now.
+func (p *Pool) Add(tx *types.Transaction, origin int, now time.Duration) error {
+	id := tx.ID()
+	if _, dup := p.byID[id]; dup {
+		return ErrDuplicate
+	}
+	if p.policy.Capacity > 0 && len(p.entries) >= p.policy.Capacity {
+		p.dropped++
+		return ErrPoolFull
+	}
+	if p.policy.PerSender > 0 && p.bySender[tx.From] >= p.policy.PerSender {
+		p.dropped++
+		return ErrSenderCap
+	}
+	p.entries = append(p.entries, Entry{Tx: tx, Origin: origin, Seen: now})
+	p.byID[id] = struct{}{}
+	p.bySender[tx.From]++
+	p.accepted++
+	return nil
+}
+
+// Contains reports whether the transaction is pending.
+func (p *Pool) Contains(id types.Hash) bool {
+	_, ok := p.byID[id]
+	return ok
+}
+
+// TakeSpec parameterizes a block-assembly Take.
+type TakeSpec struct {
+	// Viewer and Now select which entries are visible (gossip delays).
+	Viewer int
+	Now    time.Duration
+	// MaxTxs bounds the transaction count (0 = unlimited).
+	MaxTxs int
+	// MaxGas bounds total gas via GasOf (0 = unlimited).
+	MaxGas uint64
+	GasOf  func(*types.Transaction) uint64
+	// MaxCost bounds total assembly time via CostOf (0 = unlimited); used
+	// by slot-driven chains whose leaders can only pack what executes
+	// within the fixed slot.
+	MaxCost time.Duration
+	CostOf  func(*types.Transaction) time.Duration
+	// NextNonce, when set, enforces strict per-sender sequencing.
+	NextNonce func(types.Address) uint64
+	// MinGasPrice, when positive, skips (but keeps pooled) transactions
+	// whose gas price is below the current base fee — the London
+	// underpricing behaviour (§5.2: a pre-signed transaction "risks to be
+	// underpriced" when the fee rises).
+	MinGasPrice uint64
+	// MaxAge, when positive, evicts (drops) entries older than this —
+	// Solana invalidates transactions whose recent blockhash is more than
+	// ~120 seconds old (§5.2).
+	MaxAge time.Duration
+}
+
+// Take removes and returns up to maxTxs transactions visible to the viewer
+// node at virtual time now, whose intrinsic-plus-limit gas fits within
+// maxGas (0 = unlimited). Selection is FIFO; entries not yet visible to
+// this viewer are skipped but stay pooled.
+func (p *Pool) Take(viewer int, now time.Duration, maxTxs int, maxGas uint64, gasOf func(*types.Transaction) uint64) []*types.Transaction {
+	return p.TakeWith(TakeSpec{Viewer: viewer, Now: now, MaxTxs: maxTxs, MaxGas: maxGas, GasOf: gasOf})
+}
+
+// TakeWith is the generalized Take (see TakeSpec).
+func (p *Pool) TakeWith(spec TakeSpec) []*types.Transaction {
+	var out []*types.Transaction
+	var gas uint64
+	var cost time.Duration
+	var expect map[types.Address]uint64
+	if spec.NextNonce != nil {
+		expect = make(map[types.Address]uint64)
+	}
+	kept := p.entries[:0]
+	taking := true
+	for _, e := range p.entries {
+		if spec.MaxAge > 0 && spec.Now-e.Seen > spec.MaxAge {
+			// Expired (stale recent-blockhash): permanently invalid.
+			p.remove(e.Tx)
+			p.dropped++
+			continue
+		}
+		if !taking {
+			kept = append(kept, e)
+			continue
+		}
+		if p.visible != nil && e.Seen+p.visible(e.Origin, spec.Viewer) > spec.Now {
+			kept = append(kept, e)
+			continue
+		}
+		if spec.MinGasPrice > 0 && e.Tx.GasPrice < spec.MinGasPrice {
+			// Underpriced under the current base fee: stays pooled until
+			// the fee falls (or forever, the paper's stuck-transaction
+			// risk).
+			kept = append(kept, e)
+			continue
+		}
+		if spec.NextNonce != nil {
+			want, seen := expect[e.Tx.From]
+			if !seen {
+				want = spec.NextNonce(e.Tx.From)
+			}
+			if e.Tx.Nonce != want {
+				// Out of order: a gap stalls this sender.
+				kept = append(kept, e)
+				continue
+			}
+		}
+		g := uint64(0)
+		if spec.GasOf != nil {
+			g = spec.GasOf(e.Tx)
+		}
+		var c time.Duration
+		if spec.CostOf != nil {
+			c = spec.CostOf(e.Tx)
+		}
+		if spec.MaxGas > 0 && gas+g > spec.MaxGas && len(out) > 0 {
+			kept = append(kept, e)
+			taking = false
+			continue
+		}
+		if spec.MaxCost > 0 && cost+c > spec.MaxCost && len(out) > 0 {
+			kept = append(kept, e)
+			taking = false
+			continue
+		}
+		if spec.MaxGas > 0 && g > spec.MaxGas {
+			// Single transaction above the block gas limit can never be
+			// included; drop it so it does not wedge the pool head.
+			p.remove(e.Tx)
+			p.dropped++
+			continue
+		}
+		out = append(out, e.Tx)
+		gas += g
+		cost += c
+		if expect != nil {
+			expect[e.Tx.From] = e.Tx.Nonce + 1
+		}
+		p.remove(e.Tx)
+		if spec.MaxTxs > 0 && len(out) >= spec.MaxTxs {
+			taking = false
+		}
+	}
+	p.entries = kept
+	return out
+}
+
+// remove updates the indexes for a transaction leaving the pool. The entry
+// slice itself is managed by the caller.
+func (p *Pool) remove(tx *types.Transaction) {
+	delete(p.byID, tx.ID())
+	if c := p.bySender[tx.From]; c <= 1 {
+		delete(p.bySender, tx.From)
+	} else {
+		p.bySender[tx.From] = c - 1
+	}
+}
+
+// TakeSequenced is Take for chains with strict per-sender sequence
+// numbers (Diem): a sender's transactions are only taken in contiguous
+// nonce order starting from nextNonce(sender). A gap — e.g. a dropped
+// transaction — stalls everything behind it from that sender, which is
+// the mechanism behind Diem's throughput collapse under drops (§6.3).
+func (p *Pool) TakeSequenced(viewer int, now time.Duration, maxTxs int, maxGas uint64, gasOf func(*types.Transaction) uint64, nextNonce func(types.Address) uint64) []*types.Transaction {
+	return p.TakeWith(TakeSpec{
+		Viewer: viewer, Now: now, MaxTxs: maxTxs, MaxGas: maxGas,
+		GasOf: gasOf, NextNonce: nextNonce,
+	})
+}
+
+// RemoveCommitted evicts transactions that were committed in a block
+// produced elsewhere (e.g. by another proposer).
+func (p *Pool) RemoveCommitted(ids map[types.Hash]struct{}) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	kept := p.entries[:0]
+	removed := 0
+	for _, e := range p.entries {
+		if _, hit := ids[e.Tx.ID()]; hit {
+			p.remove(e.Tx)
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	p.entries = kept
+	return removed
+}
+
+// OldestSeen returns the submission time of the oldest pending entry, or
+// false when empty (used to detect backlog growth).
+func (p *Pool) OldestSeen() (time.Duration, bool) {
+	if len(p.entries) == 0 {
+		return 0, false
+	}
+	return p.entries[0].Seen, true
+}

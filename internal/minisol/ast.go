@@ -1,0 +1,178 @@
+package minisol
+
+// AST node definitions for MiniSol.
+
+// Contract is a parsed contract.
+type Contract struct {
+	Name   string
+	States []*StateVar
+	Events []*EventDecl
+	Funcs  []*Function
+}
+
+// StateVar is a contract-level storage variable.
+type StateVar struct {
+	Name      string
+	IsMapping bool
+	Slot      uint64 // assigned in declaration order
+	Line      int
+}
+
+// EventDecl declares an event and its arity.
+type EventDecl struct {
+	Name  string
+	Arity int
+	ID    uint64 // assigned in declaration order
+	Line  int
+}
+
+// Function is a contract function.
+type Function struct {
+	Name    string
+	Params  []string
+	Public  bool
+	Returns bool
+	Body    []Stmt
+	Line    int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// VarDecl declares and initializes a local: uint x = expr;
+type VarDecl struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// Assign writes to a local, a state variable or a mapping element. Op is
+// "=", "+=" or "-=".
+type Assign struct {
+	Target string
+	Index  Expr // non-nil for mapping element assignment
+	Op     string
+	Value  Expr
+	Line   int
+}
+
+// If is a conditional with an optional else branch.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// While is a pre-test loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// For is for (init; cond; post) { body }.
+type For struct {
+	Init Stmt // VarDecl or Assign, may be nil
+	Cond Expr // may be nil (infinite)
+	Post Stmt // Assign, may be nil
+	Body []Stmt
+	Line int
+}
+
+// Require aborts with revert when the condition is false.
+type Require struct {
+	Cond Expr
+	Line int
+}
+
+// Emit raises an event.
+type Emit struct {
+	Event string
+	Args  []Expr
+	Line  int
+}
+
+// Return exits the function, optionally with a value.
+type Return struct {
+	Value Expr // nil for bare return
+	Line  int
+}
+
+// Revert aborts the transaction.
+type Revert struct{ Line int }
+
+// ExprStmt evaluates an expression for its side effects (function calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*VarDecl) stmt()  {}
+func (*Assign) stmt()   {}
+func (*If) stmt()       {}
+func (*While) stmt()    {}
+func (*For) stmt()      {}
+func (*Require) stmt()  {}
+func (*Emit) stmt()     {}
+func (*Return) stmt()   {}
+func (*Revert) stmt()   {}
+func (*ExprStmt) stmt() {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// Num is an integer literal.
+type Num struct {
+	Value uint64
+	Line  int
+}
+
+// Ref reads a local, parameter or state variable.
+type Ref struct {
+	Name string
+	Line int
+}
+
+// Index reads a mapping element: m[expr].
+type Index struct {
+	Name string
+	Key  Expr
+	Line int
+}
+
+// Binary applies an infix operator.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Unary applies ! or unary minus.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Call invokes an internal function.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Env reads the environment: msg.sender, msg.value, block.number,
+// block.timestamp.
+type Env struct {
+	Name string // "msg.sender" etc.
+	Line int
+}
+
+func (*Num) expr()    {}
+func (*Ref) expr()    {}
+func (*Index) expr()  {}
+func (*Binary) expr() {}
+func (*Unary) expr()  {}
+func (*Call) expr()   {}
+func (*Env) expr()    {}

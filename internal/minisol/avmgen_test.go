@@ -1,0 +1,281 @@
+package minisol
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"diablo/internal/avm"
+	"diablo/internal/types"
+	"diablo/internal/vm"
+)
+
+// callAVM invokes a compiled AVM contract function, returning the result
+// and (for returns-functions) the value published through the return log.
+func callAVM(t *testing.T, c *AVMCompiled, kv avm.KVStore, sender uint64, budget uint64, fn string, args ...uint64) (avm.Result, uint64) {
+	t.Helper()
+	appArgs, err := c.AppArgs(fn, args...)
+	if err != nil {
+		t.Fatalf("AppArgs(%s): %v", fn, err)
+	}
+	res := avm.Execute(c.Program, &avm.Context{
+		Sender: sender, Args: appArgs, State: kv, Budget: budget,
+	})
+	var ret uint64
+	for _, ev := range res.Events {
+		if ev.ID == RetValueEventID && len(ev.Args) == 1 {
+			ret = ev.Args[0]
+		}
+	}
+	return res, ret
+}
+
+func TestAVMCounter(t *testing.T) {
+	c, err := CompileAVM(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := avm.NewMapKV(0)
+	for i := 0; i < 3; i++ {
+		res, _ := callAVM(t, c, kv, 1, 0, "add")
+		if res.Outcome != avm.Approved {
+			t.Fatalf("add #%d: %v %v", i, res.Outcome, res.Err)
+		}
+	}
+	res, got := callAVM(t, c, kv, 1, 0, "get")
+	if res.Outcome != avm.Approved || got != 3 {
+		t.Fatalf("get = %d (%v)", got, res.Outcome)
+	}
+}
+
+func TestAVMNewtonSqrt(t *testing.T) {
+	src := `
+contract SqrtLib {
+	function sqrt(uint x) public returns (uint) {
+		if (x == 0) { return 0; }
+		uint z = (x + 1) / 2;
+		uint y = x;
+		while (z < y) {
+			y = z;
+			z = (x / z + z) / 2;
+		}
+		return y;
+	}
+}`
+	c, err := CompileAVM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := avm.NewMapKV(0)
+	for _, cse := range []struct{ in, want uint64 }{
+		{0, 0}, {1, 1}, {2, 1}, {4, 2}, {99, 9}, {100, 10}, {10000 * 10000, 10000},
+	} {
+		res, got := callAVM(t, c, kv, 1, 0, "sqrt", cse.in)
+		if res.Outcome != avm.Approved {
+			t.Fatalf("sqrt(%d): %v %v", cse.in, res.Outcome, res.Err)
+		}
+		if got != cse.want {
+			t.Fatalf("sqrt(%d) = %d, want %d", cse.in, got, cse.want)
+		}
+	}
+}
+
+func TestAVMRequireRejectsAndRollsBack(t *testing.T) {
+	src := `
+contract Bank {
+	mapping(uint => uint) bal;
+	function deposit(uint who, uint amount) public { bal[who] += amount; }
+	function withdraw(uint who, uint amount) public {
+		require(bal[who] >= amount);
+		bal[who] -= amount;
+	}
+	function balanceOf(uint who) public returns (uint) { return bal[who]; }
+}`
+	c, err := CompileAVM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := avm.NewMapKV(0)
+	callAVM(t, c, kv, 1, 0, "deposit", 7, 100)
+	res, _ := callAVM(t, c, kv, 1, 0, "withdraw", 7, 500)
+	if res.Outcome != avm.Rejected {
+		t.Fatalf("over-withdraw = %v", res.Outcome)
+	}
+	if _, got := callAVM(t, c, kv, 1, 0, "balanceOf", 7); got != 100 {
+		t.Fatalf("balance = %d after rejected withdraw", got)
+	}
+}
+
+func TestAVMSenderAndUnknownMethod(t *testing.T) {
+	src := `
+contract S {
+	function who() public returns (uint) { return msg.sender; }
+}`
+	c, err := CompileAVM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := avm.NewMapKV(0)
+	if _, got := callAVM(t, c, kv, 4242, 0, "who"); got != 4242 {
+		t.Fatalf("sender = %d", got)
+	}
+	// Unknown selector errors (TEAL err).
+	res := avm.Execute(c.Program, &avm.Context{Args: []uint64{0xbad}, State: kv})
+	if res.Outcome != avm.Errored {
+		t.Fatalf("unknown method = %v", res.Outcome)
+	}
+}
+
+func TestAVMRejectsMsgValue(t *testing.T) {
+	src := `contract V { function paid() public returns (uint) { return msg.value; } }`
+	if _, err := CompileAVM(src); err == nil || !strings.Contains(err.Error(), "not supported on the AVM") {
+		t.Fatalf("msg.value should not compile for the AVM: %v", err)
+	}
+	// The EVM backend accepts the same contract: a real per-language
+	// limitation, like the paper's floating-point gap.
+	if _, err := Compile(src); err != nil {
+		t.Fatalf("EVM backend rejected msg.value: %v", err)
+	}
+}
+
+// TestAVMDAppSourcesCompile compiles the full DApp suite for the AVM (the
+// paper's PyTeal ports) and smoke-tests one call each.
+func TestAVMDAppSourcesCompile(t *testing.T) {
+	sources := map[string]string{
+		"exchange": exchangeLikeSrc, "fifa": counterSrc,
+	}
+	for name, src := range sources {
+		if _, err := CompileAVM(src); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+const exchangeLikeSrc = `
+contract Ex {
+	uint apple;
+	event Trade(uint stock, uint remaining);
+	function init() public { apple = 1000000; }
+	function buyApple() public {
+		require(apple > 0);
+		apple -= 1;
+		emit Trade(1, apple);
+	}
+}`
+
+// TestThreeWayDifferentialProperty runs the random statement programs of
+// differential_test.go through BOTH backends and the Go reference: the
+// EVM bytecode, the AVM program and the direct evaluation must agree.
+func TestThreeWayDifferentialProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 60; trial++ {
+		g := &genEnv{rng: rng, src: &strings.Builder{}}
+		g.src.WriteString("contract P {\n\tfunction f(uint a, uint b, uint c) public returns (uint) {\n")
+		g.src.WriteString("\t\tuint x = a;\n\t\tuint y = b;\n\t\tuint z = c;\n")
+		body := g.genStmts(3+rng.Intn(3), "\t\t")
+		g.src.WriteString("\t\treturn x + y * 3 + z * 7;\n\t}\n}\n")
+		src := g.src.String()
+
+		evm, err := Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: EVM compile: %v\n%s", trial, err, src)
+		}
+		avmC, err := CompileAVM(src)
+		if err != nil {
+			t.Fatalf("trial %d: AVM compile: %v\n%s", trial, err, src)
+		}
+		for sample := 0; sample < 3; sample++ {
+			a := uint64(rng.Intn(1000))
+			b := uint64(rng.Intn(1000))
+			c := uint64(rng.Intn(1000))
+
+			ref := &refState{x: a, y: b, z: c}
+			body(ref)
+			want := ref.x + ref.y*3 + ref.z*7
+
+			calldata, _ := evm.Calldata("f", a, b, c)
+			evmRes := vm.New().Execute(evm.Code, &vm.Context{
+				Storage: vm.MapStorage{}, GasLimit: 100_000_000, Calldata: calldata,
+			})
+			if evmRes.Status != types.StatusOK || evmRes.Return != want {
+				t.Fatalf("trial %d: EVM f(%d,%d,%d) = %d (%v), want %d\n%s",
+					trial, a, b, c, evmRes.Return, evmRes.Status, want, src)
+			}
+
+			appArgs, _ := avmC.AppArgs("f", a, b, c)
+			avmRes := avm.Execute(avmC.Program, &avm.Context{
+				Args: appArgs, State: avm.NewMapKV(0), Budget: 10_000_000,
+			})
+			if avmRes.Outcome != avm.Approved {
+				t.Fatalf("trial %d: AVM failed: %v %v\n%s", trial, avmRes.Outcome, avmRes.Err, src)
+			}
+			var got uint64
+			for _, ev := range avmRes.Events {
+				if ev.ID == RetValueEventID {
+					got = ev.Args[0]
+				}
+			}
+			if got != want {
+				t.Fatalf("trial %d: AVM f(%d,%d,%d) = %d, want %d\n%s\n%s",
+					trial, a, b, c, got, want, src, avm.Disassemble(avmC.Program))
+			}
+		}
+	}
+}
+
+// TestAVMBudgetExceededOnHeavyLoop reproduces the paper's E2 outcome at
+// the VM level: a compute-heavy loop exceeds the opcode budget regardless
+// of how much the caller would pay.
+func TestAVMBudgetExceededOnHeavyLoop(t *testing.T) {
+	src := `
+contract Heavy {
+	function burn() public returns (uint) {
+		uint acc = 0;
+		for (uint i = 0; i < 100000; i += 1) {
+			acc += i;
+		}
+		return acc;
+	}
+}`
+	c, err := CompileAVM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := callAVM(t, c, avm.NewMapKV(0), 1, 0, "burn")
+	if res.Outcome != avm.BudgetExceeded {
+		t.Fatalf("outcome = %v, want budget exceeded", res.Outcome)
+	}
+}
+
+func TestAVMEventIDs(t *testing.T) {
+	src := `
+contract E {
+	event A(uint x);
+	event B(uint x, uint y);
+	function go() public { emit A(1); emit B(2, 3); }
+}`
+	c, err := CompileAVM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := callAVM(t, c, avm.NewMapKV(0), 1, 0, "go")
+	if res.Outcome != avm.Approved || len(res.Events) != 2 {
+		t.Fatalf("events = %v (%v)", res.Events, res.Outcome)
+	}
+	if res.Events[0].ID != 0 || res.Events[1].ID != 1 || res.Events[1].Args[1] != 3 {
+		t.Fatalf("event payloads wrong: %+v", res.Events)
+	}
+}
+
+func TestAppArgsErrors(t *testing.T) {
+	c, err := CompileAVM(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AppArgs("nope"); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	if _, err := c.AppArgs("add", 1); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}

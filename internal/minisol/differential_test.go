@@ -1,0 +1,285 @@
+package minisol
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"diablo/internal/types"
+	"diablo/internal/vm"
+)
+
+// Statement-level differential testing: generate random MiniSol programs
+// (assignments, compound assignments, if/else, bounded for loops over
+// three locals), compile them, execute the bytecode, and compare against a
+// direct Go evaluation of the same program. Any divergence is a compiler
+// or VM bug.
+
+// genEnv tracks generated program state for the reference evaluation.
+type genEnv struct {
+	rng   *rand.Rand
+	src   *strings.Builder
+	depth int
+}
+
+// vars are the three mutable locals every generated program uses.
+var varNames = []string{"x", "y", "z"}
+
+type refState struct{ x, y, z uint64 }
+
+func (s *refState) get(v string) uint64 {
+	switch v {
+	case "x":
+		return s.x
+	case "y":
+		return s.y
+	default:
+		return s.z
+	}
+}
+
+func (s *refState) set(v string, val uint64) {
+	switch v {
+	case "x":
+		s.x = val
+	case "y":
+		s.y = val
+	default:
+		s.z = val
+	}
+}
+
+// genExpr emits a random expression over x, y, z returning its evaluator.
+func (g *genEnv) genExpr(depth int) func(*refState) uint64 {
+	if depth == 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			n := uint64(g.rng.Intn(100) + 1)
+			fmt.Fprintf(g.src, "%d", n)
+			return func(*refState) uint64 { return n }
+		default:
+			v := varNames[g.rng.Intn(3)]
+			g.src.WriteString(v)
+			return func(s *refState) uint64 { return s.get(v) }
+		}
+	}
+	ops := []struct {
+		text string
+		eval func(a, b uint64) uint64
+	}{
+		{"+", func(a, b uint64) uint64 { return a + b }},
+		{"-", func(a, b uint64) uint64 { return a - b }},
+		{"*", func(a, b uint64) uint64 { return a * b }},
+		{"/", func(a, b uint64) uint64 {
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		}},
+		{"%", func(a, b uint64) uint64 {
+			if b == 0 {
+				return 0
+			}
+			return a % b
+		}},
+		{"<", func(a, b uint64) uint64 { return b2u(a < b) }},
+		{">", func(a, b uint64) uint64 { return b2u(a > b) }},
+		{"==", func(a, b uint64) uint64 { return b2u(a == b) }},
+		{"!=", func(a, b uint64) uint64 { return b2u(a != b) }},
+		{"<=", func(a, b uint64) uint64 { return b2u(a <= b) }},
+		{">=", func(a, b uint64) uint64 { return b2u(a >= b) }},
+	}
+	op := ops[g.rng.Intn(len(ops))]
+	g.src.WriteString("(")
+	l := g.genExpr(depth - 1)
+	g.src.WriteString(" " + op.text + " ")
+	r := g.genExpr(depth - 1)
+	g.src.WriteString(")")
+	return func(s *refState) uint64 { return op.eval(l(s), r(s)) }
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// genStmts emits up to n random statements, returning their evaluator.
+func (g *genEnv) genStmts(n int, indent string) func(*refState) {
+	var evals []func(*refState)
+	for i := 0; i < n; i++ {
+		evals = append(evals, g.genStmt(indent))
+	}
+	return func(s *refState) {
+		for _, e := range evals {
+			e(s)
+		}
+	}
+}
+
+func (g *genEnv) genStmt(indent string) func(*refState) {
+	kind := g.rng.Intn(10)
+	switch {
+	case kind < 4 || g.depth >= 3: // plain assignment
+		v := varNames[g.rng.Intn(3)]
+		fmt.Fprintf(g.src, "%s%s = ", indent, v)
+		e := g.genExpr(2)
+		g.src.WriteString(";\n")
+		return func(s *refState) { s.set(v, e(s)) }
+
+	case kind < 6: // compound assignment
+		v := varNames[g.rng.Intn(3)]
+		op := []string{"+=", "-="}[g.rng.Intn(2)]
+		fmt.Fprintf(g.src, "%s%s %s ", indent, v, op)
+		e := g.genExpr(2)
+		g.src.WriteString(";\n")
+		return func(s *refState) {
+			if op == "+=" {
+				s.set(v, s.get(v)+e(s))
+			} else {
+				s.set(v, s.get(v)-e(s))
+			}
+		}
+
+	case kind < 8: // if/else
+		g.depth++
+		defer func() { g.depth-- }()
+		fmt.Fprintf(g.src, "%sif (", indent)
+		cond := g.genExpr(2)
+		g.src.WriteString(") {\n")
+		then := g.genStmts(1+g.rng.Intn(2), indent+"\t")
+		fmt.Fprintf(g.src, "%s} else {\n", indent)
+		els := g.genStmts(1+g.rng.Intn(2), indent+"\t")
+		fmt.Fprintf(g.src, "%s}\n", indent)
+		return func(s *refState) {
+			if cond(s) != 0 {
+				then(s)
+			} else {
+				els(s)
+			}
+		}
+
+	default: // bounded for loop
+		g.depth++
+		defer func() { g.depth-- }()
+		iters := g.rng.Intn(5) + 1
+		loopVar := fmt.Sprintf("i%d", g.rng.Int31())
+		fmt.Fprintf(g.src, "%sfor (uint %s = 0; %s < %d; %s += 1) {\n",
+			indent, loopVar, loopVar, iters, loopVar)
+		body := g.genStmts(1+g.rng.Intn(2), indent+"\t")
+		fmt.Fprintf(g.src, "%s}\n", indent)
+		return func(s *refState) {
+			for i := 0; i < iters; i++ {
+				body(s)
+			}
+		}
+	}
+}
+
+// TestCompiledProgramEquivalenceProperty is the statement-level
+// differential test.
+func TestCompiledProgramEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 80; trial++ {
+		g := &genEnv{rng: rng, src: &strings.Builder{}}
+		g.src.WriteString("contract P {\n\tfunction f(uint a, uint b, uint c) public returns (uint) {\n")
+		g.src.WriteString("\t\tuint x = a;\n\t\tuint y = b;\n\t\tuint z = c;\n")
+		body := func(s *refState) {}
+		{
+			inner := g.genStmts(3+rng.Intn(4), "\t\t")
+			body = inner
+		}
+		g.src.WriteString("\t\treturn x + y * 3 + z * 7;\n\t}\n}\n")
+		src := g.src.String()
+
+		compiled, err := Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile error: %v\nprogram:\n%s", trial, err, src)
+		}
+		for sample := 0; sample < 4; sample++ {
+			a := uint64(rng.Intn(1000))
+			b := uint64(rng.Intn(1000))
+			c := uint64(rng.Intn(1000))
+			calldata, _ := compiled.Calldata("f", a, b, c)
+			res := vm.New().Execute(compiled.Code, &vm.Context{
+				Storage: vm.MapStorage{}, GasLimit: 100_000_000, Calldata: calldata,
+			})
+			if res.Status != types.StatusOK {
+				t.Fatalf("trial %d: execution failed: %v %v\nprogram:\n%s", trial, res.Status, res.Err, src)
+			}
+			ref := &refState{x: a, y: b, z: c}
+			body(ref)
+			want := ref.x + ref.y*3 + ref.z*7
+			if res.Return != want {
+				t.Fatalf("trial %d: f(%d,%d,%d) = %d, reference = %d\nprogram:\n%s",
+					trial, a, b, c, res.Return, want, src)
+			}
+		}
+	}
+}
+
+// TestCompiledStateProgramsProperty extends the differential test to
+// contract storage: random sequences of state-variable and mapping writes
+// must leave the same final state as the reference.
+func TestCompiledStateProgramsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	const src = `
+contract S {
+	uint total;
+	mapping(uint => uint) bal;
+
+	function credit(uint who, uint amount) public {
+		bal[who] += amount;
+		total += amount;
+	}
+	function debit(uint who, uint amount) public {
+		if (bal[who] >= amount) {
+			bal[who] -= amount;
+			total -= amount;
+		}
+	}
+	function balanceOf(uint who) public returns (uint) { return bal[who]; }
+	function totalSupply() public returns (uint) { return total; }
+}`
+	compiled, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := vm.MapStorage{}
+	ref := map[uint64]uint64{}
+	var refTotal uint64
+	call := func(fn string, args ...uint64) vm.Result {
+		calldata, err := compiled.Calldata(fn, args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vm.New().Execute(compiled.Code, &vm.Context{
+			Storage: st, GasLimit: 10_000_000, Calldata: calldata,
+		})
+	}
+	for step := 0; step < 500; step++ {
+		who := uint64(rng.Intn(8))
+		amount := uint64(rng.Intn(50))
+		if rng.Intn(2) == 0 {
+			call("credit", who, amount)
+			ref[who] += amount
+			refTotal += amount
+		} else {
+			call("debit", who, amount)
+			if ref[who] >= amount {
+				ref[who] -= amount
+				refTotal -= amount
+			}
+		}
+	}
+	for who := uint64(0); who < 8; who++ {
+		if got := call("balanceOf", who).Return; got != ref[who] {
+			t.Fatalf("balanceOf(%d) = %d, reference %d", who, got, ref[who])
+		}
+	}
+	if got := call("totalSupply").Return; got != refTotal {
+		t.Fatalf("total = %d, reference %d", got, refTotal)
+	}
+}

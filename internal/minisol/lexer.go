@@ -1,0 +1,194 @@
+// Package minisol compiles MiniSol — a small Solidity-like contract
+// language — to diablo/internal/vm bytecode. MiniSol is the language the
+// DIABLO DApp suite is written in; it supports unsigned 64-bit integers,
+// mappings, internal functions, control flow (if/while/for), require,
+// events and the msg/block environment, which is sufficient to express all
+// five of the paper's DApps including Newton's integer square root for the
+// mobility-service contract.
+package minisol
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokPunct
+)
+
+// keywords of the language.
+var keywords = map[string]bool{
+	"contract": true, "function": true, "uint": true, "mapping": true,
+	"public": true, "returns": true, "return": true, "if": true,
+	"else": true, "while": true, "for": true, "require": true,
+	"emit": true, "event": true, "revert": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	num  uint64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer splits source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("minisol: line %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and comments.
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src) {
+				if l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-character punctuation, longest first.
+var punctuation = []string{
+	"==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "=>",
+	"{", "}", "(", ")", "[", "]", ";", ",", "=", "<", ">",
+	"+", "-", "*", "/", "%", "!", ".",
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	c := l.peekByte()
+
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if !unicode.IsLetter(rune(c)) && !unicode.IsDigit(rune(c)) && c != '_' {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: startLine, col: startCol}, nil
+
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.peekByte())) || l.peekByte() == 'x' ||
+			('a' <= l.peekByte() && l.peekByte() <= 'f') || ('A' <= l.peekByte() && l.peekByte() <= 'F') ||
+			l.peekByte() == '_') {
+			l.advance()
+		}
+		text := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+		v, err := strconv.ParseUint(text, 0, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("minisol: line %d:%d: bad number %q", startLine, startCol, text)
+		}
+		return token{kind: tokNumber, text: text, num: v, line: startLine, col: startCol}, nil
+
+	default:
+		for _, p := range punctuation {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				for range p {
+					l.advance()
+				}
+				return token{kind: tokPunct, text: p, line: startLine, col: startCol}, nil
+			}
+		}
+		return token{}, fmt.Errorf("minisol: line %d:%d: unexpected character %q", startLine, startCol, string(c))
+	}
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,618 @@
+package minisol
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a single contract definition.
+func Parse(src string) (*Contract, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	c, err := p.contract()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("unexpected %s after contract", p.cur())
+	}
+	return c, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("minisol: line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// at reports whether the current token matches kind (and text, when given).
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token.
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		what := text
+		if what == "" {
+			what = map[tokenKind]string{tokIdent: "identifier", tokNumber: "number"}[kind]
+		}
+		return token{}, p.errorf("expected %q, found %s", what, p.cur())
+	}
+	t := p.cur()
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) contract() (*Contract, error) {
+	if _, err := p.expect(tokKeyword, "contract"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	c := &Contract{Name: name.text}
+	for !p.at(tokPunct, "}") {
+		switch {
+		case p.at(tokKeyword, "uint"), p.at(tokKeyword, "mapping"):
+			sv, err := p.stateVar()
+			if err != nil {
+				return nil, err
+			}
+			sv.Slot = uint64(len(c.States))
+			c.States = append(c.States, sv)
+		case p.at(tokKeyword, "event"):
+			ev, err := p.eventDecl()
+			if err != nil {
+				return nil, err
+			}
+			ev.ID = uint64(len(c.Events))
+			c.Events = append(c.Events, ev)
+		case p.at(tokKeyword, "function"):
+			fn, err := p.function()
+			if err != nil {
+				return nil, err
+			}
+			c.Funcs = append(c.Funcs, fn)
+		default:
+			return nil, p.errorf("expected state variable, event or function, found %s", p.cur())
+		}
+	}
+	if _, err := p.expect(tokPunct, "}"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) stateVar() (*StateVar, error) {
+	line := p.cur().line
+	isMapping := false
+	if p.accept(tokKeyword, "mapping") {
+		isMapping = true
+		for _, tok := range []struct {
+			k tokenKind
+			t string
+		}{{tokPunct, "("}, {tokKeyword, "uint"}, {tokPunct, "=>"}, {tokKeyword, "uint"}, {tokPunct, ")"}} {
+			if _, err := p.expect(tok.k, tok.t); err != nil {
+				return nil, err
+			}
+		}
+	} else if _, err := p.expect(tokKeyword, "uint"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &StateVar{Name: name.text, IsMapping: isMapping, Line: line}, nil
+}
+
+func (p *parser) eventDecl() (*EventDecl, error) {
+	line := p.cur().line
+	p.pos++ // "event"
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	arity := 0
+	for !p.at(tokPunct, ")") {
+		if arity > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokKeyword, "uint"); err != nil {
+			return nil, err
+		}
+		// Parameter name is optional in event declarations.
+		p.accept(tokIdent, "")
+		arity++
+	}
+	p.pos++ // ")"
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &EventDecl{Name: name.text, Arity: arity, Line: line}, nil
+}
+
+func (p *parser) function() (*Function, error) {
+	line := p.cur().line
+	p.pos++ // "function"
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &Function{Name: name.text, Line: line}
+	for !p.at(tokPunct, ")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokKeyword, "uint"); err != nil {
+			return nil, err
+		}
+		pname, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, pname.text)
+	}
+	p.pos++ // ")"
+	if p.accept(tokKeyword, "public") {
+		fn.Public = true
+	}
+	if p.accept(tokKeyword, "returns") {
+		for _, tok := range []struct {
+			k tokenKind
+			t string
+		}{{tokPunct, "("}, {tokKeyword, "uint"}, {tokPunct, ")"}} {
+			if _, err := p.expect(tok.k, tok.t); err != nil {
+				return nil, err
+			}
+		}
+		fn.Returns = true
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errorf("unexpected end of input in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.pos++ // "}"
+	return out, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	line := p.cur().line
+	switch {
+	case p.at(tokKeyword, "uint"):
+		s, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case p.at(tokKeyword, "if"):
+		return p.ifStmt()
+
+	case p.at(tokKeyword, "while"):
+		p.pos++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body, Line: line}, nil
+
+	case p.at(tokKeyword, "for"):
+		return p.forStmt()
+
+	case p.at(tokKeyword, "require"):
+		p.pos++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Require{Cond: cond, Line: line}, nil
+
+	case p.at(tokKeyword, "emit"):
+		p.pos++
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Emit{Event: name.text, Args: args, Line: line}, nil
+
+	case p.at(tokKeyword, "return"):
+		p.pos++
+		var val Expr
+		if !p.at(tokPunct, ";") {
+			var err error
+			val, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Return{Value: val, Line: line}, nil
+
+	case p.at(tokKeyword, "revert"):
+		p.pos++
+		// Optional parentheses: revert() and revert;
+		if p.accept(tokPunct, "(") {
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Revert{Line: line}, nil
+
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// varDecl parses "uint x = expr" without the trailing semicolon.
+func (p *parser) varDecl() (Stmt, error) {
+	line := p.cur().line
+	p.pos++ // "uint"
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	init, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &VarDecl{Name: name.text, Init: init, Line: line}, nil
+}
+
+// simpleStmt parses an assignment or expression statement without the
+// trailing semicolon (shared by statement position and for-headers).
+func (p *parser) simpleStmt() (Stmt, error) {
+	line := p.cur().line
+	if p.at(tokIdent, "") {
+		// Lookahead to distinguish assignment from expression.
+		name := p.cur().text
+		next := p.toks[p.pos+1]
+		if next.kind == tokPunct && (next.text == "=" || next.text == "+=" || next.text == "-=") {
+			p.pos += 2
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Target: name, Op: next.text, Value: val, Line: line}, nil
+		}
+		if next.kind == tokPunct && next.text == "[" {
+			// Could be mapping assignment m[k] = v or an index expression.
+			save := p.pos
+			p.pos += 2
+			key, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			if p.at(tokPunct, "=") || p.at(tokPunct, "+=") || p.at(tokPunct, "-=") {
+				op := p.cur().text
+				p.pos++
+				val, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				return &Assign{Target: name, Index: key, Op: op, Value: val, Line: line}, nil
+			}
+			p.pos = save // plain expression, reparse
+		}
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Line: line}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	line := p.cur().line
+	p.pos++ // "if"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then, Line: line}
+	if p.accept(tokKeyword, "else") {
+		if p.at(tokKeyword, "if") {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = []Stmt{elif}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	line := p.cur().line
+	p.pos++ // "for"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	node := &For{Line: line}
+	if !p.at(tokPunct, ";") {
+		var err error
+		if p.at(tokKeyword, "uint") {
+			node.Init, err = p.varDecl()
+		} else {
+			node.Init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		node.Cond = cond
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		node.Post = post
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node.Body = body
+	return node, nil
+}
+
+func (p *parser) callArgs() ([]Expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.at(tokPunct, ")") {
+		if len(args) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	p.pos++ // ")"
+	return args, nil
+}
+
+// Expression parsing by precedence climbing.
+
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, ">": 4, "<=": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return left, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: t.text, L: left, R: right, Line: t.line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "!" || t.text == "-") {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		return &Num{Value: t.num, Line: t.line}, nil
+
+	case t.kind == tokPunct && t.text == "(":
+		p.pos++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+
+	case t.kind == tokIdent:
+		name := t.text
+		p.pos++
+		// Environment access: msg.sender, block.number, ...
+		if (name == "msg" || name == "block") && p.accept(tokPunct, ".") {
+			field, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			full := name + "." + field.text
+			switch full {
+			case "msg.sender", "msg.value", "block.number", "block.timestamp":
+				return &Env{Name: full, Line: t.line}, nil
+			default:
+				return nil, p.errorf("unknown environment field %q", full)
+			}
+		}
+		if p.at(tokPunct, "(") {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Name: name, Args: args, Line: t.line}, nil
+		}
+		if p.accept(tokPunct, "[") {
+			key, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &Index{Name: name, Key: key, Line: t.line}, nil
+		}
+		return &Ref{Name: name, Line: t.line}, nil
+
+	default:
+		return nil, p.errorf("expected expression, found %s", t)
+	}
+}

@@ -1,0 +1,211 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"diablo/internal/spec"
+)
+
+const benchYAML = `
+let:
+  - &acc { sample: !account { number: 40 } }
+  - &dapp { sample: !contract { name: "fifa" } }
+workloads:
+  - number: 2
+    client:
+      view: { sample: !endpoint [ ".*" ] }
+      behavior:
+        - interaction: !invoke
+            from: *acc
+            contract: *dapp
+            function: "add()"
+          load:
+            0: 5
+            10: 0
+`
+
+const transferYAML = `
+workloads:
+  - client:
+      behavior:
+        - interaction: !transfer
+            from: { sample: !account { number: 40 } }
+          load:
+            0: 10
+            10: 0
+`
+
+// freePort reserves a TCP port for the test primary.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// runDistributed spins up a primary and n secondaries over localhost TCP.
+func runDistributed(t *testing.T, benchSrc string, secondaries int) (*PrimaryResult, []*SecondaryStats) {
+	t.Helper()
+	setup, err := spec.ParseSetup("blockchain: quorum\nconfiguration: devnet\nnode-scale: 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	benchmark, err := spec.ParseBenchmark(benchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := freePort(t)
+
+	var wg sync.WaitGroup
+	secStats := make([]*SecondaryStats, secondaries)
+	secErrs := make([]error, secondaries)
+	for i := 0; i < secondaries; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := RunSecondary(SecondaryConfig{
+				Primary:  addr,
+				Location: fmt.Sprintf("zone-%d", i),
+			})
+			secStats[i], secErrs[i] = st, err
+		}()
+	}
+
+	res, err := RunPrimary(PrimaryConfig{
+		Listen:        addr,
+		Secondaries:   secondaries,
+		Setup:         setup,
+		Benchmark:     benchmark,
+		BenchmarkYAML: benchSrc,
+	})
+	if err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+	wg.Wait()
+	for i, err := range secErrs {
+		if err != nil {
+			t.Fatalf("secondary %d: %v", i, err)
+		}
+	}
+	return res, secStats
+}
+
+func TestDistributedDAppBenchmark(t *testing.T) {
+	res, secStats := runDistributed(t, benchYAML, 3)
+	// 2 clients x 5 TPS x 10s = 100 transactions.
+	if res.Summary.Submitted != 100 {
+		t.Fatalf("submitted = %d, want 100", res.Summary.Submitted)
+	}
+	if res.Summary.Committed != 100 {
+		t.Fatalf("committed = %d/100 (dropped %d)", res.Summary.Committed, res.Dropped)
+	}
+	totalSent := 0
+	for i, st := range secStats {
+		if st.Sent == 0 {
+			t.Errorf("secondary %d sent nothing", i)
+		}
+		if st.Committed != st.Sent {
+			t.Errorf("secondary %d: %d/%d committed", i, st.Committed, st.Sent)
+		}
+		if st.AvgLatS <= 0 {
+			t.Errorf("secondary %d: no latency measured", i)
+		}
+		totalSent += st.Sent
+	}
+	if totalSent != 100 {
+		t.Fatalf("secondaries sent %d total, want 100", totalSent)
+	}
+	if len(res.Stats) != 3 {
+		t.Fatalf("primary collected %d stats", len(res.Stats))
+	}
+}
+
+func TestDistributedTransferBenchmark(t *testing.T) {
+	res, _ := runDistributed(t, transferYAML, 2)
+	if res.Summary.Submitted != 100 {
+		t.Fatalf("submitted = %d", res.Summary.Submitted)
+	}
+	if res.Summary.Committed != 100 {
+		t.Fatalf("committed = %d (dropped %d)", res.Summary.Committed, res.Dropped)
+	}
+	if res.Summary.AvgLatency <= 0 {
+		t.Fatal("no latency")
+	}
+}
+
+func TestPrimaryRejectsZeroSecondaries(t *testing.T) {
+	_, err := RunPrimary(PrimaryConfig{Secondaries: 0})
+	if err == nil {
+		t.Fatal("zero secondaries accepted")
+	}
+}
+
+func TestSecondaryConnectError(t *testing.T) {
+	_, err := RunSecondary(SecondaryConfig{Primary: "127.0.0.1:1"})
+	if err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestParseAddress(t *testing.T) {
+	a, err := parseAddress("0x0102030405060708090a0b0c0d0e0f1011121314")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 1 || a[19] != 0x14 {
+		t.Fatalf("address = %v", a)
+	}
+	for _, bad := range []string{"", "0x12", "1234", "0xzz02030405060708090a0b0c0d0e0f1011121314"} {
+		if _, err := parseAddress(bad); err == nil {
+			t.Errorf("parseAddress(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestDistributedAVMChain runs a DApp benchmark against the Algorand
+// deployment over TCP: the pre-signed calldata built by Secondaries must
+// invoke the AVM-compiled application correctly (the selector+args word
+// encoding is shared across VM families).
+func TestDistributedAVMChain(t *testing.T) {
+	setup, err := spec.ParseSetup("blockchain: algorand\nconfiguration: devnet\nnode-scale: 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	benchmark, err := spec.ParseBenchmark(benchYAML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := freePort(t)
+	var wg sync.WaitGroup
+	var secErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, secErr = RunSecondary(SecondaryConfig{Primary: addr, Location: "tokyo"})
+	}()
+	res, err := RunPrimary(PrimaryConfig{
+		Listen: addr, Secondaries: 1,
+		Setup: setup, Benchmark: benchmark, BenchmarkYAML: benchYAML,
+	})
+	if err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+	wg.Wait()
+	if secErr != nil {
+		t.Fatalf("secondary: %v", secErr)
+	}
+	if res.Summary.Committed != res.Summary.Submitted || res.Summary.Submitted != 100 {
+		t.Fatalf("committed %d/%d on the AVM chain", res.Summary.Committed, res.Summary.Submitted)
+	}
+	if res.Aborted != 0 {
+		t.Fatalf("%d aborted executions on the AVM chain", res.Aborted)
+	}
+}

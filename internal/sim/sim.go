@@ -1,0 +1,208 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All DIABLO experiments run on virtual time: protocol logic schedules
+// events on a Scheduler, and the scheduler executes them in timestamp order
+// on a single goroutine. With a fixed seed, a run is fully reproducible,
+// and a 200-node, multi-minute experiment completes in seconds of wall
+// time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp measured as a duration since the start of the
+// simulation.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events with equal timestamps
+	fn   func()
+	dead bool
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct {
+	ev *event
+}
+
+// Cancel prevents the event from running. Cancelling an already-executed or
+// already-cancelled event is a no-op.
+func (id EventID) Cancel() {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use: all events run on the caller's goroutine, which is the
+// point — determinism comes from the single serialized event loop.
+type Scheduler struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	nexec  uint64
+	halted bool
+}
+
+// NewScheduler returns a scheduler whose clock starts at zero and whose
+// random source is seeded with seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source. Protocol code
+// must draw all randomness from here to keep runs reproducible.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Executed reports how many events have run so far.
+func (s *Scheduler) Executed() uint64 { return s.nexec }
+
+// Pending reports how many events are scheduled but not yet run (including
+// cancelled events that have not been reaped).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in the
+// past panics: it would silently reorder causality.
+func (s *Scheduler) At(at Time, fn func()) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run every interval, starting interval from now,
+// until the returned Ticker is stopped or the simulation ends.
+func (s *Scheduler) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{s: s, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly schedules a callback at a fixed virtual interval.
+type Ticker struct {
+	s        *Scheduler
+	interval time.Duration
+	fn       func()
+	id       EventID
+	stopped  bool
+}
+
+func (t *Ticker) arm() {
+	t.id = t.s.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop prevents any future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.id.Cancel()
+}
+
+// Step runs the single earliest pending event. It returns false when no
+// events remain or the scheduler has been halted.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 && !s.halted {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.nexec++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Halt is called. It
+// returns the number of events executed.
+func (s *Scheduler) Run() uint64 {
+	start := s.nexec
+	for s.Step() {
+	}
+	return s.nexec - start
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if it is ahead of the last event). Events scheduled
+// after the deadline stay queued.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.queue) > 0 && !s.halted {
+		next := s.queue[0]
+		if next.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if !s.halted && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Halt stops the event loop: Run/RunUntil/Step return immediately after the
+// currently executing event finishes. Pending events stay queued.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Halted reports whether Halt has been called.
+func (s *Scheduler) Halted() bool { return s.halted }
+
+// Resume clears a previous Halt so the loop can continue.
+func (s *Scheduler) Resume() { s.halted = false }

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtEqualTimes(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerAfterRelative(t *testing.T) {
+	s := NewScheduler(1)
+	var at Time
+	s.After(5*time.Second, func() {
+		s.After(2*time.Second, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 7*time.Second {
+		t.Fatalf("nested After fired at %v, want 7s", at)
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler(1)
+	s.At(10*time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(1*time.Second, func() {})
+	})
+	s.Run()
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	id := s.After(time.Second, func() { ran = true })
+	id.Cancel()
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+	// Double-cancel and cancel-after-run must be harmless.
+	id.Cancel()
+	id2 := s.After(time.Second, func() {})
+	s.Run()
+	id2.Cancel()
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	s.At(10*time.Second, func() { ran = true })
+	s.RunUntil(5 * time.Second)
+	if ran {
+		t.Fatal("future event ran early")
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", s.Now())
+	}
+	s.RunUntil(20 * time.Second)
+	if !ran {
+		t.Fatal("event at 10s did not run by 20s")
+	}
+	if s.Now() != 20*time.Second {
+		t.Fatalf("clock = %v, want 20s", s.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := NewScheduler(1)
+	s.RunFor(3 * time.Second)
+	s.RunFor(4 * time.Second)
+	if s.Now() != 7*time.Second {
+		t.Fatalf("clock = %v, want 7s", s.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	var tk *Ticker
+	tk = s.Every(time.Second, func() {
+		count++
+		if count == 5 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(100 * time.Second)
+	if count != 5 {
+		t.Fatalf("ticker fired %d times, want 5", count)
+	}
+}
+
+func TestTickerStopBeforeFire(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	tk := s.Every(time.Second, func() { count++ })
+	tk.Stop()
+	s.RunUntil(10 * time.Second)
+	if count != 0 {
+		t.Fatalf("stopped ticker fired %d times", count)
+	}
+}
+
+func TestHaltAndResume(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	s.At(time.Second, func() {
+		order = append(order, 1)
+		s.Halt()
+	})
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 1 {
+		t.Fatalf("halt did not stop the loop: %v", order)
+	}
+	s.Resume()
+	s.Run()
+	if len(order) != 2 {
+		t.Fatalf("resume did not continue: %v", order)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		s := NewScheduler(42)
+		var samples []int64
+		for i := 0; i < 100; i++ {
+			s.After(time.Duration(s.Rand().Intn(1000))*time.Millisecond, func() {
+				samples = append(samples, int64(s.Now()))
+			})
+		}
+		s.Run()
+		return samples
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different event counts across identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExecutedAndPending(t *testing.T) {
+	s := NewScheduler(1)
+	for i := 0; i < 10; i++ {
+		s.After(time.Duration(i)*time.Second, func() {})
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	s.Run()
+	if s.Executed() != 10 {
+		t.Fatalf("Executed = %d, want 10", s.Executed())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after run, want 0", s.Pending())
+	}
+}

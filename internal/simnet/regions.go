@@ -1,0 +1,181 @@
+package simnet
+
+import "fmt"
+
+// Region is one of the ten AWS availability zones used in the paper's
+// deployments (Table 3).
+type Region int
+
+// The ten regions of Table 3, in the paper's order.
+const (
+	CapeTown Region = iota
+	Tokyo
+	Mumbai
+	Sydney
+	Stockholm
+	Milan
+	Bahrain
+	SaoPaulo
+	Ohio
+	Oregon
+	numRegions
+)
+
+// NumRegions is the number of distinct regions.
+const NumRegions = int(numRegions)
+
+var regionNames = [...]string{
+	"cape-town", "tokyo", "mumbai", "sydney", "stockholm",
+	"milan", "bahrain", "sao-paulo", "ohio", "oregon",
+}
+
+// String returns the region's kebab-case name.
+func (r Region) String() string {
+	if r < 0 || int(r) >= NumRegions {
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+	return regionNames[r]
+}
+
+// RegionByName resolves a region name (as used in workload specifications,
+// e.g. "us-east-2" aliases are accepted for Ohio/Oregon).
+func RegionByName(name string) (Region, error) {
+	for i, n := range regionNames {
+		if n == name {
+			return Region(i), nil
+		}
+	}
+	switch name {
+	case "us-east-2":
+		return Ohio, nil
+	case "us-west-2":
+		return Oregon, nil
+	case "af-south-1":
+		return CapeTown, nil
+	case "ap-northeast-1":
+		return Tokyo, nil
+	case "ap-south-1":
+		return Mumbai, nil
+	case "ap-southeast-2":
+		return Sydney, nil
+	case "eu-north-1":
+		return Stockholm, nil
+	case "eu-south-1":
+		return Milan, nil
+	case "me-south-1":
+		return Bahrain, nil
+	case "sa-east-1":
+		return SaoPaulo, nil
+	}
+	return 0, fmt.Errorf("simnet: unknown region %q", name)
+}
+
+// AllRegions returns the ten regions in order.
+func AllRegions() []Region {
+	out := make([]Region, NumRegions)
+	for i := range out {
+		out[i] = Region(i)
+	}
+	return out
+}
+
+// rttMS holds the measured round-trip times in milliseconds between regions
+// from Table 3 (bottom-left triangle of the published matrix). Symmetric;
+// the diagonal is the intra-datacenter RTT of 1 ms.
+var rttMS = [NumRegions][NumRegions]float64{}
+
+// bandwidthMbps holds the measured bandwidth in Mbit/s between regions from
+// Table 3 (top-right triangle). Symmetric; the diagonal is the
+// intra-datacenter bandwidth of 10 Gbit/s.
+var bandwidthMbps = [NumRegions][NumRegions]float64{}
+
+// tableEntry is one published (rtt, bandwidth) pair.
+type tableEntry struct {
+	a, b Region
+	rtt  float64 // ms
+	bw   float64 // Mbps
+}
+
+// table3 transcribes the paper's Table 3 measurements (iperf3 between
+// c5.xlarge machines of the devnet configuration).
+var table3 = []tableEntry{
+	{Tokyo, CapeTown, 354.0, 26.1},
+	{Mumbai, CapeTown, 272.0, 36.0},
+	{Mumbai, Tokyo, 127.2, 89.3},
+	{Sydney, CapeTown, 410.4, 20.8},
+	{Sydney, Tokyo, 102.3, 112.1},
+	{Sydney, Mumbai, 146.8, 75.9},
+	{Stockholm, CapeTown, 179.7, 59.8},
+	{Stockholm, Tokyo, 241.2, 42.1},
+	{Stockholm, Mumbai, 138.9, 81.3},
+	{Stockholm, Sydney, 295.7, 32.0},
+	{Milan, CapeTown, 162.4, 67.1},
+	{Milan, Tokyo, 214.8, 48.1},
+	{Milan, Mumbai, 110.8, 103.2},
+	{Milan, Sydney, 238.8, 42.4},
+	{Milan, Stockholm, 30.2, 404.6},
+	{Bahrain, CapeTown, 287.0, 33.6},
+	{Bahrain, Tokyo, 164.3, 66.8},
+	{Bahrain, Mumbai, 36.4, 336.3},
+	{Bahrain, Sydney, 179.2, 59.6},
+	{Bahrain, Stockholm, 137.9, 81.8},
+	{Bahrain, Milan, 108.2, 105.7},
+	{SaoPaulo, CapeTown, 340.5, 27.1},
+	{SaoPaulo, Tokyo, 256.6, 39.3},
+	{SaoPaulo, Mumbai, 305.6, 30.8},
+	{SaoPaulo, Sydney, 310.5, 31.2},
+	{SaoPaulo, Stockholm, 214.9, 48.2},
+	{SaoPaulo, Milan, 211.9, 49.4},
+	{SaoPaulo, Bahrain, 320.0, 29.9},
+	{Ohio, CapeTown, 237.0, 43.6},
+	{Ohio, Tokyo, 131.8, 85.8},
+	{Ohio, Mumbai, 197.3, 53.3},
+	{Ohio, Sydney, 187.9, 57.0},
+	{Ohio, Stockholm, 120.0, 94.7},
+	{Ohio, Milan, 109.2, 104.9},
+	{Ohio, Bahrain, 212.7, 49.4},
+	{Ohio, SaoPaulo, 121.9, 92.3},
+	{Oregon, CapeTown, 276.6, 35.9},
+	{Oregon, Tokyo, 96.7, 108.8},
+	{Oregon, Mumbai, 215.8, 48.5},
+	{Oregon, Sydney, 139.7, 80.8},
+	{Oregon, Stockholm, 162.0, 67.6},
+	{Oregon, Milan, 157.8, 70.1},
+	{Oregon, Bahrain, 251.4, 38.7},
+	{Oregon, SaoPaulo, 178.3, 60.5},
+	{Oregon, Ohio, 55.2, 105.0},
+}
+
+// Intra-datacenter link characteristics (the paper: 10 Gbps, 1 ms).
+const (
+	localRTTMS    = 1.0
+	localBWMbps   = 10000.0
+	defaultRTTMS  = 200.0 // fallback; never used with the full table
+	defaultBWMbps = 50.0
+)
+
+func init() {
+	for i := 0; i < NumRegions; i++ {
+		for j := 0; j < NumRegions; j++ {
+			if i == j {
+				rttMS[i][j] = localRTTMS
+				bandwidthMbps[i][j] = localBWMbps
+			} else {
+				rttMS[i][j] = defaultRTTMS
+				bandwidthMbps[i][j] = defaultBWMbps
+			}
+		}
+	}
+	for _, e := range table3 {
+		rttMS[e.a][e.b] = e.rtt
+		rttMS[e.b][e.a] = e.rtt
+		bandwidthMbps[e.a][e.b] = e.bw
+		bandwidthMbps[e.b][e.a] = e.bw
+	}
+}
+
+// RTT returns the published round-trip time between two regions.
+func RTT(a, b Region) float64 { return rttMS[a][b] }
+
+// Bandwidth returns the published bandwidth in Mbit/s between two regions.
+func Bandwidth(a, b Region) float64 { return bandwidthMbps[a][b] }

@@ -1,0 +1,214 @@
+// Package simnet simulates the geo-distributed network the paper's
+// experiments run on. Nodes are placed in the ten AWS regions of Table 3;
+// message delivery latency is half the published RTT plus a transmission
+// delay derived from the published inter-region bandwidth, with per-link
+// FIFO queuing so that saturating a link (e.g. a leader broadcasting large
+// blocks at 10,000 TPS) backs up subsequent traffic exactly as a real pipe
+// would.
+//
+// The package also provides fault injection — crashed nodes, added delay,
+// and partitions — used by the robustness tests.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"diablo/internal/sim"
+)
+
+// NodeID identifies a node within a Network.
+type NodeID int
+
+// Message is what a node receives.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Size    int // wire size in bytes
+	Payload any
+}
+
+// Handler processes an incoming message on the destination node.
+type Handler func(msg Message)
+
+// Node is a process attached to the network.
+type Node struct {
+	ID      NodeID
+	Region  Region
+	net     *Network
+	handler Handler
+	crashed bool
+}
+
+// SetHandler installs the message handler. Must be called before traffic
+// arrives; a node without a handler drops messages.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// Crash makes the node silently drop all future incoming and outgoing
+// messages (fail-stop).
+func (n *Node) Crash() { n.crashed = true }
+
+// Restart clears a crash.
+func (n *Node) Restart() { n.crashed = false }
+
+// Crashed reports the node's fault state.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// Send transmits a message from this node.
+func (n *Node) Send(to NodeID, size int, payload any) {
+	n.net.Send(n.ID, to, size, payload)
+}
+
+// link models one directed (src,dst) pipe with FIFO bandwidth queuing.
+type link struct {
+	busyUntil sim.Time
+}
+
+// Network is the simulated WAN.
+type Network struct {
+	Sched *sim.Scheduler
+	nodes []*Node
+	links map[[2]NodeID]*link
+
+	// extraDelay adds a fixed delay to every message (fault injection used
+	// by the Clique message-delay tests).
+	extraDelay time.Duration
+	// partition, when non-nil, maps each node to a side; messages across
+	// sides are dropped.
+	partition map[NodeID]int
+
+	// Delivered counts messages delivered; BytesSent counts payload bytes.
+	Delivered uint64
+	BytesSent uint64
+}
+
+// New creates an empty network on the given scheduler.
+func New(sched *sim.Scheduler) *Network {
+	return &Network{Sched: sched, links: make(map[[2]NodeID]*link)}
+}
+
+// AddNode attaches a new node in the given region.
+func (n *Network) AddNode(region Region) *Node {
+	node := &Node{ID: NodeID(len(n.nodes)), Region: region, net: n}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		panic(fmt.Sprintf("simnet: unknown node %d", id))
+	}
+	return n.nodes[id]
+}
+
+// Len returns the number of nodes.
+func (n *Network) Len() int { return len(n.nodes) }
+
+// Nodes returns all nodes in ID order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// SetExtraDelay injects a fixed additional delay on every message.
+func (n *Network) SetExtraDelay(d time.Duration) { n.extraDelay = d }
+
+// Partition splits nodes into sides; messages between different sides are
+// dropped until HealPartition is called. Nodes not listed default to side 0.
+func (n *Network) Partition(sides map[NodeID]int) { n.partition = sides }
+
+// HealPartition removes the partition.
+func (n *Network) HealPartition() { n.partition = nil }
+
+func (n *Network) side(id NodeID) int {
+	if n.partition == nil {
+		return 0
+	}
+	return n.partition[id]
+}
+
+// SameSide reports whether two nodes can currently reach each other (no
+// partition, or both on the same side).
+func (n *Network) SameSide(a, b NodeID) bool { return n.side(a) == n.side(b) }
+
+// Latency returns the one-way propagation delay between two nodes.
+func (n *Network) Latency(from, to NodeID) time.Duration {
+	a, b := n.Node(from).Region, n.Node(to).Region
+	return time.Duration(RTT(a, b) / 2 * float64(time.Millisecond))
+}
+
+// transmission returns how long size bytes occupy the link.
+func (n *Network) transmission(from, to NodeID, size int) time.Duration {
+	a, b := n.Node(from).Region, n.Node(to).Region
+	bw := Bandwidth(a, b) // Mbit/s
+	if bw <= 0 || size <= 0 {
+		return 0
+	}
+	bytesPerSec := bw * 1e6 / 8
+	return time.Duration(float64(size) / bytesPerSec * float64(time.Second))
+}
+
+// Send schedules delivery of a message. Delivery time is:
+//
+//	max(now, link free) + transmission(size) + RTT/2 + injected delay
+//
+// Messages on the same link deliver in FIFO order. Messages to or from
+// crashed nodes, or across a partition, are silently dropped (the link
+// time is still consumed for outgoing traffic, as a real NIC would).
+func (n *Network) Send(from, to NodeID, size int, payload any) {
+	src, dst := n.Node(from), n.Node(to)
+	if src.crashed {
+		return
+	}
+
+	key := [2]NodeID{from, to}
+	l := n.links[key]
+	if l == nil {
+		l = &link{}
+		n.links[key] = l
+	}
+	start := n.Sched.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	done := start + n.transmission(from, to, size)
+	l.busyUntil = done
+	arrive := done + n.Latency(from, to) + n.extraDelay
+	n.BytesSent += uint64(size)
+
+	if n.side(from) != n.side(to) {
+		return // dropped by the partition, bandwidth already consumed
+	}
+
+	msg := Message{From: from, To: to, Size: size, Payload: payload}
+	n.Sched.At(arrive, func() {
+		if dst.crashed || dst.handler == nil {
+			return
+		}
+		if n.side(from) != n.side(to) {
+			return // partition formed while in flight
+		}
+		n.Delivered++
+		dst.handler(msg)
+	})
+}
+
+// Broadcast sends the payload from one node to every other node.
+func (n *Network) Broadcast(from NodeID, size int, payload any) {
+	for _, node := range n.nodes {
+		if node.ID != from {
+			n.Send(from, node.ID, size, payload)
+		}
+	}
+}
+
+// PlaceEvenly returns region assignments for count nodes spread equally
+// among the given regions, mirroring the paper's deployment strategy.
+func PlaceEvenly(count int, regions []Region) []Region {
+	if len(regions) == 0 {
+		panic("simnet: no regions")
+	}
+	out := make([]Region, count)
+	for i := range out {
+		out[i] = regions[i%len(regions)]
+	}
+	return out
+}

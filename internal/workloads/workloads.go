@@ -1,0 +1,337 @@
+// Package workloads generates the transaction submission schedules of the
+// DIABLO benchmark suite. The paper drives its DApps with real traces
+// (NASDAQ opening trades, Dota 2 updates, the FIFA'98 web logs, NYC Uber
+// demand, YouTube uploads); those raw traces are not redistributable, so
+// this package synthesizes schedules from the shape parameters the paper
+// publishes for each trace (§3 and Table 2): peak rates, burst profiles,
+// sustained averages and durations. Experiments consume a Trace as a
+// per-second rate series and derive exact submission instants from it.
+package workloads
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace is a named workload: which DApp (if any) it drives and the rate of
+// transaction submission over time.
+type Trace struct {
+	// Name identifies the trace, e.g. "nasdaq-apple", "dota2", "constant-1000".
+	Name string
+	// DApp is the registry name of the application invoked, or "" for
+	// native transfers.
+	DApp string
+	// Func is the contract function each transaction invokes (empty for
+	// native transfers).
+	Func string
+	// Rates is the submission rate in TPS for each successive second.
+	Rates []float64
+}
+
+// Duration returns the trace length.
+func (t *Trace) Duration() time.Duration {
+	return time.Duration(len(t.Rates)) * time.Second
+}
+
+// Total returns the total number of transactions submitted at scale 1.
+func (t *Trace) Total() int {
+	n := 0
+	for _, r := range t.Rates {
+		n += int(math.Round(r))
+	}
+	return n
+}
+
+// Average returns the mean TPS over the trace.
+func (t *Trace) Average() float64 {
+	if len(t.Rates) == 0 {
+		return 0
+	}
+	return float64(t.Total()) / float64(len(t.Rates))
+}
+
+// Peak returns the maximum per-second rate.
+func (t *Trace) Peak() float64 {
+	var max float64
+	for _, r := range t.Rates {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Scaled returns a copy of the trace with every rate multiplied by f,
+// used to shrink experiments for constrained machines. Duration is
+// preserved so burst shapes stay intact.
+func (t *Trace) Scaled(f float64) *Trace {
+	out := &Trace{Name: fmt.Sprintf("%s@%.3g", t.Name, f), DApp: t.DApp, Func: t.Func}
+	out.Rates = make([]float64, len(t.Rates))
+	for i, r := range t.Rates {
+		out.Rates[i] = r * f
+	}
+	return out
+}
+
+// Truncated returns a copy covering only the first d of the trace.
+func (t *Trace) Truncated(d time.Duration) *Trace {
+	secs := int(d / time.Second)
+	if secs > len(t.Rates) {
+		secs = len(t.Rates)
+	}
+	out := &Trace{Name: fmt.Sprintf("%s[:%ds]", t.Name, secs), DApp: t.DApp, Func: t.Func}
+	out.Rates = append([]float64(nil), t.Rates[:secs]...)
+	return out
+}
+
+// ForEach calls fn once per transaction with its exact submission instant,
+// in non-decreasing time order. Submissions within one second are spread
+// evenly, matching DIABLO's Secondary scheduling. idx is the global
+// transaction index.
+func (t *Trace) ForEach(fn func(idx int, at time.Duration)) {
+	idx := 0
+	for sec, rate := range t.Rates {
+		n := int(math.Round(rate))
+		if n <= 0 {
+			continue
+		}
+		step := time.Second / time.Duration(n)
+		base := time.Duration(sec) * time.Second
+		for i := 0; i < n; i++ {
+			fn(idx, base+time.Duration(i)*step)
+			idx++
+		}
+	}
+}
+
+// burst builds the NASDAQ per-stock shape: a peak rate during the first
+// second, then a low tail for the remaining duration (§3: stocks open with
+// a trade boom "before dropping to 10-60 TPS").
+func burst(name string, fn string, peak, tail float64, duration time.Duration) *Trace {
+	secs := int(duration / time.Second)
+	t := &Trace{Name: name, DApp: "exchange", Func: fn, Rates: make([]float64, secs)}
+	t.Rates[0] = peak
+	for i := 1; i < secs; i++ {
+		t.Rates[i] = tail
+	}
+	return t
+}
+
+// wave builds a bounded sinusoidal rate in [lo, hi] with the given period,
+// used for traces the paper describes by their rate range.
+func wave(lo, hi float64, duration, period time.Duration) []float64 {
+	secs := int(duration / time.Second)
+	mid, amp := (lo+hi)/2, (hi-lo)/2
+	rates := make([]float64, secs)
+	for i := range rates {
+		rates[i] = mid + amp*math.Sin(2*math.Pi*float64(i)/period.Seconds())
+	}
+	return rates
+}
+
+// Stock identifies one of the five GAFAM stock workloads.
+type Stock struct {
+	Name string
+	Func string
+	Peak float64 // opening-second trade burst (paper §3)
+	Tail float64 // steady rate after the burst
+}
+
+// Stocks lists the five NASDAQ stocks with their published opening bursts:
+// Google 800 TPS, Amazon 1300, Facebook 3000, Microsoft 4000, Apple 10000,
+// each dropping to 10-60 TPS afterwards.
+var Stocks = []Stock{
+	{Name: "google", Func: "buyGoogle", Peak: 800, Tail: 15},
+	{Name: "amazon", Func: "buyAmazon", Peak: 1300, Tail: 20},
+	{Name: "facebook", Func: "buyFacebook", Peak: 3000, Tail: 25},
+	{Name: "microsoft", Func: "buyMicrosoft", Peak: 4000, Tail: 30},
+	{Name: "apple", Func: "buyApple", Peak: 10000, Tail: 40},
+}
+
+// nasdaqDuration is the GAFAM workload length: "runs for 3 minutes".
+const nasdaqDuration = 180 * time.Second
+
+// NASDAQ returns one stock's burst trace (Fig. 6 uses google, microsoft
+// and apple individually).
+func NASDAQ(stock string) (*Trace, error) {
+	for _, s := range Stocks {
+		if s.Name == stock {
+			return burst("nasdaq-"+s.Name, s.Func, s.Peak, s.Tail, nasdaqDuration), nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown stock %q", stock)
+}
+
+// GAFAM returns the accumulated five-stock exchange workload: 19,100+ TPS
+// in the opening second dropping to 25-140 TPS (the paper reports a peak
+// of 19,800 TPS and an average of 168 TPS).
+func GAFAM() *Trace {
+	secs := int(nasdaqDuration / time.Second)
+	t := &Trace{Name: "nasdaq-gafam", DApp: "exchange", Func: "buyApple", Rates: make([]float64, secs)}
+	for _, s := range Stocks {
+		t.Rates[0] += s.Peak
+		for i := 1; i < secs; i++ {
+			t.Rates[i] += s.Tail
+		}
+	}
+	return t
+}
+
+// Dota2 returns the gaming workload: a near-constant ~13,000 TPS of update
+// calls for 276 seconds (the paper's spec example splits it as 3 clients at
+// 4432-4438 TPS each).
+func Dota2() *Trace {
+	const secs = 276
+	t := &Trace{Name: "dota2", DApp: "dota", Func: "update", Rates: make([]float64, secs)}
+	for i := range t.Rates {
+		if i < 50 {
+			t.Rates[i] = 3 * 4432
+		} else {
+			t.Rates[i] = 3 * 4438
+		}
+	}
+	return t
+}
+
+// FIFA returns the web-service workload: 176 seconds with rates varying
+// between 1,416 and 5,305 requests per second (average ~3,483 TPS),
+// modelled as a bounded wave over the paper's range.
+func FIFA() *Trace {
+	return &Trace{
+		Name:  "fifa98",
+		DApp:  "fifa",
+		Func:  "add",
+		Rates: wave(1416, 5305, 176*time.Second, 88*time.Second),
+	}
+}
+
+// Uber returns the mobility-service workload: 810-900 TPS for 120 seconds
+// (the paper extrapolates 864 TPS of worldwide Uber demand).
+func Uber() *Trace {
+	return &Trace{
+		Name:  "uber-nyc",
+		DApp:  "uber",
+		Func:  "checkDistance",
+		Rates: wave(810, 900, 120*time.Second, 60*time.Second),
+	}
+}
+
+// YouTube returns the video-sharing workload: a constant 38,761 TPS (the
+// paper's 2021-adjusted upload rate), the most demanding trace in the
+// suite.
+func YouTube() *Trace {
+	return Constant("youtube", "youtube", "upload", 38761, 120*time.Second)
+}
+
+// Constant returns a fixed-rate trace, as used by the scalability (1,000
+// TPS) and robustness (10,000 TPS) experiments with native transfers.
+func Constant(name, dapp, fn string, tps float64, duration time.Duration) *Trace {
+	secs := int(duration / time.Second)
+	t := &Trace{Name: name, DApp: dapp, Func: fn, Rates: make([]float64, secs)}
+	for i := range t.Rates {
+		t.Rates[i] = tps
+	}
+	return t
+}
+
+// NativeConstant returns a constant-rate native-transfer trace.
+func NativeConstant(tps float64, duration time.Duration) *Trace {
+	return Constant(fmt.Sprintf("native-%g", tps), "", "", tps, duration)
+}
+
+// ByName resolves the paper's five DApp traces plus the GAFAM composite
+// and per-stock bursts.
+func ByName(name string) (*Trace, error) {
+	switch name {
+	case "gafam", "nasdaq", "exchange":
+		return GAFAM(), nil
+	case "dota", "dota2":
+		return Dota2(), nil
+	case "fifa", "fifa98":
+		return FIFA(), nil
+	case "uber", "uber-nyc":
+		return Uber(), nil
+	case "youtube":
+		return YouTube(), nil
+	}
+	for _, s := range Stocks {
+		if name == "nasdaq-"+s.Name || name == s.Name {
+			return NASDAQ(s.Name)
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown trace %q", name)
+}
+
+// Names returns the canonical trace names of the suite.
+func Names() []string {
+	return []string{"gafam", "dota2", "fifa98", "uber-nyc", "youtube"}
+}
+
+// FromCSV loads a custom trace from "second,rate" lines (a header line and
+// # comments are skipped). Gaps between listed seconds carry the previous
+// rate forward, so sparse step functions are convenient to write.
+func FromCSV(name, dapp, fn string, r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	var rates []float64
+	last := -1
+	current := 0.0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workloads: line %d: want second,rate", lineNo)
+		}
+		secText := strings.TrimSpace(parts[0])
+		rateText := strings.TrimSpace(parts[1])
+		sec, err := strconv.Atoi(secText)
+		if err != nil {
+			if lineNo == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("workloads: line %d: bad second %q", lineNo, secText)
+		}
+		rate, err := strconv.ParseFloat(rateText, 64)
+		if err != nil || rate < 0 {
+			return nil, fmt.Errorf("workloads: line %d: bad rate %q", lineNo, rateText)
+		}
+		if sec <= last {
+			return nil, fmt.Errorf("workloads: line %d: seconds must increase", lineNo)
+		}
+		for s := last + 1; s < sec; s++ {
+			rates = append(rates, current)
+		}
+		rates = append(rates, rate)
+		last = sec
+		current = rate
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("workloads: empty trace")
+	}
+	return &Trace{Name: name, DApp: dapp, Func: fn, Rates: rates}, nil
+}
+
+// WriteCSV writes the trace in the FromCSV format.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "second,rate"); err != nil {
+		return err
+	}
+	for i, r := range t.Rates {
+		if _, err := fmt.Fprintf(w, "%d,%g\n", i, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

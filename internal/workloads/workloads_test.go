@@ -1,0 +1,261 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNASDAQShapes(t *testing.T) {
+	cases := []struct {
+		stock string
+		peak  float64
+	}{
+		{"google", 800}, {"amazon", 1300}, {"facebook", 3000},
+		{"microsoft", 4000}, {"apple", 10000},
+	}
+	for _, c := range cases {
+		tr, err := NASDAQ(c.stock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Peak() != c.peak {
+			t.Errorf("%s peak = %v, want %v", c.stock, tr.Peak(), c.peak)
+		}
+		if tr.Rates[0] != c.peak {
+			t.Errorf("%s burst not in the first second", c.stock)
+		}
+		if tr.Duration() != 180*time.Second {
+			t.Errorf("%s duration = %v", c.stock, tr.Duration())
+		}
+		// Tail in the published 10-60 TPS band.
+		for i := 1; i < len(tr.Rates); i++ {
+			if tr.Rates[i] < 10 || tr.Rates[i] > 60 {
+				t.Fatalf("%s tail rate %v out of [10,60]", c.stock, tr.Rates[i])
+			}
+		}
+	}
+	if _, err := NASDAQ("tesla"); err == nil {
+		t.Fatal("unknown stock accepted")
+	}
+}
+
+func TestGAFAMComposite(t *testing.T) {
+	tr := GAFAM()
+	if tr.Peak() != 800+1300+3000+4000+10000 {
+		t.Fatalf("GAFAM peak = %v", tr.Peak())
+	}
+	// Paper: tail between 25 and 140 TPS, average workload 168 TPS.
+	for i := 1; i < len(tr.Rates); i++ {
+		if tr.Rates[i] < 25 || tr.Rates[i] > 140 {
+			t.Fatalf("GAFAM tail %v out of [25,140]", tr.Rates[i])
+		}
+	}
+	if avg := tr.Average(); avg < 120 || avg > 250 {
+		t.Fatalf("GAFAM average = %v, want near the paper's 168 TPS", avg)
+	}
+}
+
+func TestDota2Shape(t *testing.T) {
+	tr := Dota2()
+	if tr.Duration() != 276*time.Second {
+		t.Fatalf("duration = %v, want 276s", tr.Duration())
+	}
+	if avg := tr.Average(); avg < 12900 || avg > 13400 {
+		t.Fatalf("average = %v, want ~13,000 TPS", avg)
+	}
+	// Near-constant: min and max within 1% of each other.
+	if tr.Peak()/tr.Rates[0] > 1.01 {
+		t.Fatal("Dota 2 trace should be near constant")
+	}
+	if tr.DApp != "dota" || tr.Func != "update" {
+		t.Fatal("wrong target")
+	}
+}
+
+func TestFIFAShape(t *testing.T) {
+	tr := FIFA()
+	if tr.Duration() != 176*time.Second {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	for _, r := range tr.Rates {
+		if r < 1416-1 || r > 5305+1 {
+			t.Fatalf("rate %v out of the published [1416,5305] band", r)
+		}
+	}
+	if avg := tr.Average(); avg < 3000 || avg > 3800 {
+		t.Fatalf("average = %v, want near the paper's 3,483 TPS", avg)
+	}
+}
+
+func TestUberShape(t *testing.T) {
+	tr := Uber()
+	if tr.Duration() != 120*time.Second {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	for _, r := range tr.Rates {
+		if r < 809 || r > 901 {
+			t.Fatalf("rate %v out of the published [810,900] band", r)
+		}
+	}
+	if avg := tr.Average(); avg < 830 || avg > 880 {
+		t.Fatalf("average = %v, want near the paper's 852 TPS", avg)
+	}
+}
+
+func TestYouTubeShape(t *testing.T) {
+	tr := YouTube()
+	if tr.Peak() != 38761 || tr.Average() != 38761 {
+		t.Fatalf("youtube rate = %v avg %v, want constant 38,761", tr.Peak(), tr.Average())
+	}
+	if tr.DApp != "youtube" {
+		t.Fatal("wrong dapp")
+	}
+}
+
+func TestConstantAndNative(t *testing.T) {
+	tr := NativeConstant(1000, 120*time.Second)
+	if tr.DApp != "" || tr.Func != "" {
+		t.Fatal("native trace should not target a DApp")
+	}
+	if tr.Total() != 120000 {
+		t.Fatalf("total = %d, want 120000", tr.Total())
+	}
+}
+
+func TestScaled(t *testing.T) {
+	tr := NativeConstant(1000, 10*time.Second).Scaled(0.1)
+	if tr.Total() != 1000 {
+		t.Fatalf("scaled total = %d, want 1000", tr.Total())
+	}
+	if tr.Duration() != 10*time.Second {
+		t.Fatal("scaling must preserve duration")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	tr := Dota2().Truncated(30 * time.Second)
+	if tr.Duration() != 30*time.Second {
+		t.Fatalf("truncated duration = %v", tr.Duration())
+	}
+	long := Dota2().Truncated(1000 * time.Second)
+	if long.Duration() != 276*time.Second {
+		t.Fatal("truncation beyond length should be a no-op")
+	}
+}
+
+func TestForEachOrderingAndCount(t *testing.T) {
+	tr := NativeConstant(100, 3*time.Second)
+	var last time.Duration = -1
+	count := 0
+	tr.ForEach(func(idx int, at time.Duration) {
+		if at < last {
+			t.Fatalf("submission times not sorted: %v after %v", at, last)
+		}
+		if idx != count {
+			t.Fatalf("idx = %d, want %d", idx, count)
+		}
+		last = at
+		count++
+	})
+	if count != 300 {
+		t.Fatalf("count = %d, want 300", count)
+	}
+	if last >= 3*time.Second {
+		t.Fatalf("submission at %v beyond trace end", last)
+	}
+}
+
+func TestForEachSpreadsWithinSecond(t *testing.T) {
+	tr := NativeConstant(4, time.Second)
+	var times []time.Duration
+	tr.ForEach(func(idx int, at time.Duration) { times = append(times, at) })
+	want := []time.Duration{0, 250 * time.Millisecond, 500 * time.Millisecond, 750 * time.Millisecond}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		tr, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if tr.Total() == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+	}
+	for _, alias := range []string{"apple", "nasdaq-google", "exchange", "dota"} {
+		if _, err := ByName(alias); err != nil {
+			t.Fatalf("alias %q failed: %v", alias, err)
+		}
+	}
+	if _, err := ByName("netflix"); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}
+
+// Property: Total equals the number of ForEach callbacks for any constant
+// trace; scaling by 1/n divides the total accordingly.
+func TestTotalMatchesForEachProperty(t *testing.T) {
+	f := func(tps uint16, secs uint8) bool {
+		duration := time.Duration(int(secs)%20+1) * time.Second
+		tr := NativeConstant(float64(tps%5000), duration)
+		n := 0
+		tr.ForEach(func(int, time.Duration) { n++ })
+		return n == tr.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromCSVRoundTrip(t *testing.T) {
+	src := "second,rate\n# burst then tail\n0,1000\n1,50\n10,0\n"
+	tr, err := FromCSV("custom", "fifa", "add", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rates[0] != 1000 || tr.Rates[1] != 50 {
+		t.Fatalf("rates = %v", tr.Rates[:2])
+	}
+	// Gap fill: seconds 2..9 carry 50 forward.
+	for s := 2; s <= 9; s++ {
+		if tr.Rates[s] != 50 {
+			t.Fatalf("rate[%d] = %v, want 50", s, tr.Rates[s])
+		}
+	}
+	if tr.Rates[10] != 0 || tr.Duration() != 11*time.Second {
+		t.Fatalf("tail wrong: %v %v", tr.Rates[10], tr.Duration())
+	}
+	var buf strings.Builder
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := FromCSV("again", tr.DApp, tr.Func, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Total() != tr.Total() || tr2.Duration() != tr.Duration() {
+		t.Fatal("round trip changed the trace")
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"0,abc",
+		"0,5\n0,6",    // non-increasing
+		"0,5\nx",      // malformed after header position
+		"second,rate", // header only
+		"0,-5",
+	} {
+		if _, err := FromCSV("x", "", "", strings.NewReader(bad)); err == nil {
+			t.Errorf("FromCSV(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,516 @@
+// Package yamlite parses the YAML subset DIABLO's benchmark configuration
+// files use (§4): block and flow mappings and sequences, scalars, comments,
+// anchors (&name), aliases (*name) and local tags (!location, !invoke, …).
+// The standard library has no YAML support, and the workload specification
+// language only needs this subset, so the parser is hand-rolled and strict:
+// anything outside the subset is an error rather than a silent guess.
+package yamlite
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates node shapes.
+type Kind int
+
+const (
+	// Scalar is a string/number leaf.
+	Scalar Kind = iota
+	// Seq is a sequence.
+	Seq
+	// Map is an ordered mapping.
+	Map
+)
+
+// Node is a parsed YAML node.
+type Node struct {
+	Kind   Kind
+	Tag    string // local tag without '!', e.g. "invoke"
+	Anchor string // anchor name without '&'
+	Value  string // scalar value
+	Items  []*Node
+	Fields []Field
+}
+
+// Field is one ordered mapping entry.
+type Field struct {
+	Key   string
+	Value *Node
+}
+
+// Get returns the value for a mapping key.
+func (n *Node) Get(key string) (*Node, bool) {
+	if n == nil || n.Kind != Map {
+		return nil, false
+	}
+	for _, f := range n.Fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return nil, false
+}
+
+// String renders a debug form.
+func (n *Node) String() string {
+	if n == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	n.debug(&b)
+	return b.String()
+}
+
+func (n *Node) debug(b *strings.Builder) {
+	if n.Tag != "" {
+		fmt.Fprintf(b, "!%s ", n.Tag)
+	}
+	switch n.Kind {
+	case Scalar:
+		fmt.Fprintf(b, "%q", n.Value)
+	case Seq:
+		b.WriteByte('[')
+		for i, it := range n.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			it.debug(b)
+		}
+		b.WriteByte(']')
+	case Map:
+		b.WriteByte('{')
+		for i, f := range n.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s: ", f.Key)
+			f.Value.debug(b)
+		}
+		b.WriteByte('}')
+	}
+}
+
+// line is a significant source line.
+type line struct {
+	indent int
+	text   string
+	num    int
+}
+
+type parser struct {
+	lines   []line
+	pos     int
+	anchors map[string]*Node
+}
+
+// Parse parses a document into its root node.
+func Parse(src string) (*Node, error) {
+	p := &parser{anchors: make(map[string]*Node)}
+	for i, raw := range strings.Split(src, "\n") {
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		if strings.ContainsRune(text, '\t') {
+			return nil, fmt.Errorf("yamlite: line %d: tabs are not allowed for indentation", i+1)
+		}
+		p.lines = append(p.lines, line{indent: len(text) - len(trimmed), text: strings.TrimSpace(trimmed), num: i + 1})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("yamlite: empty document")
+	}
+	node, err := p.parseBlock(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("yamlite: line %d: unexpected content %q", p.lines[p.pos].num, p.lines[p.pos].text)
+	}
+	return node, nil
+}
+
+// stripComment removes a trailing comment, respecting quoted strings.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	num := -1
+	if p.pos < len(p.lines) {
+		num = p.lines[p.pos].num
+	}
+	return fmt.Errorf("yamlite: line %d: %s", num, fmt.Sprintf(format, args...))
+}
+
+// parseBlock parses a block node whose lines are indented at exactly
+// indent.
+func (p *parser) parseBlock(indent int) (*Node, error) {
+	if p.pos >= len(p.lines) {
+		return nil, p.errf("unexpected end of document")
+	}
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, p.errf("unexpected indentation %d (want %d)", l.indent, indent)
+	}
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.parseBlockSeq(indent)
+	}
+	return p.parseBlockMap(indent)
+}
+
+// parseBlockSeq parses "- item" entries at the given indent.
+func (p *parser) parseBlockSeq(indent int) (*Node, error) {
+	out := &Node{Kind: Seq}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if rest == "" {
+			// "-" alone: the item is the following deeper block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, p.errf("empty sequence item")
+			}
+			item, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out.Items = append(out.Items, item)
+			continue
+		}
+		// Compact item: rewrite the line as if it started at the item's
+		// column and parse a single "virtual" block from it.
+		itemIndent := indent + (len(l.text) - len(rest))
+		p.lines[p.pos] = line{indent: itemIndent, text: rest, num: l.num}
+		if isMapStart(rest) {
+			item, err := p.parseBlockMap(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			out.Items = append(out.Items, item)
+		} else {
+			item, err := p.parseInline(rest, itemIndent, l.num)
+			if err != nil {
+				return nil, err
+			}
+			p.pos++
+			out.Items = append(out.Items, item)
+		}
+	}
+	return out, nil
+}
+
+// isMapStart reports whether a line begins a mapping entry ("key: ..." or
+// "key:").
+func isMapStart(s string) bool {
+	key, _, ok := splitKey(s)
+	return ok && key != ""
+}
+
+// splitKey splits "key: rest" respecting flow context and quoted keys.
+func splitKey(s string) (key, rest string, ok bool) {
+	depth := 0
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '{', '[':
+			if !inSingle && !inDouble {
+				depth++
+			}
+		case '}', ']':
+			if !inSingle && !inDouble {
+				depth--
+			}
+		case ':':
+			if inSingle || inDouble || depth > 0 {
+				continue
+			}
+			if i+1 == len(s) {
+				return strings.TrimSpace(s[:i]), "", true
+			}
+			if s[i+1] == ' ' {
+				return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+2:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// parseBlockMap parses "key: value" entries at the given indent.
+func (p *parser) parseBlockMap(indent int) (*Node, error) {
+	out := &Node{Kind: Map}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			break
+		}
+		key, rest, ok := splitKey(l.text)
+		if !ok || key == "" {
+			break
+		}
+		key = unquote(key)
+		var value *Node
+		var err error
+		if rest == "" {
+			// The value is the following deeper block (if any), possibly
+			// empty (null -> empty scalar).
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				value, err = p.parseBlock(p.lines[p.pos].indent)
+			} else {
+				value = &Node{Kind: Scalar}
+			}
+		} else if tag, after := takeTag(rest); tag != "" && after == "" {
+			// "key: !tag" with the value as the following deeper block.
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				value, err = p.parseBlock(p.lines[p.pos].indent)
+			} else {
+				value = &Node{Kind: Scalar}
+			}
+			if value != nil {
+				value.Tag = tag
+			}
+		} else {
+			value, err = p.parseInline(rest, indent, l.num)
+			p.pos++
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Fields = append(out.Fields, Field{Key: key, Value: value})
+	}
+	if len(out.Fields) == 0 {
+		return nil, p.errf("expected a mapping entry")
+	}
+	return out, nil
+}
+
+// takeTag extracts a leading "!tag" from s.
+func takeTag(s string) (tag, rest string) {
+	if !strings.HasPrefix(s, "!") {
+		return "", s
+	}
+	end := strings.IndexAny(s, " \t")
+	if end < 0 {
+		return s[1:], ""
+	}
+	return s[1:end], strings.TrimSpace(s[end:])
+}
+
+// takeAnchor extracts a leading "&name" from s.
+func takeAnchor(s string) (anchor, rest string) {
+	if !strings.HasPrefix(s, "&") {
+		return "", s
+	}
+	end := strings.IndexAny(s, " \t")
+	if end < 0 {
+		return s[1:], ""
+	}
+	return s[1:end], strings.TrimSpace(s[end:])
+}
+
+// parseInline parses a one-line value: scalar, flow collection, alias,
+// with optional anchor and tag prefixes. blockIndent is the indent for a
+// trailing block after "&anchor !tag" prefixes (not supported inline; tags
+// with block values are handled by the caller).
+func (p *parser) parseInline(s string, blockIndent, lineNum int) (*Node, error) {
+	anchor, s2 := takeAnchor(s)
+	tag, s3 := takeTag(s2)
+	body := s3
+	if body == "" {
+		return nil, fmt.Errorf("yamlite: line %d: missing value after %q", lineNum, s)
+	}
+	node, err := p.parseFlow(body, lineNum)
+	if err != nil {
+		return nil, err
+	}
+	node.Tag = tag
+	if anchor != "" {
+		node.Anchor = anchor
+		p.anchors[anchor] = node
+	}
+	return node, nil
+}
+
+// parseFlow parses a complete flow value: {..}, [..], *alias or scalar.
+func (p *parser) parseFlow(s string, lineNum int) (*Node, error) {
+	node, rest, err := p.parseFlowPart(s, lineNum)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return nil, fmt.Errorf("yamlite: line %d: trailing content %q", lineNum, rest)
+	}
+	return node, nil
+}
+
+// parseFlowPart parses one flow value, returning the unconsumed tail.
+func (p *parser) parseFlowPart(s string, lineNum int) (*Node, string, error) {
+	s = strings.TrimSpace(s)
+	anchor, s2 := takeAnchor(s)
+	tag := ""
+	if anchor != "" || strings.HasPrefix(s2, "!") {
+		tag, s2 = takeTag(s2)
+		s = strings.TrimSpace(s2)
+	}
+	var node *Node
+	var rest string
+	var err error
+	switch {
+	case strings.HasPrefix(s, "*"):
+		name := s[1:]
+		if end := strings.IndexAny(name, ",}] "); end >= 0 {
+			rest = name[end:]
+			name = name[:end]
+		}
+		target, ok := p.anchors[name]
+		if !ok {
+			return nil, "", fmt.Errorf("yamlite: line %d: unknown alias *%s", lineNum, name)
+		}
+		node = target
+
+	case strings.HasPrefix(s, "{"):
+		node = &Node{Kind: Map}
+		rest = s[1:]
+		for {
+			rest = strings.TrimSpace(rest)
+			if rest == "" {
+				return nil, "", fmt.Errorf("yamlite: line %d: unterminated flow mapping", lineNum)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			if rest[0] == ',' {
+				rest = rest[1:]
+				continue
+			}
+			colon := flowColon(rest)
+			if colon < 0 {
+				return nil, "", fmt.Errorf("yamlite: line %d: expected key: value in flow mapping", lineNum)
+			}
+			key := unquote(strings.TrimSpace(rest[:colon]))
+			var val *Node
+			val, rest, err = p.parseFlowPart(rest[colon+1:], lineNum)
+			if err != nil {
+				return nil, "", err
+			}
+			node.Fields = append(node.Fields, Field{Key: key, Value: val})
+		}
+
+	case strings.HasPrefix(s, "["):
+		node = &Node{Kind: Seq}
+		rest = s[1:]
+		for {
+			rest = strings.TrimSpace(rest)
+			if rest == "" {
+				return nil, "", fmt.Errorf("yamlite: line %d: unterminated flow sequence", lineNum)
+			}
+			if rest[0] == ']' {
+				rest = rest[1:]
+				break
+			}
+			if rest[0] == ',' {
+				rest = rest[1:]
+				continue
+			}
+			var item *Node
+			item, rest, err = p.parseFlowPart(rest, lineNum)
+			if err != nil {
+				return nil, "", err
+			}
+			node.Items = append(node.Items, item)
+		}
+
+	case strings.HasPrefix(s, `"`), strings.HasPrefix(s, "'"):
+		quote := s[0]
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, "", fmt.Errorf("yamlite: line %d: unterminated string", lineNum)
+		}
+		node = &Node{Kind: Scalar, Value: s[1 : 1+end]}
+		rest = s[2+end:]
+
+	default:
+		end := strings.IndexAny(s, ",}]")
+		if end < 0 {
+			node = &Node{Kind: Scalar, Value: strings.TrimSpace(s)}
+			rest = ""
+		} else {
+			node = &Node{Kind: Scalar, Value: strings.TrimSpace(s[:end])}
+			rest = s[end:]
+		}
+	}
+	if tag != "" {
+		node.Tag = tag
+	}
+	if anchor != "" {
+		node.Anchor = anchor
+		p.anchors[anchor] = node
+	}
+	return node, rest, nil
+}
+
+// flowColon finds the key separator in a flow-map entry.
+func flowColon(s string) int {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case ':':
+			if !inSingle && !inDouble {
+				return i
+			}
+		case ',', '}', ']':
+			if !inSingle && !inDouble {
+				return -1
+			}
+		}
+	}
+	return -1
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && (s[0] == '"' && s[len(s)-1] == '"' || s[0] == '\'' && s[len(s)-1] == '\'') {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

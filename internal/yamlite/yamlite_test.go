@@ -1,0 +1,231 @@
+package yamlite
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperExample is the gaming DApp configuration file printed in §4 of the
+// paper, verbatim (modulo the paper's line numbers).
+const paperExample = `
+let:
+  - &loc { sample: !location [ "us-east-2" ] }
+  - &end { sample: !endpoint [ ".*" ] }
+  - &acc { sample: !account { number: 2000 } }
+  - &dapp { sample: !contract { name: "dota" } }
+workloads:
+  - number: 3
+    client:
+      location: *loc
+      view: *end
+      behavior:
+        - interaction: !invoke
+            from: *acc
+            contract: *dapp
+            function: "update(1, 1)"
+          load:
+            0: 4432
+            50: 4438
+            120: 0
+`
+
+func TestPaperExampleParses(t *testing.T) {
+	root, err := Parse(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Kind != Map {
+		t.Fatal("root is not a mapping")
+	}
+	lets, ok := root.Get("let")
+	if !ok || lets.Kind != Seq || len(lets.Items) != 4 {
+		t.Fatalf("let block wrong: %v", lets)
+	}
+	// &acc { sample: !account { number: 2000 } }
+	acc := lets.Items[2]
+	if acc.Anchor != "acc" {
+		t.Fatalf("anchor = %q", acc.Anchor)
+	}
+	sample, ok := acc.Get("sample")
+	if !ok || sample.Tag != "account" {
+		t.Fatalf("sample = %v", sample)
+	}
+	if num, ok := sample.Get("number"); !ok || num.Value != "2000" {
+		t.Fatalf("number = %v", sample)
+	}
+
+	wls, ok := root.Get("workloads")
+	if !ok || wls.Kind != Seq || len(wls.Items) != 1 {
+		t.Fatalf("workloads = %v", wls)
+	}
+	wl := wls.Items[0]
+	if n, ok := wl.Get("number"); !ok || n.Value != "3" {
+		t.Fatalf("number = %v", wl)
+	}
+	client, ok := wl.Get("client")
+	if !ok {
+		t.Fatal("no client")
+	}
+	// Aliases resolve to the anchored nodes.
+	loc, ok := client.Get("location")
+	if !ok {
+		t.Fatal("no location")
+	}
+	locSample, ok := loc.Get("sample")
+	if !ok || locSample.Tag != "location" || locSample.Items[0].Value != "us-east-2" {
+		t.Fatalf("location = %v", loc)
+	}
+	behaviors, ok := client.Get("behavior")
+	if !ok || behaviors.Kind != Seq {
+		t.Fatal("no behavior")
+	}
+	b := behaviors.Items[0]
+	inter, ok := b.Get("interaction")
+	if !ok || inter.Tag != "invoke" {
+		t.Fatalf("interaction = %v", inter)
+	}
+	if fn, ok := inter.Get("function"); !ok || fn.Value != "update(1, 1)" {
+		t.Fatalf("function = %v", inter)
+	}
+	from, ok := inter.Get("from")
+	if !ok {
+		t.Fatal("no from")
+	}
+	if s, ok := from.Get("sample"); !ok || s.Tag != "account" {
+		t.Fatalf("from alias did not resolve: %v", from)
+	}
+	load, ok := b.Get("load")
+	if !ok || load.Kind != Map || len(load.Fields) != 3 {
+		t.Fatalf("load = %v", load)
+	}
+	if load.Fields[0].Key != "0" || load.Fields[0].Value.Value != "4432" {
+		t.Fatalf("load[0] = %+v", load.Fields[0])
+	}
+	if load.Fields[2].Key != "120" || load.Fields[2].Value.Value != "0" {
+		t.Fatalf("load[2] = %+v", load.Fields[2])
+	}
+}
+
+func TestScalarsAndComments(t *testing.T) {
+	root, err := Parse(`
+# top comment
+name: "hello world" # trailing
+count: 42
+quoted: 'single # not a comment'
+empty:
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := root.Get("name"); v.Value != "hello world" {
+		t.Fatalf("name = %q", v.Value)
+	}
+	if v, _ := root.Get("count"); v.Value != "42" {
+		t.Fatalf("count = %q", v.Value)
+	}
+	if v, _ := root.Get("quoted"); v.Value != "single # not a comment" {
+		t.Fatalf("quoted = %q", v.Value)
+	}
+	if v, ok := root.Get("empty"); !ok || v.Kind != Scalar || v.Value != "" {
+		t.Fatalf("empty = %v", v)
+	}
+}
+
+func TestNestedBlocks(t *testing.T) {
+	root, err := Parse(`
+outer:
+  inner:
+    - a
+    - b
+  other: 1
+list:
+  - x: 1
+    y: 2
+  - x: 3
+    y: 4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, _ := root.Get("outer")
+	inner, _ := outer.Get("inner")
+	if inner.Kind != Seq || len(inner.Items) != 2 || inner.Items[1].Value != "b" {
+		t.Fatalf("inner = %v", inner)
+	}
+	if v, ok := outer.Get("other"); !ok || v.Value != "1" {
+		t.Fatal("sibling after nested block lost")
+	}
+	list, _ := root.Get("list")
+	if len(list.Items) != 2 {
+		t.Fatalf("list = %v", list)
+	}
+	if y, _ := list.Items[1].Get("y"); y.Value != "4" {
+		t.Fatalf("list[1].y = %v", y)
+	}
+}
+
+func TestFlowCollections(t *testing.T) {
+	root, err := Parse(`config: { nested: { a: 1, b: [x, y, "z z"] }, list: [1, 2] }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := root.Get("config")
+	nested, _ := cfg.Get("nested")
+	b, _ := nested.Get("b")
+	if len(b.Items) != 3 || b.Items[2].Value != "z z" {
+		t.Fatalf("b = %v", b)
+	}
+	list, _ := cfg.Get("list")
+	if len(list.Items) != 2 || list.Items[0].Value != "1" {
+		t.Fatalf("list = %v", list)
+	}
+}
+
+func TestAnchorsAndAliases(t *testing.T) {
+	root, err := Parse(`
+defaults: &d { rate: 100 }
+first: *d
+second: *d
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := root.Get("first")
+	second, _ := root.Get("second")
+	if first != second {
+		t.Fatal("aliases should share the anchored node")
+	}
+	if r, _ := first.Get("rate"); r.Value != "100" {
+		t.Fatalf("rate = %v", r)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"",                        // empty
+		"key: *nope",              // unknown alias
+		"key: [1, 2",              // unterminated flow seq
+		"key: {a: 1",              // unterminated flow map
+		"key: \"unterminated",     // unterminated string
+		"\tkey: 1",                // tab indentation
+		"a: 1\n      b: deep\nc:", // bad indentation structure
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestDebugString(t *testing.T) {
+	root, err := Parse("a: !tag [1, 2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := root.String()
+	for _, want := range []string{"!tag", "\"1\"", "a:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("debug %q missing %q", s, want)
+		}
+	}
+}
