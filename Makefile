@@ -2,16 +2,21 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench exhibits exhibits-quick examples clean
+.PHONY: build test test-short race bench exhibits exhibits-quick examples clean
 
 build:
 	$(GO) build ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the packages the chaos engine touches.
+race:
+	$(GO) test -race ./internal/chaos ./internal/simnet ./internal/chains/... ./internal/bench
 
 # One Go benchmark per table/figure, reduced scale.
 bench:

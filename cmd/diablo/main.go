@@ -24,6 +24,7 @@ import (
 	"diablo/internal/bench"
 	"diablo/internal/collect"
 	"diablo/internal/remote"
+	"diablo/internal/report"
 	"diablo/internal/spec"
 	"diablo/internal/stats"
 )
@@ -206,6 +207,9 @@ func runLocal(args []string) error {
 		locations = append(locations, wl.Locations...)
 	}
 	logger(level)("running %s on %s (%d workload traces)", setup.Chain, setup.Config.Name, len(traces))
+	if setup.Faults != nil {
+		logger(level)("chaos schedule: %d faults", len(setup.Faults.Events))
+	}
 	out, err := bench.Run(bench.Experiment{
 		Chain:      setup.Chain,
 		Config:     setup.Config,
@@ -214,6 +218,8 @@ func runLocal(args []string) error {
 		Tail:       *tail,
 		ScaleNodes: setup.NodeScale,
 		Locations:  locations,
+		Faults:     setup.Faults,
+		Retry:      setup.Retry,
 	})
 	if err != nil {
 		return err
@@ -221,6 +227,7 @@ func runLocal(args []string) error {
 	rep := collect.FromOutcome(out, true)
 	if *stat {
 		fmt.Println(collect.StatLine(rep))
+		report.RenderRecovery(os.Stdout, rep.Recovery)
 	}
 	if *output != "" {
 		if err := writeReport(*output, rep, *compress); err != nil {

@@ -32,6 +32,9 @@ import (
 	"time"
 
 	"diablo/internal/bench"
+	"diablo/internal/chains/chain"
+	"diablo/internal/chaos"
+	"diablo/internal/collect"
 	"diablo/internal/configs"
 	"diablo/internal/core"
 	"diablo/internal/report"
@@ -150,6 +153,44 @@ type BenchmarkSpec = core.BenchmarkSpec
 // RunBenchmark drives a workload through any Blockchain implementation on
 // the given scheduler (see examples/custom-blockchain).
 var RunBenchmark = core.Run
+
+// FaultSchedule is a deterministic chaos timeline applied to an
+// experiment via Experiment.Faults: crashes, restarts, partitions, lossy
+// links, added delay/jitter, bandwidth degradation and stragglers, each at
+// a scripted virtual time. Same experiment + schedule + seed replays
+// bit-identically.
+type FaultSchedule = chaos.Schedule
+
+// FaultEvent is one scripted fault of a FaultSchedule.
+type FaultEvent = chaos.Event
+
+// Fault kinds for FaultEvent.Kind.
+const (
+	FaultCrash     = chaos.Crash
+	FaultRestart   = chaos.Restart
+	FaultPartition = chaos.Partition
+	FaultHeal      = chaos.Heal
+	FaultLoss      = chaos.Loss
+	FaultDelay     = chaos.Delay
+	FaultBandwidth = chaos.Bandwidth
+	FaultSlow      = chaos.Slow
+)
+
+// CanonicalCrashRestart is the suite's standard recovery probe: crash one
+// node, restart it later, measure when commits resume.
+var CanonicalCrashRestart = chaos.CanonicalCrashRestart
+
+// RetryPolicy configures client-side resubmission with exponential backoff
+// (Experiment.Retry); the zero value disables retries.
+type RetryPolicy = chain.RetryPolicy
+
+// Recovery quantifies a chaos run: liveness gap, per-phase throughput and
+// latency, and time-to-recover after each fault clears.
+type Recovery = collect.Recovery
+
+// RecoveryFrom computes recovery metrics for an outcome run under a fault
+// schedule (nil without one).
+var RecoveryFrom = collect.RecoveryFrom
 
 // ParseBenchmark parses a workload specification document (§4).
 func ParseBenchmark(src string) (*spec.Benchmark, error) { return spec.ParseBenchmark(src) }

@@ -11,6 +11,7 @@ import (
 
 	"diablo/internal/chains"
 	"diablo/internal/chains/chain"
+	"diablo/internal/chaos"
 	"diablo/internal/configs"
 	"diablo/internal/core"
 	"diablo/internal/sim"
@@ -45,6 +46,12 @@ type Experiment struct {
 	// named regions (the specification's !location sampler); empty =
 	// collocate with every endpoint.
 	Locations []string
+	// Faults optionally runs the experiment under a scripted chaos
+	// schedule; all probabilistic faults draw from a PRNG seeded with Seed,
+	// so faulty runs replay bit-identically.
+	Faults *chaos.Schedule
+	// Retry configures client-side resubmission (zero = disabled).
+	Retry chain.RetryPolicy
 }
 
 // Outcome bundles the engine result with run-level diagnostics.
@@ -66,6 +73,11 @@ type Outcome struct {
 	// ExecutedTxs and ReplayedTxs report gas-cache behaviour.
 	ExecutedTxs uint64
 	ReplayedTxs uint64
+	// Retries counts client resubmissions; MsgsLost counts messages
+	// dropped by injected link faults. (Abandoned transactions are in
+	// Result.TimedOut.)
+	Retries  uint64
+	MsgsLost uint64
 }
 
 // DefaultCacheAfter is how many full interpretations warm the gas cache.
@@ -100,11 +112,19 @@ func Run(e Experiment) (*Outcome, error) {
 	start := time.Now()
 	sched := sim.NewScheduler(e.Seed)
 	wan := simnet.New(sched)
+	wan.SeedFaults(e.Seed)
 	net := chain.Deploy(sched, wan, params, chain.Deployment{
 		Nodes:   cfg.Nodes,
 		VCPUs:   cfg.VCPUs,
 		Regions: cfg.Regions,
 	})
+	net.DefaultRetry = e.Retry
+	if e.Faults != nil {
+		if err := e.Faults.Validate(cfg.Nodes); err != nil {
+			return nil, err
+		}
+		chaos.Install(sched, wan, e.Faults)
+	}
 	switch {
 	case e.CacheAfter > 0:
 		net.Exec.CacheAfter = e.CacheAfter
@@ -147,6 +167,8 @@ func Run(e Experiment) (*Outcome, error) {
 		VirtualTime: sched.Now(),
 		ExecutedTxs: net.Exec.Executed,
 		ReplayedTxs: net.Exec.Replayed,
+		Retries:     net.TotalRetries,
+		MsgsLost:    wan.Lost,
 	}, nil
 }
 

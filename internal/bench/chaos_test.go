@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"diablo/internal/chains"
+	"diablo/internal/chains/chain"
+	"diablo/internal/chaos"
+	"diablo/internal/configs"
+	"diablo/internal/workloads"
+)
+
+// chaosSchedule builds a schedule exercising every probabilistic primitive:
+// a crash that auto-restarts, global loss + jitter, and a straggler.
+func chaosSchedule() *chaos.Schedule {
+	return chaos.NewSchedule(
+		chaos.Event{At: 5 * time.Second, Kind: chaos.Loss, AllLinks: true, Rate: 0.1, For: 30 * time.Second},
+		chaos.Event{At: 5 * time.Second, Kind: chaos.Delay, AllLinks: true, Jitter: 20 * time.Millisecond, For: 30 * time.Second},
+		chaos.Event{At: 10 * time.Second, Kind: chaos.Crash, Node: 1, For: 15 * time.Second},
+		chaos.Event{At: 12 * time.Second, Kind: chaos.Slow, Node: 2, Factor: 3, For: 10 * time.Second},
+	)
+}
+
+// TestChaosDeterminism guards the seeded-PRNG plumbing: the same
+// experiment, fault schedule and seed must produce identical commit
+// counts, height and summary metrics across two runs.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() *Outcome {
+		out, err := Run(Experiment{
+			Chain:      "quorum",
+			Config:     configs.Devnet,
+			Traces:     []*workloads.Trace{workloads.NativeConstant(50, 40*time.Second)},
+			Seed:       7,
+			Tail:       80 * time.Second,
+			ScaleNodes: 2,
+			Faults:     chaosSchedule(),
+			Retry:      chain.RetryPolicy{Timeout: 10 * time.Second, MaxRetries: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a.Summary.Committed != b.Summary.Committed || a.Blocks != b.Blocks {
+		t.Fatalf("commits/height diverged: %d@%d vs %d@%d",
+			a.Summary.Committed, a.Blocks, b.Summary.Committed, b.Blocks)
+	}
+	if !reflect.DeepEqual(a.Summary, b.Summary) {
+		t.Fatalf("summaries diverged:\n%+v\n%+v", a.Summary, b.Summary)
+	}
+	if a.MsgsLost != b.MsgsLost || a.Retries != b.Retries || a.TimedOut != b.TimedOut {
+		t.Fatalf("fault accounting diverged: lost %d/%d retries %d/%d timeouts %d/%d",
+			a.MsgsLost, b.MsgsLost, a.Retries, b.Retries, a.TimedOut, b.TimedOut)
+	}
+	if a.MsgsLost == 0 {
+		t.Fatal("10% link loss lost no messages — the loss fault never applied")
+	}
+}
+
+// TestCanonicalCrashRestartRecovery runs every consensus family under the
+// canonical crash-restart schedule and requires a measured recovery: the
+// outcome must report commits resuming after the restart, never a silent
+// hang.
+func TestCanonicalCrashRestartRecovery(t *testing.T) {
+	for _, name := range chains.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			out, err := Run(Experiment{
+				Chain:  name,
+				Config: configs.Devnet,
+				Traces: []*workloads.Trace{workloads.NativeConstant(20, 60*time.Second)},
+				Seed:   3,
+				Tail:   120 * time.Second,
+				Faults: chaos.CanonicalCrashRestart(1, 15*time.Second, 35*time.Second),
+				Retry:  chain.RetryPolicy{Timeout: 15 * time.Second, MaxRetries: 3},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Summary.Committed == 0 {
+				t.Fatalf("%s committed nothing under the canonical schedule", name)
+			}
+			// Every submission must settle: committed, dropped, aborted or
+			// timed out — nothing may hang pending forever.
+			settled := out.Summary.Committed + out.Summary.Aborted + out.Dropped + out.TimedOut
+			if settled < out.Summary.Submitted {
+				t.Fatalf("%s: %d of %d submissions unsettled (silent hang)",
+					name, out.Summary.Submitted-settled, out.Summary.Submitted)
+			}
+		})
+	}
+}
+
+// TestFaultValidationAtRunTime rejects schedules that target nodes outside
+// the (scaled) deployment.
+func TestFaultValidationAtRunTime(t *testing.T) {
+	_, err := Run(Experiment{
+		Chain:      "quorum",
+		Config:     configs.Devnet, // 10 nodes, scaled to 5
+		Traces:     []*workloads.Trace{workloads.NativeConstant(1, time.Second)},
+		ScaleNodes: 2,
+		Faults:     chaos.CanonicalCrashRestart(7, time.Second, 2*time.Second),
+	})
+	if err == nil {
+		t.Fatal("out-of-range fault target accepted")
+	}
+}

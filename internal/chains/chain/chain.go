@@ -163,9 +163,17 @@ type Network struct {
 	// CrashedAt is when the network collapsed (valid when Crashed()).
 	CrashedAt time.Duration
 
+	// DefaultRetry is the retry policy new clients start with (zero =
+	// retries disabled).
+	DefaultRetry RetryPolicy
+
 	// Stats
 	TotalCommittedTxs uint64
 	TotalBlocks       uint64
+	// TotalRetries counts client resubmissions; TotalTimeouts counts
+	// transactions clients abandoned after exhausting retries.
+	TotalRetries  uint64
+	TotalTimeouts uint64
 }
 
 // Node is one blockchain node.
@@ -343,10 +351,19 @@ func (n *Network) BlockExecTime(gas uint64, ntxs int) time.Duration {
 
 // SubmitTx is the node-side RPC: the transaction enters this node's pool
 // (and, via visibility delays, the rest of the network). The error reports
-// policy rejection, which DIABLO counts as a dropped transaction.
+// policy rejection, which DIABLO counts as a dropped transaction, or a
+// transient node fault (ErrNodeDown, ErrNodeCrashed) that a client retry
+// policy may resubmit after. Resubmitting an already-committed transaction
+// reports ErrDuplicate rather than executing it twice.
 func (nd *Node) SubmitTx(tx *types.Transaction) error {
 	if nd.net.crashed {
 		return ErrNodeDown
+	}
+	if nd.Sim.Crashed() {
+		return ErrNodeCrashed
+	}
+	if _, done := nd.net.receipts[tx.ID()]; done {
+		return mempool.ErrDuplicate
 	}
 	nd.net.recordArrival()
 	if nd.net.crashed { // recordArrival may have tripped the collapse

@@ -1,10 +1,52 @@
 package chain
 
 import (
+	"errors"
 	"time"
 
+	"diablo/internal/mempool"
+	"diablo/internal/sim"
 	"diablo/internal/types"
 )
+
+// RetryPolicy configures client-side resubmission: a transaction that is
+// neither decided nor rejected within Timeout is resubmitted with
+// exponential backoff, up to MaxRetries times, after which the client gives
+// up and fires OnTimeout. The zero value disables retries — a submitted
+// transaction then waits for its commit indefinitely, as the original
+// DIABLO Secondaries do.
+type RetryPolicy struct {
+	// Timeout is how long to wait for a decision before the first
+	// resubmission; 0 disables the policy.
+	Timeout time.Duration
+	// MaxRetries bounds resubmissions; once exhausted the next timeout
+	// abandons the transaction (OnTimeout).
+	MaxRetries int
+	// Backoff multiplies the wait after each attempt (default 2).
+	Backoff float64
+}
+
+// Enabled reports whether the policy does anything.
+func (p RetryPolicy) Enabled() bool { return p.Timeout > 0 }
+
+// wait returns the timeout before attempt n's decision (0-based).
+func (p RetryPolicy) wait(attempt int) time.Duration {
+	b := p.Backoff
+	if b < 1 {
+		b = 2
+	}
+	w := float64(p.Timeout)
+	for i := 0; i < attempt; i++ {
+		w *= b
+	}
+	return time.Duration(w)
+}
+
+// retryable reports whether a submission error is transient (the node is
+// down but may come back) rather than a policy rejection.
+func retryable(err error) bool {
+	return errors.Is(err, ErrNodeDown) || errors.Is(err, ErrNodeCrashed)
+}
 
 // Client is a blockchain client attached to one node, as used by a DIABLO
 // Secondary: it submits pre-signed transactions to its collocated node and
@@ -26,12 +68,31 @@ type Client struct {
 	OnDecided func(id types.Hash, status types.ExecStatus, at time.Duration)
 	// OnDropped fires when the node rejects a submission (mempool policy).
 	OnDropped func(id types.Hash, err error, at time.Duration)
+	// OnTimeout fires when the retry policy gives up on a transaction:
+	// attempts resubmissions all timed out. Requires a non-zero RetryPolicy;
+	// without one a transaction pending at a dead node lingers forever.
+	OnTimeout func(id types.Hash, attempts int, at time.Duration)
 
-	pending map[types.Hash]struct{}
+	// Retries counts resubmissions; TimedOut counts abandoned transactions.
+	Retries  int
+	TimedOut int
+
+	retry   RetryPolicy
+	pending map[types.Hash]*pendingTx
 	// waiting holds txs observed in a block, awaiting confirmation depth:
 	// waiting[i] are txs from block number waitBase+i.
 	waiting  [][]decidedTx
 	waitBase uint64
+}
+
+// pendingTx tracks one submitted-but-undecided transaction, kept so the
+// retry policy can resubmit the identical signed payload (dedup at the node
+// keeps the mempool and commit accounting correct).
+type pendingTx struct {
+	tx       *types.Transaction
+	attempts int
+	timer    sim.EventID
+	hasTimer bool
 }
 
 type decidedTx struct {
@@ -42,12 +103,14 @@ type decidedTx struct {
 // rpcLatency is the client-to-collocated-node submission latency.
 const rpcLatency = 500 * time.Microsecond
 
-// NewClient attaches a client to the given node.
+// NewClient attaches a client to the given node. The client starts with the
+// network's DefaultRetry policy.
 func (n *Network) NewClient(nodeIdx int) *Client {
 	c := &Client{
 		net:     n,
 		node:    n.Nodes[nodeIdx],
-		pending: make(map[types.Hash]struct{}),
+		retry:   n.DefaultRetry,
+		pending: make(map[types.Hash]*pendingTx),
 	}
 	c.node.clients = append(c.node.clients, c)
 	return c
@@ -59,21 +122,96 @@ func (c *Client) NodeIndex() int { return c.node.Index }
 // Pending returns the number of submitted-but-undecided transactions.
 func (c *Client) Pending() int { return len(c.pending) }
 
+// SetRetry replaces the client's retry policy.
+func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
+
 // Submit sends a pre-signed transaction to the client's node. The
 // submission reaches the node after the chain's client-side overhead plus
-// RPC latency; policy rejection surfaces through OnDropped.
+// RPC latency; policy rejection surfaces through OnDropped, and — when a
+// retry policy is set — transient failures and silent losses are retried
+// until OnDecided or OnTimeout settles the transaction.
 func (c *Client) Submit(tx *types.Transaction) {
 	id := tx.ID()
-	c.pending[id] = struct{}{}
+	p := &pendingTx{tx: tx}
+	c.pending[id] = p
+	c.send(id, p)
+}
+
+// send performs one submission attempt for a tracked transaction.
+func (c *Client) send(id types.Hash, p *pendingTx) {
 	delay := rpcLatency + c.net.Params.SubmitOverhead
 	c.net.Sched.After(delay, func() {
-		if err := c.node.SubmitTx(tx); err != nil {
+		if c.pending[id] != p {
+			return // decided while the attempt was in flight
+		}
+		err := c.node.SubmitTx(p.tx)
+		switch {
+		case err == nil:
+			c.arm(id, p)
+		case c.retry.Enabled() && errors.Is(err, mempool.ErrDuplicate):
+			// Already known from an earlier attempt. Poll the receipt: the
+			// transaction may have committed in a block this client never
+			// saw (its node was down when the block was decided). A real
+			// client recovers exactly this way — "already known" from the
+			// RPC, then a receipt query.
+			if r, done := c.net.Receipt(id); done {
+				c.settle(id, p)
+				if c.OnDecided != nil {
+					c.OnDecided(id, r.Status, c.net.Sched.Now())
+				}
+				return
+			}
+			// Still pooled; keep waiting for the decision.
+			c.arm(id, p)
+		case c.retry.Enabled() && retryable(err):
+			// The node is down; back off and try again.
+			c.arm(id, p)
+		default:
 			delete(c.pending, id)
 			if c.OnDropped != nil {
 				c.OnDropped(id, err, c.net.Sched.Now())
 			}
 		}
 	})
+}
+
+// arm starts the decision timeout for the current attempt (no-op without a
+// retry policy).
+func (c *Client) arm(id types.Hash, p *pendingTx) {
+	if !c.retry.Enabled() {
+		return
+	}
+	p.timer = c.net.Sched.After(c.retry.wait(p.attempts), func() { c.expire(id, p) })
+	p.hasTimer = true
+}
+
+// expire handles a decision timeout: resubmit with backoff, or give up once
+// retries are exhausted.
+func (c *Client) expire(id types.Hash, p *pendingTx) {
+	if c.pending[id] != p {
+		return
+	}
+	if p.attempts >= c.retry.MaxRetries {
+		delete(c.pending, id)
+		c.TimedOut++
+		c.net.TotalTimeouts++
+		if c.OnTimeout != nil {
+			c.OnTimeout(id, p.attempts, c.net.Sched.Now())
+		}
+		return
+	}
+	p.attempts++
+	c.Retries++
+	c.net.TotalRetries++
+	c.send(id, p)
+}
+
+// settle removes a decided transaction, cancelling any retry timer.
+func (c *Client) settle(id types.Hash, p *pendingTx) {
+	if p.hasTimer {
+		p.timer.Cancel()
+	}
+	delete(c.pending, id)
 }
 
 // onBlock handles a committed block arriving at the client's node. mine
@@ -101,10 +239,11 @@ func (c *Client) onBlock(blk *types.Block, mine []decidedTx) {
 	confirmed := int64(blk.Number) - int64(c.net.Params.ConfirmDepth) - int64(c.waitBase)
 	for i := int64(0); i <= confirmed && i < int64(len(c.waiting)); i++ {
 		for _, d := range c.waiting[i] {
-			if _, still := c.pending[d.id]; !still {
+			p, still := c.pending[d.id]
+			if !still {
 				continue
 			}
-			delete(c.pending, d.id)
+			c.settle(d.id, p)
 			if c.OnDecided != nil {
 				c.OnDecided(d.id, d.status, c.net.Sched.Now())
 			}

@@ -18,6 +18,10 @@ import (
 // ErrNodeDown reports submission to a crashed network.
 var ErrNodeDown = errors.New("chain: node is down (resource exhaustion)")
 
+// ErrNodeCrashed reports submission to an individually fail-stopped node
+// (chaos crash fault); a retrying client resubmits once the node restarts.
+var ErrNodeCrashed = errors.New("chain: node crashed")
+
 // arrivalWindow tracks per-second submission counts for rate estimation
 // and accumulates the excess above the verification capacity.
 type arrivalWindow struct {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"diablo/internal/chains/chain"
+	"diablo/internal/chaos"
 	"diablo/internal/dapps"
 	"diablo/internal/simnet"
 	"diablo/internal/types"
@@ -187,6 +188,130 @@ func TestGasCacheFidelity(t *testing.T) {
 	}
 	if cached.counter != 4 {
 		t.Fatalf("cached counter = %d, want the 4 interpreted calls", cached.counter)
+	}
+}
+
+// TestAllChainsRecoverAfterRestart runs every chain under the canonical
+// crash-restart schedule: replica 2 crashes mid-run and restarts later.
+// Commits through a live node must continue throughout, and the restarted
+// node's own client must decide fresh transactions again — no silent hang.
+func TestAllChainsRecoverAfterRestart(t *testing.T) {
+	all := append(append([]string{}, Names()...), ExtensionNames()...)
+	for _, name := range all {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sched, net := testNet(t, name, 10)
+			w := wallet.New(wallet.FastScheme{}, "recover-"+name, 20)
+			live := net.NewClient(0)
+			restarted := net.NewClient(2)
+			liveCommits, restartCommits := 0, 0
+			live.OnDecided = func(types.Hash, types.ExecStatus, time.Duration) { liveCommits++ }
+			restarted.OnDecided = func(types.Hash, types.ExecStatus, time.Duration) { restartCommits++ }
+			net.Start()
+			chaos.Install(sched, net.Net, chaos.CanonicalCrashRestart(2, 8*time.Second, 60*time.Second))
+			// Phase 1: submissions through a live node, spanning the crash.
+			for i := 0; i < 10; i++ {
+				i := i
+				sched.At(time.Second+time.Duration(i)*200*time.Millisecond, func() {
+					tx := &types.Transaction{Kind: types.KindTransfer, To: w.Get(0).Address, Value: 1, GasLimit: 21000, GasPrice: 1 << 30}
+					w.Get(i % 10).SignNext(tx)
+					live.Submit(tx)
+				})
+			}
+			// Phase 2: fresh submissions through the restarted node itself.
+			for i := 0; i < 5; i++ {
+				i := i
+				sched.At(70*time.Second+time.Duration(i)*200*time.Millisecond, func() {
+					tx := &types.Transaction{Kind: types.KindTransfer, To: w.Get(0).Address, Value: 1, GasLimit: 21000, GasPrice: 1 << 30}
+					w.Get(10 + i).SignNext(tx)
+					restarted.Submit(tx)
+				})
+			}
+			sched.RunUntil(240 * time.Second)
+			net.Stop()
+			if liveCommits != 10 {
+				t.Fatalf("%s: live client committed %d/10 across the crash window", name, liveCommits)
+			}
+			if restartCommits != 5 {
+				t.Fatalf("%s: restarted node's client committed %d/5 after restart (height %d, pending %d)",
+					name, restartCommits, net.Height(), restarted.Pending())
+			}
+		})
+	}
+}
+
+// TestRetryExhaustionClearsPending is the silent-hang regression test: a
+// transaction submitted through a partitioned node used to linger in
+// Client.pending forever with no signal. With a retry policy the client
+// resubmits (deduplicated at the node), then gives up, fires OnTimeout and
+// Pending() decays to zero.
+func TestRetryExhaustionClearsPending(t *testing.T) {
+	sched, net := testNet(t, "quorum", 8)
+	w := wallet.New(wallet.FastScheme{}, "exhaust-test", 4)
+	isolated := net.NewClient(7)
+	isolated.SetRetry(chain.RetryPolicy{Timeout: 5 * time.Second, MaxRetries: 3})
+	committed, timeouts, attempts := 0, 0, 0
+	isolated.OnDecided = func(types.Hash, types.ExecStatus, time.Duration) { committed++ }
+	isolated.OnTimeout = func(_ types.Hash, a int, _ time.Duration) { timeouts++; attempts = a }
+	net.Start()
+	net.Net.Partition(map[simnet.NodeID]int{net.Nodes[7].Sim.ID: 1})
+
+	tx := &types.Transaction{Kind: types.KindTransfer, To: w.Get(1).Address, Value: 1, GasLimit: 21000, GasPrice: 1 << 30}
+	w.Get(0).SignNext(tx)
+	sched.After(time.Second, func() { isolated.Submit(tx) })
+	// Backoff doubles from 5s: exhaustion lands at ~1+5+10+20+40 = 76s.
+	sched.RunUntil(120 * time.Second)
+	net.Stop()
+	if committed != 0 {
+		t.Fatalf("committed %d across a partition", committed)
+	}
+	if timeouts != 1 || attempts != 3 {
+		t.Fatalf("OnTimeout fired %d times with %d attempts, want 1 with 3", timeouts, attempts)
+	}
+	if isolated.Pending() != 0 {
+		t.Fatalf("pending = %d after exhaustion, want 0 (the old silent hang)", isolated.Pending())
+	}
+	if isolated.Retries != 3 || net.TotalRetries != 3 || net.TotalTimeouts != 1 {
+		t.Fatalf("counters: client retries %d, net retries %d, net timeouts %d",
+			isolated.Retries, net.TotalRetries, net.TotalTimeouts)
+	}
+	// Resubmissions were deduplicated: the pool accepted the tx once.
+	if net.Pool.Accepted() != 1 {
+		t.Fatalf("pool accepted %d entries for one retried tx", net.Pool.Accepted())
+	}
+}
+
+// TestRetrySucceedsAfterRestart submits through a crashed node with a
+// retry policy: the first attempts fail, the node restarts, a later retry
+// lands and the transaction commits exactly once.
+func TestRetrySucceedsAfterRestart(t *testing.T) {
+	sched, net := testNet(t, "quorum", 8)
+	w := wallet.New(wallet.FastScheme{}, "retry-test", 4)
+	client := net.NewClient(3)
+	client.SetRetry(chain.RetryPolicy{Timeout: 5 * time.Second, MaxRetries: 5})
+	committed, timeouts := 0, 0
+	client.OnDecided = func(types.Hash, types.ExecStatus, time.Duration) { committed++ }
+	client.OnTimeout = func(types.Hash, int, time.Duration) { timeouts++ }
+	net.Start()
+	net.Nodes[3].Sim.Crash()
+	sched.At(12*time.Second, func() { net.Nodes[3].Sim.Restart() })
+
+	tx := &types.Transaction{Kind: types.KindTransfer, To: w.Get(1).Address, Value: 1, GasLimit: 21000, GasPrice: 1 << 30}
+	w.Get(0).SignNext(tx)
+	sched.After(time.Second, func() { client.Submit(tx) })
+	sched.RunUntil(120 * time.Second)
+	net.Stop()
+	if committed != 1 {
+		t.Fatalf("committed %d, want exactly 1 (retry after restart)", committed)
+	}
+	if timeouts != 0 {
+		t.Fatalf("OnTimeout fired %d times for a recoverable submission", timeouts)
+	}
+	if client.Retries < 1 {
+		t.Fatalf("retries = %d, want >= 1 (first attempts hit the crashed node)", client.Retries)
+	}
+	if client.Pending() != 0 {
+		t.Fatalf("pending = %d after commit", client.Pending())
 	}
 }
 

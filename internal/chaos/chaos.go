@@ -1,0 +1,282 @@
+// Package chaos is the deterministic fault-injection engine: a scripted
+// timeline of faults (crashes, restarts, partitions, lossy links, added
+// delay and jitter, bandwidth degradation, stragglers) applied to the
+// simulated WAN by the discrete-event scheduler. Schedules are built
+// programmatically or parsed from the `faults:` section of a setup
+// specification; because every fault fires at a scripted virtual time and
+// all probabilistic faults draw from a seeded PRNG, two runs of the same
+// experiment, schedule and seed replay bit-identically — the property
+// Berger et al. exploit to evaluate BFT robustness at scale.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"diablo/internal/simnet"
+)
+
+// Kind enumerates the fault primitives.
+type Kind int
+
+const (
+	// Crash fail-stops a node (see Restart).
+	Crash Kind = iota
+	// Restart clears a node's crash.
+	Restart
+	// Partition splits the network into sides that cannot exchange
+	// messages (see Heal).
+	Partition
+	// Heal removes the current partition.
+	Heal
+	// Loss makes a link (or all links) drop messages probabilistically.
+	Loss
+	// Delay adds fixed extra delay plus uniform jitter to a link.
+	Delay
+	// Bandwidth scales a link's capacity down by a factor.
+	Bandwidth
+	// Slow turns a node into a straggler: its messages are delayed by a
+	// factor.
+	Slow
+)
+
+var kindNames = [...]string{
+	"crash", "restart", "partition", "heal",
+	"loss", "delay", "bandwidth", "slow",
+}
+
+// String returns the kind's spec keyword.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one scripted fault.
+type Event struct {
+	// At is when the fault applies (virtual time from experiment start).
+	At time.Duration
+	// For, when positive, auto-clears the fault that much later: a crash
+	// restarts, a partition heals, link faults and slowdowns reset.
+	For time.Duration
+	// Kind selects the primitive.
+	Kind Kind
+
+	// Node targets Crash, Restart and Slow events.
+	Node int
+	// Sides lists the partition's node groups; nodes not listed join
+	// side 0 (Partition only).
+	Sides [][]int
+	// LinkA and LinkB name the degraded link's regions; AllLinks targets
+	// every link instead (Loss, Delay, Bandwidth).
+	LinkA, LinkB simnet.Region
+	AllLinks     bool
+	// Rate is the Loss probability in [0, 1].
+	Rate float64
+	// ExtraDelay and Jitter parameterize Delay events.
+	ExtraDelay time.Duration
+	Jitter     time.Duration
+	// Factor scales bandwidth (Bandwidth, in (0, 1]) or message delay
+	// (Slow, >= 1).
+	Factor float64
+}
+
+// String renders the event the way a schedule describes it.
+func (e Event) String() string {
+	var b strings.Builder
+	switch e.Kind {
+	case Crash, Restart:
+		fmt.Fprintf(&b, "%s node %d", e.Kind, e.Node)
+	case Slow:
+		fmt.Fprintf(&b, "slow node %d %.1fx", e.Node, e.Factor)
+	case Partition:
+		parts := make([]string, len(e.Sides))
+		for i, side := range e.Sides {
+			nums := make([]string, len(side))
+			for j, n := range side {
+				nums[j] = fmt.Sprint(n)
+			}
+			parts[i] = strings.Join(nums, ",")
+		}
+		fmt.Fprintf(&b, "partition %s", strings.Join(parts, "|"))
+	case Heal:
+		b.WriteString("heal")
+	case Loss:
+		fmt.Fprintf(&b, "loss %.1f%% %s", e.Rate*100, e.linkName())
+	case Delay:
+		fmt.Fprintf(&b, "delay %v", e.ExtraDelay)
+		if e.Jitter > 0 {
+			fmt.Fprintf(&b, "±%v", e.Jitter)
+		}
+		fmt.Fprintf(&b, " %s", e.linkName())
+	case Bandwidth:
+		fmt.Fprintf(&b, "bandwidth %.0f%% %s", e.Factor*100, e.linkName())
+	}
+	return b.String()
+}
+
+func (e Event) linkName() string {
+	if e.AllLinks {
+		return "all links"
+	}
+	return fmt.Sprintf("%s<->%s", e.LinkA, e.LinkB)
+}
+
+// Schedule is an ordered fault timeline.
+type Schedule struct {
+	Events []Event
+}
+
+// NewSchedule builds a schedule from events (sorted by time on Validate).
+func NewSchedule(events ...Event) *Schedule {
+	return &Schedule{Events: events}
+}
+
+// Add appends an event and returns the schedule for chaining.
+func (s *Schedule) Add(e Event) *Schedule {
+	s.Events = append(s.Events, e)
+	return s
+}
+
+// CanonicalCrashRestart is the suite's standard recovery probe: crash one
+// node, restart it later, measure how commits resume. Every consensus
+// family is expected to survive it (see TestAllChainsRecoverAfterRestart).
+func CanonicalCrashRestart(node int, crashAt, restartAt time.Duration) *Schedule {
+	return NewSchedule(
+		Event{At: crashAt, Kind: Crash, Node: node},
+		Event{At: restartAt, Kind: Restart, Node: node},
+	)
+}
+
+// Validate checks the schedule against a deployment of the given node
+// count, sorts events by time, and rejects out-of-range targets and
+// malformed parameters.
+func (s *Schedule) Validate(nodes int) error {
+	for i, e := range s.Events {
+		if e.At < 0 {
+			return fmt.Errorf("chaos: event %d (%s): negative time %v", i, e, e.At)
+		}
+		if e.For < 0 {
+			return fmt.Errorf("chaos: event %d (%s): negative duration %v", i, e, e.For)
+		}
+		switch e.Kind {
+		case Crash, Restart, Slow:
+			if e.Node < 0 || e.Node >= nodes {
+				return fmt.Errorf("chaos: event %d (%s): node %d out of range (deployment has %d)", i, e, e.Node, nodes)
+			}
+			if e.Kind == Slow && e.Factor < 1 {
+				return fmt.Errorf("chaos: event %d (%s): slowdown factor must be >= 1", i, e)
+			}
+		case Partition:
+			if len(e.Sides) < 1 {
+				return fmt.Errorf("chaos: event %d: partition needs at least one side", i)
+			}
+			seen := map[int]bool{}
+			for _, side := range e.Sides {
+				for _, n := range side {
+					if n < 0 || n >= nodes {
+						return fmt.Errorf("chaos: event %d (%s): node %d out of range (deployment has %d)", i, e, n, nodes)
+					}
+					if seen[n] {
+						return fmt.Errorf("chaos: event %d (%s): node %d on two sides", i, e, n)
+					}
+					seen[n] = true
+				}
+			}
+		case Heal:
+			// nothing to check
+		case Loss:
+			if e.Rate < 0 || e.Rate > 1 {
+				return fmt.Errorf("chaos: event %d (%s): loss rate must be in [0, 1]", i, e)
+			}
+		case Delay:
+			if e.ExtraDelay < 0 || e.Jitter < 0 {
+				return fmt.Errorf("chaos: event %d (%s): negative delay", i, e)
+			}
+		case Bandwidth:
+			if e.Factor <= 0 || e.Factor > 1 {
+				return fmt.Errorf("chaos: event %d (%s): bandwidth factor must be in (0, 1]", i, e)
+			}
+		default:
+			return fmt.Errorf("chaos: event %d: unknown fault kind %d", i, int(e.Kind))
+		}
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return nil
+}
+
+// Window is one fault's active interval: [Start, End) when Cleared, or
+// open-ended (End meaningless) when the fault never clears.
+type Window struct {
+	Event   Event
+	Start   time.Duration
+	End     time.Duration
+	Cleared bool
+}
+
+// Windows pairs each fault with its clearing event: a crash with the next
+// restart of the same node (or its For expiry), a partition with the next
+// heal (or expiry), and self-expiring link faults with their For deadline.
+// Restart and Heal events do not open windows of their own.
+func (s *Schedule) Windows() []Window {
+	var out []Window
+	for i, e := range s.Events {
+		w := Window{Event: e, Start: e.At}
+		switch e.Kind {
+		case Restart, Heal:
+			continue
+		case Crash:
+			for _, later := range s.Events[i+1:] {
+				if later.Kind == Restart && later.Node == e.Node {
+					w.End, w.Cleared = later.At, true
+					break
+				}
+			}
+		case Partition:
+			for _, later := range s.Events[i+1:] {
+				if later.Kind == Heal {
+					w.End, w.Cleared = later.At, true
+					break
+				}
+			}
+		}
+		if !w.Cleared && e.For > 0 {
+			w.End, w.Cleared = e.At+e.For, true
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// FirstFaultAt returns the earliest fault time (false when empty).
+func (s *Schedule) FirstFaultAt() (time.Duration, bool) {
+	if s == nil || len(s.Events) == 0 {
+		return 0, false
+	}
+	first := s.Events[0].At
+	for _, e := range s.Events[1:] {
+		if e.At < first {
+			first = e.At
+		}
+	}
+	return first, true
+}
+
+// LastClearAt returns the time the last clearing fault clears (false when
+// no fault ever clears).
+func (s *Schedule) LastClearAt() (time.Duration, bool) {
+	if s == nil {
+		return 0, false
+	}
+	var last time.Duration
+	found := false
+	for _, w := range s.Windows() {
+		if w.Cleared && w.End > last {
+			last, found = w.End, true
+		}
+	}
+	return last, found
+}

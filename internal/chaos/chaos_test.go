@@ -1,0 +1,244 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"diablo/internal/sim"
+	"diablo/internal/simnet"
+	"diablo/internal/yamlite"
+)
+
+func parseFaults(t *testing.T, src string) (*Schedule, error) {
+	t.Helper()
+	root, err := yamlite.Parse(src)
+	if err != nil {
+		t.Fatalf("yaml: %v", err)
+	}
+	section, ok := root.Get("faults")
+	if !ok {
+		t.Fatalf("no faults section in %q", src)
+	}
+	return ParseEvents(section)
+}
+
+func TestParseAllKinds(t *testing.T) {
+	src := `
+faults:
+  - crash: {node: 3, at: 30s}
+  - partition: {sides: "0-4 | 5-9", at: 60s, for: 20s}
+  - loss: {link: ohio<->mumbai, rate: 5%, at: 90s}
+  - delay: {link: all, extra: 100ms, jitter: 20ms, at: 90}
+  - bandwidth: {link: ohio<->oregon, factor: 25%, at: 1m30s}
+  - slow: {node: 1, factor: 3x, at: 95s, for: 10s}
+  - restart: {node: 3, at: 120s}
+  - heal: {at: 80s}
+`
+	s, err := parseFaults(t, src)
+	if err != nil {
+		t.Fatalf("ParseEvents: %v", err)
+	}
+	if len(s.Events) != 8 {
+		t.Fatalf("got %d events, want 8", len(s.Events))
+	}
+	if err := s.Validate(10); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	// Validate sorts by time; check a few representatives.
+	byKind := map[Kind]Event{}
+	for _, e := range s.Events {
+		byKind[e.Kind] = e
+	}
+	if e := byKind[Crash]; e.Node != 3 || e.At != 30*time.Second {
+		t.Errorf("crash parsed as %+v", e)
+	}
+	if e := byKind[Partition]; len(e.Sides) != 2 || len(e.Sides[0]) != 5 ||
+		e.Sides[1][4] != 9 || e.For != 20*time.Second {
+		t.Errorf("partition parsed as %+v", e)
+	}
+	if e := byKind[Loss]; e.Rate != 0.05 || e.AllLinks {
+		t.Errorf("loss parsed as %+v", e)
+	} else if e.LinkA.String() != "mumbai" && e.LinkB.String() != "mumbai" {
+		t.Errorf("loss link regions %v<->%v", e.LinkA, e.LinkB)
+	}
+	if e := byKind[Delay]; !e.AllLinks || e.ExtraDelay != 100*time.Millisecond ||
+		e.Jitter != 20*time.Millisecond || e.At != 90*time.Second {
+		t.Errorf("delay parsed as %+v", e)
+	}
+	if e := byKind[Bandwidth]; e.Factor != 0.25 || e.At != 90*time.Second {
+		t.Errorf("bandwidth parsed as %+v", e)
+	}
+	if e := byKind[Slow]; e.Node != 1 || e.Factor != 3 || e.For != 10*time.Second {
+		t.Errorf("slow parsed as %+v", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown kind", `
+faults:
+  - meteor: {node: 1, at: 5s}
+`, "unknown fault kind"},
+		{"missing at", `
+faults:
+  - crash: {node: 1}
+`, "missing `at:`"},
+		{"missing node", `
+faults:
+  - crash: {at: 5s}
+`, "missing `node:`"},
+		{"bad rate", `
+faults:
+  - loss: {link: all, rate: lots, at: 5s}
+`, "bad ratio"},
+		{"bad link", `
+faults:
+  - loss: {link: atlantis<->mumbai, rate: 1%, at: 5s}
+`, "atlantis"},
+		{"one-sided partition", `
+faults:
+  - partition: {sides: "0,1,2", at: 5s}
+`, "at least two"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFaults(t, tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Event
+		want string
+	}{
+		{"node range", Event{Kind: Crash, Node: 7}, "out of range"},
+		{"overlapping sides", Event{Kind: Partition, Sides: [][]int{{0, 1}, {1, 2}}}, "two sides"},
+		{"loss rate", Event{Kind: Loss, AllLinks: true, Rate: 1.5}, "loss rate"},
+		{"bandwidth factor", Event{Kind: Bandwidth, AllLinks: true, Factor: 0}, "bandwidth factor"},
+		{"slow factor", Event{Kind: Slow, Node: 0, Factor: 0.5}, "slowdown factor"},
+		{"negative time", Event{Kind: Heal, At: -time.Second}, "negative time"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := NewSchedule(tc.e).Validate(4)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWindowsPairing(t *testing.T) {
+	s := NewSchedule(
+		Event{At: 30 * time.Second, Kind: Crash, Node: 3},
+		Event{At: 60 * time.Second, Kind: Partition, Sides: [][]int{{0}, {1}}, For: 20 * time.Second},
+		Event{At: 90 * time.Second, Kind: Loss, AllLinks: true, Rate: 0.1},
+		Event{At: 120 * time.Second, Kind: Restart, Node: 3},
+	)
+	if err := s.Validate(4); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	ws := s.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("got %d windows, want 3 (restart opens none)", len(ws))
+	}
+	if w := ws[0]; !w.Cleared || w.Start != 30*time.Second || w.End != 120*time.Second {
+		t.Errorf("crash window = %+v", w)
+	}
+	if w := ws[1]; !w.Cleared || w.End != 80*time.Second {
+		t.Errorf("partition window = %+v", w)
+	}
+	if w := ws[2]; w.Cleared {
+		t.Errorf("loss without clear should stay open, got %+v", w)
+	}
+	if at, ok := s.FirstFaultAt(); !ok || at != 30*time.Second {
+		t.Errorf("FirstFaultAt = %v, %v", at, ok)
+	}
+	if at, ok := s.LastClearAt(); !ok || at != 120*time.Second {
+		t.Errorf("LastClearAt = %v, %v", at, ok)
+	}
+}
+
+// lossyRun wires two nodes, injects 30% loss via an Engine, and sends a
+// message every 100ms for 60s, returning send/delivery/loss counters.
+func lossyRun(seed int64) (sent, delivered, lost uint64) {
+	sched := sim.NewScheduler(seed)
+	wan := simnet.New(sched)
+	wan.SeedFaults(seed)
+	a := wan.AddNode(simnet.Ohio)
+	b := wan.AddNode(simnet.Mumbai)
+	b.SetHandler(func(simnet.Message) {})
+	sch := NewSchedule(
+		Event{At: 5 * time.Second, Kind: Loss, AllLinks: true, Rate: 0.3, For: 30 * time.Second},
+	)
+	Install(sched, wan, sch)
+	// Sends stop at 58s so every message resolves before the 60s cutoff.
+	for i := 1; i <= 580; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		sched.At(sim.Time(at), func() {
+			sent++
+			a.Send(b.ID, 128, "ping")
+		})
+	}
+	sched.RunUntil(sim.Time(60 * time.Second))
+	return sent, wan.Delivered, wan.Lost
+}
+
+func TestDeterministicLoss(t *testing.T) {
+	s1, d1, l1 := lossyRun(42)
+	s2, d2, l2 := lossyRun(42)
+	if s1 != s2 || d1 != d2 || l1 != l2 {
+		t.Fatalf("same seed diverged: (%d,%d,%d) vs (%d,%d,%d)", s1, d1, l1, s2, d2, l2)
+	}
+	if l1 == 0 {
+		t.Fatal("no messages lost under 30% loss")
+	}
+	// The For expiry must restore the link: every send is either delivered
+	// or explicitly lost, never silently stuck.
+	if d1 == 0 || d1+l1 != s1 {
+		t.Fatalf("delivered %d + lost %d != %d sends", d1, l1, s1)
+	}
+}
+
+func TestEngineCrashRestart(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	wan := simnet.New(sched)
+	n0 := wan.AddNode(simnet.Ohio)
+	n1 := wan.AddNode(simnet.Ohio)
+	var got int
+	n1.SetHandler(func(simnet.Message) { got++ })
+
+	eng := Install(sched, wan, CanonicalCrashRestart(1, 10*time.Second, 20*time.Second))
+	// One send per phase: before the crash, during it, after restart.
+	for _, at := range []time.Duration{5 * time.Second, 15 * time.Second, 25 * time.Second} {
+		at := at
+		sched.At(sim.Time(at), func() { n0.Send(n1.ID, 64, "x") })
+	}
+	sched.RunUntil(sim.Time(30 * time.Second))
+	if got != 2 {
+		t.Fatalf("delivered %d messages, want 2 (crash window drops one)", got)
+	}
+	if eng.Applied != 2 {
+		t.Fatalf("Applied = %d, want 2", eng.Applied)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: Loss, Rate: 0.05, LinkA: simnet.Ohio, LinkB: simnet.Mumbai}
+	if s := e.String(); !strings.Contains(s, "5.0%") || !strings.Contains(s, "<->") {
+		t.Errorf("String() = %q", s)
+	}
+	p := Event{Kind: Partition, Sides: [][]int{{0, 1}, {2, 3}}}
+	if s := p.String(); s != "partition 0,1|2,3" {
+		t.Errorf("String() = %q", s)
+	}
+}

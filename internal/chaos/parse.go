@@ -1,0 +1,253 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"diablo/internal/simnet"
+	"diablo/internal/yamlite"
+)
+
+// ParseEvents interprets the `faults:` section of a setup specification: a
+// sequence of single-key mappings whose key names the fault kind, e.g.
+//
+//	faults:
+//	  - crash: {node: 3, at: 30s}
+//	  - partition: {sides: "0-4 | 5-9", at: 60s, for: 20s}
+//	  - loss: {link: ohio<->mumbai, rate: 5%, at: 90s}
+//	  - delay: {link: all, extra: 100ms, jitter: 20ms, at: 90s}
+//	  - bandwidth: {link: ohio<->oregon, factor: 25%, at: 90s}
+//	  - slow: {node: 1, factor: 3x, at: 90s}
+//	  - restart: {node: 3, at: 120s}
+//	  - heal: {at: 80s}
+//
+// Durations accept Go syntax ("90s", "1m30s") or bare seconds ("90").
+// An unknown fault kind is a parse error, never a silent no-op.
+func ParseEvents(n *yamlite.Node) (*Schedule, error) {
+	if n == nil || n.Kind != yamlite.Seq {
+		return nil, fmt.Errorf("chaos: faults section must be a sequence")
+	}
+	s := &Schedule{}
+	for i, item := range n.Items {
+		e, err := parseEvent(item)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: fault %d: %w", i, err)
+		}
+		s.Events = append(s.Events, e)
+	}
+	return s, nil
+}
+
+func parseEvent(n *yamlite.Node) (Event, error) {
+	var e Event
+	if n == nil || n.Kind != yamlite.Map || len(n.Fields) != 1 {
+		return e, fmt.Errorf("expected a single `kind: {params}` mapping")
+	}
+	kindName := n.Fields[0].Key
+	params := n.Fields[0].Value
+	if params == nil || (params.Kind != yamlite.Map && !(params.Kind == yamlite.Scalar && params.Value == "")) {
+		return e, fmt.Errorf("%s: parameters must be a mapping", kindName)
+	}
+
+	kind := -1
+	for k, name := range kindNames {
+		if name == kindName {
+			kind = k
+			break
+		}
+	}
+	if kind < 0 {
+		return e, fmt.Errorf("unknown fault kind %q (want one of %s)", kindName, strings.Join(kindNames[:], ", "))
+	}
+	e.Kind = Kind(kind)
+
+	at, ok := getScalar(params, "at")
+	if !ok {
+		return e, fmt.Errorf("%s: missing `at:` time", kindName)
+	}
+	var err error
+	if e.At, err = parseDuration(at); err != nil {
+		return e, fmt.Errorf("%s: bad at %q", kindName, at)
+	}
+	if v, ok := getScalar(params, "for"); ok {
+		if e.For, err = parseDuration(v); err != nil {
+			return e, fmt.Errorf("%s: bad for %q", kindName, v)
+		}
+	}
+
+	switch e.Kind {
+	case Crash, Restart, Slow:
+		v, ok := getScalar(params, "node")
+		if !ok {
+			return e, fmt.Errorf("%s: missing `node:`", kindName)
+		}
+		if e.Node, err = strconv.Atoi(v); err != nil {
+			return e, fmt.Errorf("%s: bad node %q", kindName, v)
+		}
+		if e.Kind == Slow {
+			f, ok := getScalar(params, "factor")
+			if !ok {
+				return e, fmt.Errorf("slow: missing `factor:`")
+			}
+			if e.Factor, err = parseFactor(f); err != nil {
+				return e, err
+			}
+		}
+	case Partition:
+		v, ok := getScalar(params, "sides")
+		if !ok {
+			return e, fmt.Errorf("partition: missing `sides:`")
+		}
+		if e.Sides, err = parseSides(v); err != nil {
+			return e, err
+		}
+	case Heal:
+		// only `at:`
+	case Loss:
+		if err = parseLink(params, &e); err != nil {
+			return e, err
+		}
+		v, ok := getScalar(params, "rate")
+		if !ok {
+			return e, fmt.Errorf("loss: missing `rate:`")
+		}
+		if e.Rate, err = parseRatio(v); err != nil {
+			return e, err
+		}
+	case Delay:
+		if err = parseLink(params, &e); err != nil {
+			return e, err
+		}
+		if v, ok := getScalar(params, "extra"); ok {
+			if e.ExtraDelay, err = parseDuration(v); err != nil {
+				return e, fmt.Errorf("delay: bad extra %q", v)
+			}
+		}
+		if v, ok := getScalar(params, "jitter"); ok {
+			if e.Jitter, err = parseDuration(v); err != nil {
+				return e, fmt.Errorf("delay: bad jitter %q", v)
+			}
+		}
+		if e.ExtraDelay == 0 && e.Jitter == 0 {
+			return e, fmt.Errorf("delay: needs `extra:` or `jitter:`")
+		}
+	case Bandwidth:
+		if err = parseLink(params, &e); err != nil {
+			return e, err
+		}
+		v, ok := getScalar(params, "factor")
+		if !ok {
+			return e, fmt.Errorf("bandwidth: missing `factor:`")
+		}
+		if e.Factor, err = parseRatio(v); err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+func getScalar(n *yamlite.Node, key string) (string, bool) {
+	v, ok := n.Get(key)
+	if !ok || v == nil || v.Kind != yamlite.Scalar {
+		return "", false
+	}
+	return v.Value, true
+}
+
+// parseDuration accepts Go duration syntax or a bare number of seconds.
+func parseDuration(s string) (time.Duration, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return d, nil
+	}
+	if sec, err := strconv.ParseFloat(s, 64); err == nil {
+		return time.Duration(sec * float64(time.Second)), nil
+	}
+	return 0, fmt.Errorf("bad duration %q", s)
+}
+
+// parseRatio accepts "5%" or a bare fraction like "0.05".
+func parseRatio(s string) (float64, error) {
+	str := strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(str, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad ratio %q", s)
+	}
+	if len(str) != len(s) {
+		v /= 100
+	}
+	return v, nil
+}
+
+// parseFactor accepts "3x" or a bare multiplier like "3".
+func parseFactor(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad factor %q", s)
+	}
+	return v, nil
+}
+
+// parseLink fills the event's link target from `link: a<->b` or `link: all`.
+func parseLink(params *yamlite.Node, e *Event) error {
+	v, ok := getScalar(params, "link")
+	if !ok {
+		return fmt.Errorf("%s: missing `link:` (region pair `a<->b` or `all`)", e.Kind)
+	}
+	if v == "all" {
+		e.AllLinks = true
+		return nil
+	}
+	parts := strings.SplitN(v, "<->", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("%s: bad link %q (want `a<->b` or `all`)", e.Kind, v)
+	}
+	var err error
+	if e.LinkA, err = simnet.RegionByName(strings.TrimSpace(parts[0])); err != nil {
+		return fmt.Errorf("%s: %w", e.Kind, err)
+	}
+	if e.LinkB, err = simnet.RegionByName(strings.TrimSpace(parts[1])); err != nil {
+		return fmt.Errorf("%s: %w", e.Kind, err)
+	}
+	return nil
+}
+
+// parseSides parses "0-4 | 5-9" into partition sides: sides separated by
+// "|", members by ",", with "a-b" inclusive ranges.
+func parseSides(s string) ([][]int, error) {
+	var out [][]int
+	for _, sideStr := range strings.Split(s, "|") {
+		var side []int
+		for _, tok := range strings.Split(sideStr, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			if lo, hi, ok := strings.Cut(tok, "-"); ok {
+				a, errA := strconv.Atoi(strings.TrimSpace(lo))
+				b, errB := strconv.Atoi(strings.TrimSpace(hi))
+				if errA != nil || errB != nil || b < a {
+					return nil, fmt.Errorf("partition: bad range %q", tok)
+				}
+				for n := a; n <= b; n++ {
+					side = append(side, n)
+				}
+			} else {
+				n, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("partition: bad node %q", tok)
+				}
+				side = append(side, n)
+			}
+		}
+		if len(side) == 0 {
+			return nil, fmt.Errorf("partition: empty side in %q", s)
+		}
+		out = append(out, side)
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("partition: %q needs at least two `|`-separated sides", s)
+	}
+	return out, nil
+}

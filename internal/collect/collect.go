@@ -49,6 +49,9 @@ type Summary struct {
 	WallMillis      int64   `json:"wall_ms"`
 	ExecutedTxs     uint64  `json:"executed_txs"`
 	ReplayedTxs     uint64  `json:"replayed_txs"`
+	Retries         uint64  `json:"retries,omitempty"`
+	TimedOut        int     `json:"timed_out,omitempty"`
+	MsgsLost        uint64  `json:"msgs_lost,omitempty"`
 	SubmittedPerSec []int   `json:"submitted_per_sec"`
 	CommittedPerSec []int   `json:"committed_per_sec"`
 }
@@ -60,6 +63,7 @@ type Report struct {
 	Workloads    []string   `json:"workloads"`
 	Seed         int64      `json:"seed"`
 	Summary      Summary    `json:"summary"`
+	Recovery     *Recovery  `json:"recovery,omitempty"`
 	Transactions []TxRecord `json:"transactions,omitempty"`
 }
 
@@ -91,9 +95,13 @@ func FromOutcome(out *bench.Outcome, includeTxs bool) *Report {
 			WallMillis:      out.WallTime.Milliseconds(),
 			ExecutedTxs:     out.ExecutedTxs,
 			ReplayedTxs:     out.ReplayedTxs,
+			Retries:         out.Retries,
+			TimedOut:        out.TimedOut,
+			MsgsLost:        out.MsgsLost,
 			SubmittedPerSec: out.SubmittedPerSec.Counts,
 			CommittedPerSec: out.CommittedPerSec.Counts,
 		},
+		Recovery: RecoveryFrom(out),
 	}
 	if out.DeployErr != nil {
 		rep.Summary.DeployError = out.DeployErr.Error()

@@ -1,0 +1,162 @@
+package collect
+
+import (
+	"sort"
+	"time"
+
+	"diablo/internal/bench"
+)
+
+// Recovery quantifies how a run behaved under a chaos schedule: the longest
+// commit-free interval (liveness gap), per-fault time-to-recover, and
+// throughput/latency split by fault phase.
+type Recovery struct {
+	// LivenessGapS is the longest interval with zero commits, measured
+	// from the first submission to the later of the last commit and the
+	// workload end. LivenessGapStartS is where that interval begins.
+	LivenessGapS      float64 `json:"liveness_gap_s"`
+	LivenessGapStartS float64 `json:"liveness_gap_start_s"`
+	// Phases splits the run into pre-fault / during-faults / post-heal.
+	Phases []PhaseStats `json:"phases,omitempty"`
+	// Recoveries reports, for every fault window that clears, how long
+	// commits took to resume afterwards.
+	Recoveries []FaultRecovery `json:"recoveries,omitempty"`
+}
+
+// PhaseStats aggregates the transactions committed during one phase.
+type PhaseStats struct {
+	Name          string  `json:"name"`
+	StartS        float64 `json:"start_s"`
+	EndS          float64 `json:"end_s"`
+	Committed     int     `json:"committed"`
+	ThroughputTPS float64 `json:"throughput_tps"`
+	AvgLatencyS   float64 `json:"avg_latency_s"`
+}
+
+// FaultRecovery is one fault window's recovery measurement.
+type FaultRecovery struct {
+	// Fault describes the injected fault (Event.String()).
+	Fault string `json:"fault"`
+	// ClearS is when the fault cleared.
+	ClearS float64 `json:"clear_s"`
+	// RecoverS is the delay from the clear to the next observed commit,
+	// or -1 if commits never resumed — a silent hang (unless Idle).
+	RecoverS float64 `json:"recover_s"`
+	// Idle reports that no transaction was in flight when the fault
+	// cleared and none was submitted afterwards: there was nothing to
+	// recover, so RecoverS = -1 is not a hang.
+	Idle bool `json:"idle,omitempty"`
+}
+
+// RecoveryFrom computes recovery metrics for an outcome. It returns nil
+// when the experiment ran without a fault schedule.
+func RecoveryFrom(out *bench.Outcome) *Recovery {
+	faults := out.Experiment.Faults
+	if faults == nil || len(faults.Events) == 0 {
+		return nil
+	}
+
+	var firstSubmit, lastSubmit time.Duration
+	var commits []time.Duration
+	for i, r := range out.Records {
+		if i == 0 || r.Submit < firstSubmit {
+			firstSubmit = r.Submit
+		}
+		if r.Submit > lastSubmit {
+			lastSubmit = r.Submit
+		}
+		if r.Committed() {
+			commits = append(commits, r.Commit)
+		}
+	}
+	sort.Slice(commits, func(i, j int) bool { return commits[i] < commits[j] })
+
+	end := out.Summary.Duration
+	if len(commits) > 0 && commits[len(commits)-1] > end {
+		end = commits[len(commits)-1]
+	}
+	if lastSubmit > end {
+		end = lastSubmit
+	}
+
+	rec := &Recovery{}
+	// Longest commit-free interval across [firstSubmit, end].
+	gapStart, prev := firstSubmit, firstSubmit
+	var gap time.Duration
+	for _, c := range commits {
+		if c-prev > gap {
+			gap, gapStart = c-prev, prev
+		}
+		prev = c
+	}
+	if end-prev > gap {
+		gap, gapStart = end-prev, prev
+	}
+	rec.LivenessGapS = gap.Seconds()
+	rec.LivenessGapStartS = gapStart.Seconds()
+
+	// Time-to-recover per cleared fault window.
+	for _, w := range faults.Windows() {
+		if !w.Cleared {
+			continue
+		}
+		fr := FaultRecovery{Fault: w.Event.String(), ClearS: w.End.Seconds(), RecoverS: -1}
+		i := sort.Search(len(commits), func(i int) bool { return commits[i] >= w.End })
+		if i < len(commits) {
+			fr.RecoverS = (commits[i] - w.End).Seconds()
+		} else {
+			// Nothing committed after the clear: hang, or drained workload?
+			inflight := false
+			for _, r := range out.Records {
+				if r.Submit > w.End || (r.Committed() && r.Commit <= w.End) || r.Aborted {
+					continue
+				}
+				inflight = true
+				break
+			}
+			fr.Idle = !inflight && lastSubmit <= w.End
+		}
+		rec.Recoveries = append(rec.Recoveries, fr)
+	}
+
+	// Phase split: before the first fault, under faults, after the last
+	// clear (the last phase collapses into "during" when nothing clears).
+	faultStart, _ := faults.FirstFaultAt()
+	healEnd, cleared := faults.LastClearAt()
+	if !cleared || healEnd > end {
+		healEnd = end
+	}
+	bounds := []struct {
+		name       string
+		start, end time.Duration
+	}{
+		{"pre-fault", 0, faultStart},
+		{"during", faultStart, healEnd},
+		{"post-heal", healEnd, end},
+	}
+	for _, b := range bounds {
+		if b.end <= b.start {
+			continue
+		}
+		ps := PhaseStats{Name: b.name, StartS: b.start.Seconds(), EndS: b.end.Seconds()}
+		var latSum time.Duration
+		for _, r := range out.Records {
+			if !r.Committed() || r.Commit < b.start {
+				continue
+			}
+			// Half-open phases, except the final one which includes the
+			// run's last instant.
+			if r.Commit >= b.end && !(b.end == end && r.Commit == end) {
+				continue
+			}
+			ps.Committed++
+			latSum += r.Latency()
+		}
+		ps.ThroughputTPS = float64(ps.Committed) / (b.end - b.start).Seconds()
+		if ps.Committed > 0 {
+			ps.AvgLatencyS = (latSum / time.Duration(ps.Committed)).Seconds()
+		}
+		rec.Phases = append(rec.Phases, ps)
+	}
+	return rec
+}

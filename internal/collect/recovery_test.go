@@ -1,0 +1,83 @@
+package collect
+
+import (
+	"testing"
+	"time"
+
+	"diablo/internal/bench"
+	"diablo/internal/chaos"
+	"diablo/internal/core"
+	"diablo/internal/stats"
+)
+
+// syntheticOutcome builds an outcome with hand-placed records under the
+// given schedule, without running a simulation.
+func syntheticOutcome(sch *chaos.Schedule, records []stats.TxRecord, duration time.Duration) *bench.Outcome {
+	res := &core.Result{Records: records}
+	res.Summary = stats.Summarize(records, duration)
+	out := &bench.Outcome{Result: res}
+	out.Experiment.Faults = sch
+	return out
+}
+
+func TestRecoveryFromNilWithoutFaults(t *testing.T) {
+	out := syntheticOutcome(nil, []stats.TxRecord{{Submit: 0, Commit: time.Second}}, 10*time.Second)
+	if RecoveryFrom(out) != nil {
+		t.Fatal("recovery computed for a fault-free run")
+	}
+}
+
+func TestRecoveryMetrics(t *testing.T) {
+	sch := chaos.CanonicalCrashRestart(1, 10*time.Second, 30*time.Second)
+	records := []stats.TxRecord{
+		{Submit: 1 * time.Second, Commit: 2 * time.Second},
+		{Submit: 5 * time.Second, Commit: 6 * time.Second},
+		// Nothing commits during the crash window [10s, 30s); the first
+		// post-restart commit lands 4s after the clear.
+		{Submit: 12 * time.Second, Commit: 34 * time.Second},
+		{Submit: 40 * time.Second, Commit: 41 * time.Second},
+	}
+	rec := RecoveryFrom(syntheticOutcome(sch, records, 45*time.Second))
+	if rec == nil {
+		t.Fatal("no recovery")
+	}
+	// Longest commit-free interval: 6s -> 34s.
+	if rec.LivenessGapS != 28 || rec.LivenessGapStartS != 6 {
+		t.Fatalf("gap = %.1f at %.1f", rec.LivenessGapS, rec.LivenessGapStartS)
+	}
+	if len(rec.Recoveries) != 1 {
+		t.Fatalf("recoveries = %+v", rec.Recoveries)
+	}
+	r := rec.Recoveries[0]
+	if r.ClearS != 30 || r.RecoverS != 4 || r.Idle {
+		t.Fatalf("recovery = %+v", r)
+	}
+	// Phases: pre-fault [0,10), during [10,30), post-heal [30,45].
+	if len(rec.Phases) != 3 {
+		t.Fatalf("phases = %+v", rec.Phases)
+	}
+	if rec.Phases[0].Committed != 2 || rec.Phases[1].Committed != 0 || rec.Phases[2].Committed != 2 {
+		t.Fatalf("phase commits = %+v", rec.Phases)
+	}
+}
+
+func TestRecoveryDistinguishesHangFromDrain(t *testing.T) {
+	sch := chaos.CanonicalCrashRestart(1, 10*time.Second, 30*time.Second)
+
+	// Drained: every submission settled before the clear, none after.
+	rec := RecoveryFrom(syntheticOutcome(sch, []stats.TxRecord{
+		{Submit: 1 * time.Second, Commit: 2 * time.Second},
+	}, 40*time.Second))
+	if r := rec.Recoveries[0]; r.RecoverS != -1 || !r.Idle {
+		t.Fatalf("drained run = %+v", r)
+	}
+
+	// Hang: a transaction was in flight at the clear and never committed.
+	rec = RecoveryFrom(syntheticOutcome(sch, []stats.TxRecord{
+		{Submit: 1 * time.Second, Commit: 2 * time.Second},
+		{Submit: 12 * time.Second, Commit: -1},
+	}, 40*time.Second))
+	if r := rec.Recoveries[0]; r.RecoverS != -1 || r.Idle {
+		t.Fatalf("hung run = %+v", r)
+	}
+}

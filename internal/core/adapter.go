@@ -95,6 +95,9 @@ func (a *SimAdapter) CreateClient(endpoints []Endpoint) (Client, error) {
 	c.client.OnDropped = func(id types.Hash, err error, at time.Duration) {
 		c.drop(id, at)
 	}
+	c.client.OnTimeout = func(id types.Hash, attempts int, at time.Duration) {
+		c.timeout(id, at)
+	}
 	return c, nil
 }
 
@@ -201,6 +204,17 @@ func (c *simClient) decide(id types.Hash, status types.ExecStatus, at time.Durat
 	delete(c.inflight, id)
 	if c.observe != nil {
 		c.observe(in.token, Observation{Submitted: in.submitted, Decided: at, Status: status})
+	}
+}
+
+func (c *simClient) timeout(id types.Hash, at time.Duration) {
+	in, ok := c.inflight[id]
+	if !ok {
+		return
+	}
+	delete(c.inflight, id)
+	if c.observe != nil {
+		c.observe(in.token, Observation{Submitted: in.submitted, Decided: -1, TimedOut: true})
 	}
 }
 

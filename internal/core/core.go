@@ -98,6 +98,9 @@ type Observation struct {
 	Status types.ExecStatus
 	// Dropped reports node-side rejection (mempool policy or node down).
 	Dropped bool
+	// TimedOut reports that the client abandoned the interaction after
+	// exhausting its retry policy (the node stayed dead or partitioned).
+	TimedOut bool
 }
 
 // Client is a connection from a Secondary worker to blockchain nodes

@@ -46,9 +46,12 @@ type Result struct {
 	Summary stats.Summary
 
 	// Dropped counts node-side rejections; AbortedExec counts committed
-	// transactions whose execution failed (e.g. "budget exceeded").
+	// transactions whose execution failed (e.g. "budget exceeded");
+	// TimedOut counts transactions clients abandoned after exhausting
+	// their retry policy.
 	Dropped     int
 	AbortedExec int
+	TimedOut    int
 
 	// SubmittedPerSec and CommittedPerSec are 1-second time series.
 	SubmittedPerSec *stats.TimeSeries
@@ -165,6 +168,10 @@ func Run(sched *sim.Scheduler, bc Blockchain, spec BenchmarkSpec) (*Result, erro
 			rec := &res.Records[idx]
 			if o.Dropped {
 				res.Dropped++
+				return
+			}
+			if o.TimedOut {
+				res.TimedOut++
 				return
 			}
 			rec.Commit = o.Decided

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"diablo/internal/chains"
+	"diablo/internal/collect"
 	"diablo/internal/configs"
 	"diablo/internal/simnet"
 	"diablo/internal/workloads"
@@ -28,6 +29,39 @@ func fmtTput(c Cell) string {
 		return "X" // the paper's cross: the chain cannot run the DApp
 	}
 	return fmt.Sprintf("%.0f", c.Tput)
+}
+
+// RenderRecovery prints a chaos run's recovery metrics: the liveness gap,
+// per-phase throughput/latency, and time-to-recover after each fault
+// clears (a "never" marks a silent hang).
+func RenderRecovery(w io.Writer, rec *collect.Recovery) {
+	if rec == nil {
+		return
+	}
+	fmt.Fprintf(w, "liveness gap: %.1f s (starting at %.1f s)\n",
+		rec.LivenessGapS, rec.LivenessGapStartS)
+	if len(rec.Phases) > 0 {
+		fmt.Fprintf(w, "%-11s %9s %9s %10s %12s %12s\n",
+			"phase", "start", "end", "committed", "tput (TPS)", "avg lat")
+		for _, p := range rec.Phases {
+			lat := "-"
+			if p.Committed > 0 {
+				lat = fmt.Sprintf("%.1f s", p.AvgLatencyS)
+			}
+			fmt.Fprintf(w, "%-11s %8.1fs %8.1fs %10d %12.1f %12s\n",
+				p.Name, p.StartS, p.EndS, p.Committed, p.ThroughputTPS, lat)
+		}
+	}
+	for _, r := range rec.Recoveries {
+		resume := "never (silent hang)"
+		switch {
+		case r.RecoverS >= 0:
+			resume = fmt.Sprintf("commits resumed %.1f s later", r.RecoverS)
+		case r.Idle:
+			resume = "nothing in flight (workload drained)"
+		}
+		fmt.Fprintf(w, "recovery: %s cleared at %.1f s — %s\n", r.Fault, r.ClearS, resume)
+	}
 }
 
 // WriteCellsCSV emits the raw cells.

@@ -7,11 +7,16 @@
 // would.
 //
 // The package also provides fault injection — crashed nodes, added delay,
-// and partitions — used by the robustness tests.
+// partitions, per-link probabilistic loss and jitter, bandwidth
+// degradation and node slowdown — used by the robustness tests and driven
+// at scale by internal/chaos. All probabilistic faults draw from a
+// dedicated seeded PRNG (see SeedFaults) so faulty runs replay
+// bit-identically.
 package simnet
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"diablo/internal/sim"
@@ -64,6 +69,27 @@ type link struct {
 	busyUntil sim.Time
 }
 
+// LinkFault is the degradable state of one region-pair link (or of every
+// link, see EditAllLinksFault). The zero value is a healthy link.
+type LinkFault struct {
+	// Loss is the probability in [0, 1] that a message on the link is
+	// dropped (bandwidth is still consumed, as a corrupted frame would).
+	Loss float64
+	// ExtraDelay is added to every message's propagation delay.
+	ExtraDelay time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per message.
+	Jitter time.Duration
+	// BandwidthFactor scales the link's bandwidth (0.5 = half capacity);
+	// 0 or 1 leaves it untouched.
+	BandwidthFactor float64
+}
+
+// active reports whether the fault degrades anything.
+func (f *LinkFault) active() bool {
+	return f != nil && (f.Loss > 0 || f.ExtraDelay > 0 || f.Jitter > 0 ||
+		(f.BandwidthFactor > 0 && f.BandwidthFactor != 1))
+}
+
 // Network is the simulated WAN.
 type Network struct {
 	Sched *sim.Scheduler
@@ -77,14 +103,36 @@ type Network struct {
 	// sides are dropped.
 	partition map[NodeID]int
 
-	// Delivered counts messages delivered; BytesSent counts payload bytes.
+	// linkFaults holds per-region-pair fault state (key ordered a <= b);
+	// allLinks, when non-nil, applies to pairs without a specific entry.
+	linkFaults map[[2]Region]*LinkFault
+	allLinks   *LinkFault
+	// slow maps a straggler node to its slowdown factor (> 1).
+	slow map[NodeID]float64
+	// rng drives loss and jitter draws; consensus randomness stays on the
+	// scheduler's source so fault draws never perturb protocol behaviour.
+	rng *rand.Rand
+
+	// Delivered counts messages delivered; BytesSent counts payload bytes;
+	// Lost counts messages dropped by link faults (not crashes/partitions).
 	Delivered uint64
 	BytesSent uint64
+	Lost      uint64
 }
 
 // New creates an empty network on the given scheduler.
 func New(sched *sim.Scheduler) *Network {
-	return &Network{Sched: sched, links: make(map[[2]NodeID]*link)}
+	return &Network{
+		Sched: sched,
+		links: make(map[[2]NodeID]*link),
+		rng:   rand.New(rand.NewSource(1)),
+	}
+}
+
+// SeedFaults reseeds the PRNG behind probabilistic link faults so two runs
+// of the same experiment (same seed, same schedule) replay bit-identically.
+func (n *Network) SeedFaults(seed int64) {
+	n.rng = rand.New(rand.NewSource(seed))
 }
 
 // AddNode attaches a new node in the given region.
@@ -129,6 +177,83 @@ func (n *Network) side(id NodeID) int {
 // partition, or both on the same side).
 func (n *Network) SameSide(a, b NodeID) bool { return n.side(a) == n.side(b) }
 
+// pairKey orders a region pair so both directions share fault state.
+func pairKey(a, b Region) [2]Region {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]Region{a, b}
+}
+
+// EditLinkFault mutates the fault state of the link between two regions
+// (both directions), creating it as needed.
+func (n *Network) EditLinkFault(a, b Region, edit func(*LinkFault)) {
+	if n.linkFaults == nil {
+		n.linkFaults = make(map[[2]Region]*LinkFault)
+	}
+	key := pairKey(a, b)
+	f := n.linkFaults[key]
+	if f == nil {
+		f = &LinkFault{}
+		n.linkFaults[key] = f
+	}
+	edit(f)
+}
+
+// EditAllLinksFault mutates the fault state applied to every link without
+// a region-specific entry.
+func (n *Network) EditAllLinksFault(edit func(*LinkFault)) {
+	if n.allLinks == nil {
+		n.allLinks = &LinkFault{}
+	}
+	edit(n.allLinks)
+}
+
+// ClearLinkFaults removes all link fault state.
+func (n *Network) ClearLinkFaults() {
+	n.linkFaults = nil
+	n.allLinks = nil
+}
+
+// linkFaultFor returns the active fault on the (a, b) regions' link, or
+// nil when the link is healthy.
+func (n *Network) linkFaultFor(a, b Region) *LinkFault {
+	if f := n.linkFaults[pairKey(a, b)]; f.active() {
+		return f
+	}
+	if n.allLinks.active() {
+		return n.allLinks
+	}
+	return nil
+}
+
+// SetNodeSlowdown makes a node a straggler: every message to or from it is
+// delayed by the given factor (>= 1) on top of the link's own timing,
+// modeling a node whose packet processing has slowed (CPU steal, swap
+// thrash). A factor <= 1 clears the slowdown.
+func (n *Network) SetNodeSlowdown(id NodeID, factor float64) {
+	if factor <= 1 {
+		delete(n.slow, id)
+		return
+	}
+	if n.slow == nil {
+		n.slow = make(map[NodeID]float64)
+	}
+	n.slow[id] = factor
+}
+
+// slowFactor returns the delay multiplier for a message between two nodes.
+func (n *Network) slowFactor(from, to NodeID) float64 {
+	f := 1.0
+	if s := n.slow[from]; s > f {
+		f = s
+	}
+	if s := n.slow[to]; s > f {
+		f = s
+	}
+	return f
+}
+
 // Latency returns the one-way propagation delay between two nodes.
 func (n *Network) Latency(from, to NodeID) time.Duration {
 	a, b := n.Node(from).Region, n.Node(to).Region
@@ -150,14 +275,20 @@ func (n *Network) transmission(from, to NodeID, size int) time.Duration {
 //
 //	max(now, link free) + transmission(size) + RTT/2 + injected delay
 //
-// Messages on the same link deliver in FIFO order. Messages to or from
-// crashed nodes, or across a partition, are silently dropped (the link
-// time is still consumed for outgoing traffic, as a real NIC would).
+// all scaled by active link faults (bandwidth degradation stretches
+// transmission; extra delay, jitter and node slowdown stretch the
+// propagation part). Messages on the same healthy link deliver in FIFO
+// order; jitter may reorder deliveries, as a lossy path would. Messages to
+// or from crashed nodes, across a partition, or losing the per-link loss
+// draw are silently dropped (the link time is still consumed for outgoing
+// traffic, as a real NIC would).
 func (n *Network) Send(from, to NodeID, size int, payload any) {
 	src, dst := n.Node(from), n.Node(to)
 	if src.crashed {
 		return
 	}
+
+	fault := n.linkFaultFor(src.Region, dst.Region)
 
 	key := [2]NodeID{from, to}
 	l := n.links[key]
@@ -169,11 +300,29 @@ func (n *Network) Send(from, to NodeID, size int, payload any) {
 	if l.busyUntil > start {
 		start = l.busyUntil
 	}
-	done := start + n.transmission(from, to, size)
+	trans := n.transmission(from, to, size)
+	if fault != nil && fault.BandwidthFactor > 0 && fault.BandwidthFactor != 1 {
+		trans = time.Duration(float64(trans) / fault.BandwidthFactor)
+	}
+	done := start + trans
 	l.busyUntil = done
-	arrive := done + n.Latency(from, to) + n.extraDelay
+	prop := n.Latency(from, to) + n.extraDelay
+	if fault != nil {
+		prop += fault.ExtraDelay
+		if fault.Jitter > 0 {
+			prop += time.Duration(n.rng.Float64() * float64(fault.Jitter))
+		}
+	}
+	if s := n.slowFactor(from, to); s > 1 {
+		prop = time.Duration(float64(prop) * s)
+	}
+	arrive := done + prop
 	n.BytesSent += uint64(size)
 
+	if fault != nil && fault.Loss > 0 && n.rng.Float64() < fault.Loss {
+		n.Lost++
+		return // lost on the wire, bandwidth already consumed
+	}
 	if n.side(from) != n.side(to) {
 		return // dropped by the partition, bandwidth already consumed
 	}

@@ -14,6 +14,8 @@ import (
 	"strings"
 	"time"
 
+	"diablo/internal/chains/chain"
+	"diablo/internal/chaos"
 	"diablo/internal/configs"
 	"diablo/internal/dapps"
 	"diablo/internal/workloads"
@@ -333,6 +335,11 @@ type Setup struct {
 	Seed int64
 	// NodeScale optionally divides the configuration's node count.
 	NodeScale int
+	// Faults is the chaos schedule from the `faults:` section (nil = none).
+	Faults *chaos.Schedule
+	// Retry is the client resubmission policy from the `retry:` section
+	// (zero = disabled).
+	Retry chain.RetryPolicy
 }
 
 // ParseSetup parses a setup document of the form:
@@ -341,6 +348,10 @@ type Setup struct {
 //	configuration: consortium
 //	seed: 7
 //	node-scale: 10
+//	retry: {timeout: 10s, max-retries: 3, backoff: 2}
+//	faults:
+//	  - crash: {node: 3, at: 30s}
+//	  - restart: {node: 3, at: 120s}
 func ParseSetup(src string) (*Setup, error) {
 	root, err := yamlite.Parse(src)
 	if err != nil {
@@ -375,5 +386,58 @@ func ParseSetup(src string) (*Setup, error) {
 		}
 		out.NodeScale = v
 	}
+	if r, ok := root.Get("retry"); ok {
+		policy, err := parseRetry(r)
+		if err != nil {
+			return nil, err
+		}
+		out.Retry = policy
+	}
+	if f, ok := root.Get("faults"); ok {
+		sch, err := chaos.ParseEvents(f)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		nodes := cfg.Nodes
+		if out.NodeScale > 1 {
+			nodes = cfg.Scaled(out.NodeScale).Nodes
+		}
+		if err := sch.Validate(nodes); err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		out.Faults = sch
+	}
 	return out, nil
+}
+
+// parseRetry interprets `retry: {timeout: 10s, max-retries: 3, backoff: 2}`.
+func parseRetry(n *yamlite.Node) (chain.RetryPolicy, error) {
+	var p chain.RetryPolicy
+	if n.Kind != yamlite.Map {
+		return p, fmt.Errorf("spec: retry section must be a mapping")
+	}
+	t, ok := n.Get("timeout")
+	if !ok || t.Kind != yamlite.Scalar {
+		return p, fmt.Errorf("spec: retry needs a timeout")
+	}
+	d, err := time.ParseDuration(t.Value)
+	if err != nil || d <= 0 {
+		return p, fmt.Errorf("spec: bad retry timeout %q", t.Value)
+	}
+	p.Timeout = d
+	if m, ok := n.Get("max-retries"); ok {
+		v, err := strconv.Atoi(m.Value)
+		if err != nil || v < 0 {
+			return p, fmt.Errorf("spec: bad max-retries %q", m.Value)
+		}
+		p.MaxRetries = v
+	}
+	if b, ok := n.Get("backoff"); ok {
+		v, err := strconv.ParseFloat(b.Value, 64)
+		if err != nil || v < 1 {
+			return p, fmt.Errorf("spec: bad backoff %q", b.Value)
+		}
+		p.Backoff = v
+	}
+	return p, nil
 }

@@ -249,3 +249,86 @@ node-scale: 2
 		}
 	}
 }
+
+func TestParseSetupChaos(t *testing.T) {
+	s, err := ParseSetup(`
+blockchain: quorum
+configuration: devnet
+seed: 7
+retry: {timeout: 10s, max-retries: 3, backoff: 2}
+faults:
+  - crash: {node: 3, at: 30s}
+  - restart: {node: 3, at: 90s}
+  - partition: {sides: "0-4 | 5-9", at: 120s, for: 20s}
+  - loss: {link: ohio<->mumbai, rate: 5%, at: 150s}
+  - delay: {link: all, extra: 100ms, jitter: 20ms, at: 150s, for: 30s}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Retry.Timeout != 10*time.Second || s.Retry.MaxRetries != 3 || s.Retry.Backoff != 2 {
+		t.Fatalf("retry = %+v", s.Retry)
+	}
+	if s.Faults == nil || len(s.Faults.Events) != 5 {
+		t.Fatalf("faults = %+v", s.Faults)
+	}
+	ev := s.Faults.Events
+	if ev[0].Node != 3 || ev[0].At != 30*time.Second {
+		t.Fatalf("crash = %+v", ev[0])
+	}
+	if ev[2].For != 20*time.Second || len(ev[2].Sides) != 2 {
+		t.Fatalf("partition = %+v", ev[2])
+	}
+	if ev[3].Rate != 0.05 {
+		t.Fatalf("loss = %+v", ev[3])
+	}
+	if !ev[4].AllLinks || ev[4].Jitter != 20*time.Millisecond {
+		t.Fatalf("delay = %+v", ev[4])
+	}
+}
+
+func TestParseSetupChaosErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"unknown kind", `
+blockchain: quorum
+configuration: devnet
+faults:
+  - meteor: {node: 1, at: 5s}
+`, "unknown fault kind"},
+		{"node out of range", `
+blockchain: quorum
+configuration: devnet
+faults:
+  - crash: {node: 99, at: 5s}
+`, "node 99"},
+		{"node out of scaled range", `
+blockchain: quorum
+configuration: devnet
+node-scale: 2
+faults:
+  - crash: {node: 7, at: 5s}
+`, "node 7"},
+		{"retry without timeout", `
+blockchain: quorum
+configuration: devnet
+retry: {max-retries: 3}
+`, "timeout"},
+		{"bad rate", `
+blockchain: quorum
+configuration: devnet
+faults:
+  - loss: {link: all, rate: fuzzy, at: 5s}
+`, "bad ratio"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseSetup(c.src)
+			if err == nil {
+				t.Fatalf("parse succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
