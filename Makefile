@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench exhibits exhibits-quick examples clean
+.PHONY: build test test-short race bench bench-exhibits exhibits exhibits-quick examples clean
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,22 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race-detector pass over the packages the chaos engine touches.
+# Race-detector pass over the packages the chaos engine and the parallel
+# sweep runner touch.
 race:
-	$(GO) test -race ./internal/chaos ./internal/simnet ./internal/chains/... ./internal/bench
+	$(GO) test -race ./internal/sim ./internal/chaos ./internal/simnet \
+		./internal/chains/... ./internal/bench ./internal/core \
+		./internal/report ./internal/perfharness
+
+# Tracked perf harness: scheduler events/sec, simnet msgs/sec, end-to-end
+# cell runtime and parallel-sweep speedup. Gates against the recorded
+# BENCH_PR2.json (fails on a >20% scheduler-throughput drop or a hot path
+# that allocates again), then re-records it.
+bench:
+	$(GO) run ./cmd/diablo bench --out=BENCH_PR2.json --baseline=BENCH_PR2.json
 
 # One Go benchmark per table/figure, reduced scale.
-bench:
+bench-exhibits:
 	$(GO) test -bench=. -benchmem
 
 # Regenerate every table and figure at the paper's full deployment scale

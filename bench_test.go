@@ -13,6 +13,7 @@ package diablo_test
 
 import (
 	"flag"
+	"runtime"
 	"testing"
 	"time"
 
@@ -20,17 +21,22 @@ import (
 	"diablo/internal/report"
 )
 
-var paperScale = flag.Bool("paper-scale", false, "run experiments at the paper's full deployment scale")
+var (
+	paperScale   = flag.Bool("paper-scale", false, "run experiments at the paper's full deployment scale")
+	benchWorkers = flag.Int("bench-workers", runtime.GOMAXPROCS(0), "concurrent experiment cells per exhibit (1 = serial)")
+)
 
-// benchOptions picks the benchmark scale.
+// benchOptions picks the benchmark scale. Cells within an exhibit run on
+// the parallel sweep runner; results are identical for any worker count.
 func benchOptions() report.Options {
 	if *paperScale {
-		return report.Options{Seed: 1}
+		return report.Options{Seed: 1, Workers: *benchWorkers}
 	}
 	return report.Options{
 		NodeScale:   10,
 		MaxDuration: 60 * time.Second,
 		Seed:        1,
+		Workers:     *benchWorkers,
 	}
 }
 

@@ -26,6 +26,7 @@ func main() {
 	rateScale := flag.Float64("rate-scale", 1, "multiply workload rates by this factor")
 	maxDur := flag.Duration("max-duration", 0, "truncate traces (0 = full length)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: diablo-exp [flags] <exhibit>...\nexhibits: %v or 'all'\n", report.IDs())
@@ -45,6 +46,7 @@ func main() {
 		RateScale:   *rateScale,
 		MaxDuration: *maxDur,
 		Seed:        *seed,
+		Workers:     *workers,
 	}
 	for _, id := range ids {
 		runner, ok := report.Experiments[id]

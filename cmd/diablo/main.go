@@ -23,6 +23,7 @@ import (
 
 	"diablo/internal/bench"
 	"diablo/internal/collect"
+	"diablo/internal/perfharness"
 	"diablo/internal/remote"
 	"diablo/internal/report"
 	"diablo/internal/spec"
@@ -43,6 +44,8 @@ func main() {
 		err = runSecondary(os.Args[2:])
 	case "run":
 		err = runLocal(os.Args[2:])
+	case "bench":
+		err = runBench(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -59,6 +62,7 @@ func usage() {
   diablo primary   [flags] <secondaries> <setup.yaml> <workload.yaml>
   diablo secondary [flags]
   diablo run       [flags] <setup.yaml> <workload.yaml>
+  diablo bench     [flags]
 
 primary flags:
   --port=5000         port the secondaries connect to
@@ -73,7 +77,16 @@ secondary flags:
   --tag=LOCATION      the secondary's location tag
 
 run flags:
-  --output=FILE --compress --stat --tail=120s   (as above)`)
+  --output=FILE --compress --stat --tail=120s   (as above)
+  --repeat=N --workers=M    run N seeds (seed..seed+N-1), M cells at a time
+
+bench flags:
+  --out=BENCH_PR2.json      write the machine-readable perf record
+  --baseline=FILE           gate against a recorded baseline (default: --out
+                            if it exists)
+  --tolerance=0.2           allowed throughput drop before failing
+  --workers=0               parallel-sweep pool size (0 = GOMAXPROCS)
+  --quick                   shrunken stages for smoke runs`)
 }
 
 // verbosity consumes -v/-vv/-vvv flags, returning the level and the rest.
@@ -187,6 +200,8 @@ func runLocal(args []string) error {
 	compress := fs.Bool("compress", false, "gzip the output")
 	stat := fs.Bool("stat", true, "print statistics")
 	tail := fs.Duration("tail", 120*time.Second, "observation tail after the last submission")
+	repeat := fs.Int("repeat", 1, "run this many seeds (seed..seed+N-1)")
+	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -206,34 +221,123 @@ func runLocal(args []string) error {
 	for _, wl := range benchmark.Workloads {
 		locations = append(locations, wl.Locations...)
 	}
-	logger(level)("running %s on %s (%d workload traces)", setup.Chain, setup.Config.Name, len(traces))
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	logger(level)("running %s on %s (%d workload traces, %d seeds)",
+		setup.Chain, setup.Config.Name, len(traces), *repeat)
 	if setup.Faults != nil {
 		logger(level)("chaos schedule: %d faults", len(setup.Faults.Events))
 	}
-	out, err := bench.Run(bench.Experiment{
-		Chain:      setup.Chain,
-		Config:     setup.Config,
-		Traces:     traces,
-		Seed:       setup.Seed,
-		Tail:       *tail,
-		ScaleNodes: setup.NodeScale,
-		Locations:  locations,
-		Faults:     setup.Faults,
-		Retry:      setup.Retry,
-	})
+	exps := make([]bench.Experiment, *repeat)
+	for i := range exps {
+		exps[i] = bench.Experiment{
+			Chain:      setup.Chain,
+			Config:     setup.Config,
+			Traces:     traces,
+			Seed:       setup.Seed + int64(i),
+			Tail:       *tail,
+			ScaleNodes: setup.NodeScale,
+			Locations:  locations,
+			Faults:     setup.Faults,
+			Retry:      setup.Retry,
+		}
+	}
+	// Independent seeds sweep concurrently; outcomes come back in seed
+	// order and are identical to a serial sweep.
+	outs, err := bench.RunMany(*workers, exps)
 	if err != nil {
 		return err
 	}
-	rep := collect.FromOutcome(out, true)
-	if *stat {
-		fmt.Println(collect.StatLine(rep))
-		report.RenderRecovery(os.Stdout, rep.Recovery)
+	for _, out := range outs {
+		rep := collect.FromOutcome(out, true)
+		if *stat {
+			if *repeat > 1 {
+				fmt.Printf("seed %d: ", out.Experiment.Seed)
+			}
+			fmt.Println(collect.StatLine(rep))
+			report.RenderRecovery(os.Stdout, rep.Recovery)
+		}
+		if *output != "" {
+			path := *output
+			if *repeat > 1 {
+				path = seedSuffixed(path, out.Experiment.Seed)
+			}
+			if err := writeReport(path, rep, *compress); err != nil {
+				return err
+			}
+			logger(level)("results written to %s", path)
+		}
 	}
-	if *output != "" {
-		if err := writeReport(*output, rep, *compress); err != nil {
+	return nil
+}
+
+// seedSuffixed inserts "-seed<N>" before the path's extension.
+func seedSuffixed(path string, seed int64) string {
+	ext := ""
+	base := path
+	if i := lastDot(path); i > 0 {
+		base, ext = path[:i], path[i:]
+	}
+	return fmt.Sprintf("%s-seed%d%s", base, seed, ext)
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		switch s[i] {
+		case '.':
+			return i
+		case '/':
+			return -1
+		}
+	}
+	return -1
+}
+
+// runBench executes the tracked perf harness (scheduler throughput, simnet
+// message rate, end-to-end cell runtime, sweep speedup), gates it against
+// a recorded baseline and records the new measurement.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_PR2.json", "machine-readable output path (empty = don't write)")
+	baseline := fs.String("baseline", "", "baseline to gate against (default: --out if it exists)")
+	tolerance := fs.Float64("tolerance", 0.2, "allowed relative throughput drop")
+	workers := fs.Int("workers", 0, "parallel-sweep pool size (0 = GOMAXPROCS)")
+	quick := fs.Bool("quick", false, "shrunken stages for smoke runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := *baseline
+	if base == "" && *out != "" {
+		base = *out
+	}
+	// A missing baseline is not an error: the first run records it.
+	var recorded *perfharness.Result
+	if base != "" {
+		if _, err := os.Stat(base); err == nil {
+			r, err := perfharness.ReadJSON(base)
+			if err != nil {
+				return err
+			}
+			recorded = r
+		}
+	}
+	res, err := perfharness.Run(perfharness.Options{SweepWorkers: *workers, Quick: *quick})
+	if err != nil {
+		return err
+	}
+	perfharness.Render(os.Stdout, res)
+	if recorded != nil {
+		if err := perfharness.Compare(res, recorded, *tolerance); err != nil {
 			return err
 		}
-		logger(level)("results written to %s", *output)
+		fmt.Printf("baseline %s: within %.0f%% tolerance\n", base, *tolerance*100)
+	}
+	if *out != "" {
+		if err := perfharness.WriteJSON(*out, res); err != nil {
+			return err
+		}
+		fmt.Printf("recorded to %s\n", *out)
 	}
 	return nil
 }

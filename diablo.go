@@ -61,6 +61,16 @@ type Config = configs.Config
 // RunExperiment executes an experiment on the simulated testbed.
 func RunExperiment(e Experiment) (*Outcome, error) { return bench.Run(e) }
 
+// RunExperiments executes independent experiments concurrently on a worker
+// pool (workers <= 0 uses GOMAXPROCS, 1 runs serially) and returns the
+// outcomes in input order. Each experiment runs on its own isolated
+// scheduler and RNGs, so outcomes are bit-identical to serial execution —
+// only the wall-clock time changes. Use it to sweep grids of cells (chains
+// x workloads x rates), the shape of every figure in the paper.
+func RunExperiments(workers int, es []Experiment) ([]*Outcome, error) {
+	return bench.RunMany(workers, es)
+}
+
 // Chains lists the six evaluated blockchains: algorand, avalanche, diem,
 // ethereum, quorum, solana.
 func Chains() []string { return chainsreg.Names() }

@@ -2,6 +2,10 @@
 // workloads and watch who saturates, who sheds load and who collapses —
 // an extended version of the paper's Fig. 4 with a full rate sweep.
 //
+// The grid's cells are independent, so the sweep fans out across all CPU
+// cores through the parallel experiment runner; per-cell results are
+// bit-identical to a serial sweep.
+//
 //	go run ./examples/robustness-sweep
 //
 // With --chaos each cell additionally runs under the suite's canonical
@@ -23,16 +27,36 @@ import (
 
 func main() {
 	chaosMode := flag.Bool("chaos", false, "run cells under the canonical crash-restart schedule")
+	workers := flag.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 	if *chaosMode {
-		chaosSweep()
+		chaosSweep(*workers)
 		return
 	}
-	rateSweep()
+	rateSweep(*workers)
 }
 
-func rateSweep() {
+func rateSweep(workers int) {
 	rates := []float64{500, 1000, 2000, 5000, 10000}
+	chains := diablo.Chains()
+
+	// One experiment per (chain, rate) cell, chain-major like the table.
+	var exps []diablo.Experiment
+	for _, chain := range chains {
+		for _, rate := range rates {
+			exps = append(exps, diablo.Experiment{
+				Chain:  chain,
+				Config: diablo.Configs.Devnet,
+				Traces: []*diablo.Trace{diablo.Workloads.NativeConstant(rate, 60*time.Second)},
+				Seed:   1,
+				Tail:   60 * time.Second,
+			})
+		}
+	}
+	outs, err := diablo.RunExperiments(workers, exps)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%-11s", "chain")
 	for _, r := range rates {
@@ -40,19 +64,10 @@ func rateSweep() {
 	}
 	fmt.Println("   (offered TPS)")
 
-	for _, chain := range diablo.Chains() {
+	for ci, chain := range chains {
 		fmt.Printf("%-11s", chain)
-		for _, rate := range rates {
-			out, err := diablo.RunExperiment(diablo.Experiment{
-				Chain:  chain,
-				Config: diablo.Configs.Devnet,
-				Traces: []*diablo.Trace{diablo.Workloads.NativeConstant(rate, 60*time.Second)},
-				Seed:   1,
-				Tail:   60 * time.Second,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
+		for ri := range rates {
+			out := outs[ci*len(rates)+ri]
 			cell := fmt.Sprintf("%.0f", out.Summary.ThroughputTPS)
 			if out.Crashed {
 				cell += "*"
@@ -67,12 +82,11 @@ func rateSweep() {
 
 // chaosSweep runs every chain at a moderate rate under the canonical
 // crash-restart schedule and reports recovery metrics.
-func chaosSweep() {
-	fmt.Printf("%-11s%12s%12s%12s%12s%10s\n",
-		"chain", "committed", "tput TPS", "gap s", "recover s", "retries")
-
-	for _, chain := range diablo.Chains() {
-		out, err := diablo.RunExperiment(diablo.Experiment{
+func chaosSweep(workers int) {
+	chains := diablo.Chains()
+	exps := make([]diablo.Experiment, len(chains))
+	for i, chain := range chains {
+		exps[i] = diablo.Experiment{
 			Chain:  chain,
 			Config: diablo.Configs.Devnet,
 			Traces: []*diablo.Trace{diablo.Workloads.NativeConstant(100, 60*time.Second)},
@@ -80,10 +94,18 @@ func chaosSweep() {
 			Tail:   120 * time.Second,
 			Faults: diablo.CanonicalCrashRestart(1, 15*time.Second, 35*time.Second),
 			Retry:  diablo.RetryPolicy{Timeout: 15 * time.Second, MaxRetries: 3},
-		})
-		if err != nil {
-			log.Fatal(err)
 		}
+	}
+	outs, err := diablo.RunExperiments(workers, exps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-11s%12s%12s%12s%12s%10s\n",
+		"chain", "committed", "tput TPS", "gap s", "recover s", "retries")
+
+	for i, chain := range chains {
+		out := outs[i]
 		rec := diablo.RecoveryFrom(out)
 		recover := "n/a"
 		if len(rec.Recoveries) > 0 {

@@ -1,0 +1,27 @@
+package bench
+
+import "diablo/internal/core"
+
+// RunMany executes independent experiments concurrently on a worker pool
+// (workers <= 0 uses GOMAXPROCS, 1 runs serially) and returns the outcomes
+// in input order. Every experiment gets a fully isolated scheduler, WAN
+// and RNGs inside Run, so the outcomes are bit-identical to running the
+// same experiments serially — parallelism only changes wall-clock time.
+//
+// Shared inputs (configs, traces, fault schedules) are read-only during a
+// run, so the same Experiment values may appear in several cells.
+func RunMany(workers int, exps []Experiment) ([]*Outcome, error) {
+	outs := make([]*Outcome, len(exps))
+	err := core.ForEach(workers, len(exps), func(i int) error {
+		out, err := Run(exps[i])
+		if err != nil {
+			return err
+		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs n independent jobs across a pool of workers goroutines and
+// waits for all of them. workers <= 0 uses GOMAXPROCS; workers == 1 (or
+// n == 1) degenerates to a plain serial loop on the caller's goroutine.
+//
+// ForEach is the backbone of the parallel experiment sweep: every job must
+// be fully isolated — its own sim.Scheduler, its own RNGs, no shared
+// mutable state — so that results are bit-identical whichever worker runs
+// the job and in whatever order jobs interleave. Results must be written
+// into per-index slots (never appended to a shared slice) to keep output
+// ordering independent of completion order.
+//
+// The returned error is the lowest-index job error, so error reporting is
+// deterministic too. In serial mode the first error stops the loop; in
+// parallel mode remaining jobs still run, but the same error is returned.
+func ForEach(workers, n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+// Package perfharness measures the suite's performance trajectory: raw
+// scheduler throughput (events/sec), simnet message rate (msgs/sec), the
+// end-to-end runtime of one experiment cell, and the wall-clock speedup of
+// the parallel sweep runner over a serial sweep. Results serialize to a
+// machine-readable JSON file (BENCH_PR2.json at the repository root) so
+// future changes can be gated against a recorded baseline: `make bench`
+// fails when scheduler throughput drops more than the tolerance below the
+// baseline, or when the hot paths start allocating again.
+package perfharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"diablo/internal/bench"
+	"diablo/internal/configs"
+	"diablo/internal/sim"
+	"diablo/internal/simnet"
+	"diablo/internal/workloads"
+)
+
+// Result is one harness run, the unit recorded in BENCH_PR2.json.
+type Result struct {
+	// Environment.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	// Scheduler micro-benchmark: the schedule/execute churn cycle.
+	SchedulerEventsPerSec float64 `json:"scheduler_events_per_sec"`
+	SchedulerAllocsPerOp  float64 `json:"scheduler_allocs_per_op"`
+
+	// Simnet micro-benchmark: the send+deliver cycle on a warm link.
+	SimnetMsgsPerSec  float64 `json:"simnet_msgs_per_sec"`
+	SimnetAllocsPerOp float64 `json:"simnet_allocs_per_op"`
+
+	// End-to-end: one reduced-scale experiment cell (quorum, consortium/10,
+	// FIFA workload), the unit every figure multiplies.
+	CellSeconds float64 `json:"cell_seconds"`
+
+	// Sweep: a grid of independent cells run serially and on the parallel
+	// runner.
+	SweepCells           int     `json:"sweep_cells"`
+	SweepWorkers         int     `json:"sweep_workers"`
+	SweepSerialSeconds   float64 `json:"sweep_serial_seconds"`
+	SweepParallelSeconds float64 `json:"sweep_parallel_seconds"`
+	SweepSpeedup         float64 `json:"sweep_speedup"`
+	// SweepDeterministic records that the parallel sweep's summaries were
+	// bit-identical to the serial sweep's.
+	SweepDeterministic bool `json:"sweep_deterministic"`
+}
+
+// Options scales the harness; zero values pick defaults sized for a
+// seconds-long run.
+type Options struct {
+	// SchedulerEvents is the churn cycle count (default 2,000,000).
+	SchedulerEvents int
+	// SimnetMessages is the send count (default 2,000,000).
+	SimnetMessages int
+	// SweepWorkers is the parallel sweep's pool size (default GOMAXPROCS).
+	SweepWorkers int
+	// Quick shrinks the end-to-end stages for tests.
+	Quick bool
+}
+
+type tick struct{ n int }
+
+func (t *tick) Run() { t.n++ }
+
+// benchScheduler measures the schedule/execute cycle with a kept and a
+// cancelled timer per iteration — the consensus-timeout pattern that
+// dominates protocol event traffic.
+func benchScheduler(cycles int) (eventsPerSec, allocsPerOp float64) {
+	s := sim.NewScheduler(1)
+	c := &tick{}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < cycles; i++ {
+		s.AfterCall(time.Microsecond, c)
+		timer := s.AfterCall(time.Second, c)
+		s.Step()
+		timer.Cancel()
+	}
+	s.Run()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return float64(s.Executed()) / elapsed.Seconds(),
+		float64(ms1.Mallocs-ms0.Mallocs) / float64(cycles)
+}
+
+// benchSimnet measures the send+deliver cycle across a 50-node WAN spread
+// over the ten regions.
+func benchSimnet(msgs int) (msgsPerSec, allocsPerOp float64) {
+	s := sim.NewScheduler(1)
+	net := simnet.New(s)
+	const nodes = 50
+	for _, r := range simnet.PlaceEvenly(nodes, simnet.AllRegions()) {
+		n := net.AddNode(r)
+		n.SetHandler(func(m simnet.Message) {})
+	}
+	var payload any = "msg"
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		net.Send(simnet.NodeID(i%nodes), simnet.NodeID((i+1)%nodes), 200, payload)
+		if i%256 == 255 {
+			s.Run()
+		}
+	}
+	s.Run()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return float64(net.Delivered) / elapsed.Seconds(),
+		float64(ms1.Mallocs-ms0.Mallocs) / float64(msgs)
+}
+
+// cellExperiment is the harness's end-to-end unit: one reduced-scale
+// quorum cell under the FIFA workload.
+func cellExperiment(seed int64, quick bool) (bench.Experiment, error) {
+	dur := 30 * time.Second
+	if quick {
+		dur = 5 * time.Second
+	}
+	tr, err := workloads.ByName("fifa98")
+	if err != nil {
+		return bench.Experiment{}, err
+	}
+	return bench.Experiment{
+		Chain:      "quorum",
+		Config:     configs.Consortium,
+		Traces:     []*workloads.Trace{tr.Truncated(dur)},
+		Seed:       seed,
+		Tail:       2 * dur,
+		ScaleNodes: 10,
+	}, nil
+}
+
+// sweepGrid builds the multi-cell benchmark sweep: every chain at two
+// constant rates on the scaled-down devnet deployment.
+func sweepGrid(quick bool) []bench.Experiment {
+	chains := []string{"algorand", "avalanche", "diem", "ethereum", "quorum", "solana"}
+	rates := []float64{100, 300}
+	dur := 20 * time.Second
+	if quick {
+		chains = chains[:2]
+		rates = rates[:1]
+		dur = 5 * time.Second
+	}
+	var exps []bench.Experiment
+	for _, chain := range chains {
+		for _, rate := range rates {
+			exps = append(exps, bench.Experiment{
+				Chain:  chain,
+				Config: configs.Devnet,
+				Traces: []*workloads.Trace{workloads.NativeConstant(rate, dur)},
+				Seed:   1,
+				Tail:   dur,
+			})
+		}
+	}
+	return exps
+}
+
+// Run executes the full harness.
+func Run(o Options) (*Result, error) {
+	schedCycles := o.SchedulerEvents
+	if schedCycles <= 0 {
+		schedCycles = 2_000_000
+	}
+	netMsgs := o.SimnetMessages
+	if netMsgs <= 0 {
+		netMsgs = 2_000_000
+	}
+	workers := o.SweepWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Quick {
+		schedCycles = min(schedCycles, 100_000)
+		netMsgs = min(netMsgs, 100_000)
+	}
+
+	r := &Result{
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		SweepWorkers: workers,
+	}
+	r.SchedulerEventsPerSec, r.SchedulerAllocsPerOp = benchScheduler(schedCycles)
+	r.SimnetMsgsPerSec, r.SimnetAllocsPerOp = benchSimnet(netMsgs)
+
+	cell, err := cellExperiment(1, o.Quick)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := bench.Run(cell); err != nil {
+		return nil, err
+	}
+	r.CellSeconds = time.Since(start).Seconds()
+
+	exps := sweepGrid(o.Quick)
+	r.SweepCells = len(exps)
+	start = time.Now()
+	serial, err := bench.RunMany(1, exps)
+	if err != nil {
+		return nil, err
+	}
+	r.SweepSerialSeconds = time.Since(start).Seconds()
+	start = time.Now()
+	parallel, err := bench.RunMany(workers, exps)
+	if err != nil {
+		return nil, err
+	}
+	r.SweepParallelSeconds = time.Since(start).Seconds()
+	if r.SweepParallelSeconds > 0 {
+		r.SweepSpeedup = r.SweepSerialSeconds / r.SweepParallelSeconds
+	}
+	r.SweepDeterministic = true
+	for i := range serial {
+		if serial[i].Summary != parallel[i].Summary || serial[i].Blocks != parallel[i].Blocks {
+			r.SweepDeterministic = false
+		}
+	}
+	return r, nil
+}
+
+// Compare gates a run against a recorded baseline: throughput metrics may
+// not drop more than tol (0.2 = 20%) below it, hot paths must stay
+// allocation-free if the baseline had them allocation-free, and the sweep
+// must stay deterministic.
+func Compare(cur, base *Result, tol float64) error {
+	floor := 1 - tol
+	if cur.SchedulerEventsPerSec < base.SchedulerEventsPerSec*floor {
+		return fmt.Errorf("perfharness: scheduler throughput regressed: %.0f events/sec vs baseline %.0f (tolerance %.0f%%)",
+			cur.SchedulerEventsPerSec, base.SchedulerEventsPerSec, tol*100)
+	}
+	if cur.SimnetMsgsPerSec < base.SimnetMsgsPerSec*floor {
+		return fmt.Errorf("perfharness: simnet message rate regressed: %.0f msgs/sec vs baseline %.0f (tolerance %.0f%%)",
+			cur.SimnetMsgsPerSec, base.SimnetMsgsPerSec, tol*100)
+	}
+	// Allocation regressions compound across hundreds of millions of
+	// events, so gate them on an absolute budget rather than a ratio.
+	const allocBudget = 0.5
+	if base.SchedulerAllocsPerOp <= allocBudget && cur.SchedulerAllocsPerOp > allocBudget {
+		return fmt.Errorf("perfharness: scheduler hot path allocates again: %.2f allocs/op (baseline %.2f)",
+			cur.SchedulerAllocsPerOp, base.SchedulerAllocsPerOp)
+	}
+	if base.SimnetAllocsPerOp <= allocBudget && cur.SimnetAllocsPerOp > allocBudget {
+		return fmt.Errorf("perfharness: simnet hot path allocates again: %.2f allocs/op (baseline %.2f)",
+			cur.SimnetAllocsPerOp, base.SimnetAllocsPerOp)
+	}
+	if !cur.SweepDeterministic {
+		return fmt.Errorf("perfharness: parallel sweep diverged from serial results")
+	}
+	return nil
+}
+
+// WriteJSON records a result.
+func WriteJSON(path string, r *Result) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a recorded result.
+func ReadJSON(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("perfharness: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Render prints the result as a human-readable table.
+func Render(w io.Writer, r *Result) {
+	fmt.Fprintf(w, "perf harness (%s, GOMAXPROCS=%d)\n", r.GoVersion, r.GOMAXPROCS)
+	fmt.Fprintf(w, "  scheduler    %12.0f events/sec  %6.2f allocs/op\n", r.SchedulerEventsPerSec, r.SchedulerAllocsPerOp)
+	fmt.Fprintf(w, "  simnet       %12.0f msgs/sec    %6.2f allocs/op\n", r.SimnetMsgsPerSec, r.SimnetAllocsPerOp)
+	fmt.Fprintf(w, "  cell         %12.2f s end-to-end\n", r.CellSeconds)
+	fmt.Fprintf(w, "  sweep        %d cells: serial %.2f s, parallel(%d) %.2f s -> %.2fx speedup (deterministic: %v)\n",
+		r.SweepCells, r.SweepSerialSeconds, r.SweepWorkers, r.SweepParallelSeconds, r.SweepSpeedup, r.SweepDeterministic)
+}

@@ -1,0 +1,56 @@
+package perfharness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHarnessQuickRun(t *testing.T) {
+	r, err := Run(Options{Quick: true, SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SchedulerEventsPerSec <= 0 || r.SimnetMsgsPerSec <= 0 || r.CellSeconds <= 0 {
+		t.Fatalf("harness produced empty metrics: %+v", r)
+	}
+	if !r.SweepDeterministic {
+		t.Fatal("parallel sweep diverged from serial results")
+	}
+	// The optimized hot paths must be allocation-lean: the slab and
+	// envelope pools amortize to well under one allocation per operation.
+	if r.SchedulerAllocsPerOp > 0.5 {
+		t.Fatalf("scheduler allocates %.2f objects/op, want < 0.5", r.SchedulerAllocsPerOp)
+	}
+	if r.SimnetAllocsPerOp > 0.5 {
+		t.Fatalf("simnet allocates %.2f objects/op, want < 0.5", r.SimnetAllocsPerOp)
+	}
+
+	// Round-trip through JSON and gate against itself: must pass.
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteJSON(path, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Compare(r, back, 0.2); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+
+	// A baseline far above the measurement must trip the gate.
+	inflated := *back
+	inflated.SchedulerEventsPerSec *= 10
+	err = Compare(r, &inflated, 0.2)
+	if err == nil || !strings.Contains(err.Error(), "scheduler throughput regressed") {
+		t.Fatalf("10x-inflated baseline not detected: %v", err)
+	}
+	// An allocation regression must trip the gate even when throughput is
+	// within tolerance.
+	leaky := *r
+	leaky.SimnetAllocsPerOp = 3
+	if err := Compare(&leaky, back, 0.2); err == nil {
+		t.Fatal("allocation regression not detected")
+	}
+}

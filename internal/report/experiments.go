@@ -30,6 +30,10 @@ type Options struct {
 	Seed int64
 	// Tail defaults to 120s.
 	Tail time.Duration
+	// Workers bounds how many experiment cells run concurrently: <= 0 uses
+	// GOMAXPROCS, 1 forces a serial sweep. Cells are isolated (own
+	// scheduler, own RNGs), so results are identical for any worker count.
+	Workers int
 }
 
 func (o Options) seed() int64 {
@@ -109,21 +113,29 @@ var DAppNames = []string{"exchange", "dota2", "fifa98", "uber-nyc", "youtube"}
 // Figure2 evaluates all six chains against the five realistic DApps on the
 // consortium configuration.
 func Figure2(o Options) ([]Cell, error) {
-	var cells []Cell
+	type job struct {
+		dapp   string
+		chain  string
+		traces []*workloads.Trace
+	}
+	var jobs []job
 	for _, dapp := range DAppNames {
 		traces, err := bench.TracesFor(dapp)
 		if err != nil {
 			return nil, err
 		}
 		for _, name := range chains.Names() {
-			out, err := o.run(name, configs.Consortium, traces)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cellOf(out, "consortium", dapp))
+			jobs = append(jobs, job{dapp: dapp, chain: name, traces: traces})
 		}
 	}
-	return cells, nil
+	return o.runCells(len(jobs), func(i int) (Cell, error) {
+		j := jobs[i]
+		out, err := o.run(j.chain, configs.Consortium, j.traces)
+		if err != nil {
+			return Cell{}, err
+		}
+		return cellOf(out, "consortium", j.dapp), nil
+	})
 }
 
 // Figure3Configs are the four scalability configurations (consortium is
@@ -135,18 +147,25 @@ var Figure3Configs = []*configs.Config{
 // Figure3 runs the 1,000 TPS constant native workload on the four
 // deployment configurations.
 func Figure3(o Options) ([]Cell, error) {
-	var cells []Cell
+	type job struct {
+		cfg   *configs.Config
+		chain string
+	}
+	var jobs []job
 	for _, cfg := range Figure3Configs {
 		for _, name := range chains.Names() {
-			tr := workloads.NativeConstant(1000, 120*time.Second)
-			out, err := o.run(name, cfg, []*workloads.Trace{tr})
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cellOf(out, cfg.Name, tr.Name))
+			jobs = append(jobs, job{cfg: cfg, chain: name})
 		}
 	}
-	return cells, nil
+	return o.runCells(len(jobs), func(i int) (Cell, error) {
+		j := jobs[i]
+		tr := workloads.NativeConstant(1000, 120*time.Second)
+		out, err := o.run(j.chain, j.cfg, []*workloads.Trace{tr})
+		if err != nil {
+			return Cell{}, err
+		}
+		return cellOf(out, j.cfg.Name, tr.Name), nil
+	})
 }
 
 // BestConfig is the configuration each chain performed best in under the
@@ -163,32 +182,38 @@ var BestConfig = map[string]*configs.Config{
 // Figure4 stresses each chain with 1,000 and 10,000 TPS in its best
 // configuration.
 func Figure4(o Options) ([]Cell, error) {
-	var cells []Cell
+	type job struct {
+		chain string
+		tps   float64
+	}
+	var jobs []job
 	for _, name := range chains.Names() {
 		for _, tps := range []float64{1000, 10000} {
-			tr := workloads.NativeConstant(tps, 120*time.Second)
-			out, err := o.run(name, BestConfig[name], []*workloads.Trace{tr})
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cellOf(out, BestConfig[name].Name, tr.Name))
+			jobs = append(jobs, job{chain: name, tps: tps})
 		}
 	}
-	return cells, nil
+	return o.runCells(len(jobs), func(i int) (Cell, error) {
+		j := jobs[i]
+		tr := workloads.NativeConstant(j.tps, 120*time.Second)
+		out, err := o.run(j.chain, BestConfig[j.chain], []*workloads.Trace{tr})
+		if err != nil {
+			return Cell{}, err
+		}
+		return cellOf(out, BestConfig[j.chain].Name, tr.Name), nil
+	})
 }
 
 // Figure5 runs the compute-intensive mobility-service DApp on the
 // consortium configuration.
 func Figure5(o Options) ([]Cell, error) {
-	var cells []Cell
-	for _, name := range chains.Names() {
-		out, err := o.run(name, configs.Consortium, []*workloads.Trace{workloads.Uber()})
+	names := chains.Names()
+	return o.runCells(len(names), func(i int) (Cell, error) {
+		out, err := o.run(names[i], configs.Consortium, []*workloads.Trace{workloads.Uber()})
 		if err != nil {
-			return nil, err
+			return Cell{}, err
 		}
-		cells = append(cells, cellOf(out, "consortium", "uber-nyc"))
-	}
-	return cells, nil
+		return cellOf(out, "consortium", "uber-nyc"), nil
+	})
 }
 
 // Figure6Stocks are the three burst intensities of Fig. 6.
@@ -200,21 +225,29 @@ func Figure6(o Options) ([]Cell, error) {
 	if o.Tail == 0 {
 		o.Tail = 180 * time.Second // Avalanche commits up to 162s in
 	}
-	var cells []Cell
+	type job struct {
+		stock string
+		chain string
+		trace *workloads.Trace
+	}
+	var jobs []job
 	for _, stock := range Figure6Stocks {
 		tr, err := workloads.NASDAQ(stock)
 		if err != nil {
 			return nil, err
 		}
 		for _, name := range chains.Names() {
-			out, err := o.run(name, configs.Consortium, []*workloads.Trace{tr})
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cellOf(out, "consortium", "nasdaq-"+stock))
+			jobs = append(jobs, job{stock: stock, chain: name, trace: tr})
 		}
 	}
-	return cells, nil
+	return o.runCells(len(jobs), func(i int) (Cell, error) {
+		j := jobs[i]
+		out, err := o.run(j.chain, configs.Consortium, []*workloads.Trace{j.trace})
+		if err != nil {
+			return Cell{}, err
+		}
+		return cellOf(out, "consortium", "nasdaq-"+j.stock), nil
+	})
 }
 
 // Table1Claim is a published performance claim from the paper's Table 1.
@@ -239,16 +272,15 @@ var Table1Claims = []Table1Claim{
 // Table1 measures the observed best performance for the chains with
 // published claims.
 func Table1(o Options) ([]Cell, error) {
-	var cells []Cell
-	for _, claim := range Table1Claims {
+	return o.runCells(len(Table1Claims), func(i int) (Cell, error) {
+		claim := Table1Claims[i]
 		tr := workloads.NativeConstant(claim.LoadTPS, 120*time.Second)
 		out, err := o.run(claim.Chain, claim.Setup, []*workloads.Trace{tr})
 		if err != nil {
-			return nil, err
+			return Cell{}, err
 		}
-		cells = append(cells, cellOf(out, claim.Setup.Name, tr.Name))
-	}
-	return cells, nil
+		return cellOf(out, claim.Setup.Name, tr.Name), nil
+	})
 }
 
 // ExtensionChains are the beyond-the-paper chains this exhibit compares
@@ -260,18 +292,25 @@ var ExtensionChains = []string{"quorum", "quorum-raft", "redbelly"}
 // and 10,000 TPS on the community configuration — testing the paper's
 // §6.3 claim that the leaderless design resists the overload collapse.
 func Extensions(o Options) ([]Cell, error) {
-	var cells []Cell
+	type job struct {
+		chain string
+		tps   float64
+	}
+	var jobs []job
 	for _, name := range ExtensionChains {
 		for _, tps := range []float64{1000, 10000} {
-			tr := workloads.NativeConstant(tps, 120*time.Second)
-			out, err := o.run(name, configs.Community, []*workloads.Trace{tr})
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cellOf(out, "community", tr.Name))
+			jobs = append(jobs, job{chain: name, tps: tps})
 		}
 	}
-	return cells, nil
+	return o.runCells(len(jobs), func(i int) (Cell, error) {
+		j := jobs[i]
+		tr := workloads.NativeConstant(j.tps, 120*time.Second)
+		out, err := o.run(j.chain, configs.Community, []*workloads.Trace{tr})
+		if err != nil {
+			return Cell{}, err
+		}
+		return cellOf(out, "community", tr.Name), nil
+	})
 }
 
 // CDFOf builds the Fig. 6 latency CDF for a cell (fractions relative to

@@ -1,0 +1,26 @@
+package report
+
+import "diablo/internal/core"
+
+// runCells executes n independent cell builders on a worker pool
+// (Options.Workers; <= 0 uses GOMAXPROCS) and returns the cells in index
+// order. Each builder runs a fully isolated experiment — own scheduler,
+// own RNGs — so the returned cells are bit-identical to a serial loop
+// regardless of worker count or completion order; only wall-clock time
+// changes. Exhibit grids are embarrassingly parallel: every (chain x
+// workload x configuration) cell is independent.
+func (o Options) runCells(n int, build func(i int) (Cell, error)) ([]Cell, error) {
+	cells := make([]Cell, n)
+	err := core.ForEach(o.Workers, n, func(i int) error {
+		c, err := build(i)
+		if err != nil {
+			return err
+		}
+		cells[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}

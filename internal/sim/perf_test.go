@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCancelHeavyHeapBounded is the regression test for dead-event
+// accumulation: a retry-timer workload that schedules a far-future timeout
+// and cancels it on every "delivery" must not grow the queue without
+// bound. Before lazy-deletion compaction, every cancelled timer sat in the
+// heap until its (far-future) timestamp was popped, so the queue grew by
+// one slot per retry cycle.
+func TestCancelHeavyHeapBounded(t *testing.T) {
+	s := NewScheduler(1)
+	const cycles = 100_000
+	var pump func(i int)
+	pump = func(i int) {
+		if i >= cycles {
+			return
+		}
+		// Arm a retry timer 10 virtual minutes out, then "deliver"
+		// immediately and cancel it — the client retry path's shape.
+		timer := s.After(10*time.Minute, func() {})
+		s.After(time.Millisecond, func() {
+			timer.Cancel()
+			pump(i + 1)
+		})
+	}
+	pump(0)
+	maxPending := 0
+	for s.Step() {
+		if p := s.Pending(); p > maxPending {
+			maxPending = p
+		}
+	}
+	// Live events never exceed 2 per cycle; with compaction the queue must
+	// stay within a small constant factor of that, not O(cycles).
+	if maxPending > 4*compactMinDead {
+		t.Fatalf("cancel-heavy workload grew the heap to %d pending events (want <= %d)",
+			maxPending, 4*compactMinDead)
+	}
+	if s.Executed() != cycles {
+		t.Fatalf("executed %d events, want %d", s.Executed(), cycles)
+	}
+}
+
+// TestCompactionPreservesOrderAndCancels checks that a compaction pass in
+// the middle of a run neither reorders live events nor resurrects
+// cancelled ones.
+func TestCompactionPreservesOrderAndCancels(t *testing.T) {
+	s := NewScheduler(1)
+	const n = 1000
+	var ids []EventID
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		ids = append(ids, s.At(time.Duration(i)*time.Millisecond, func() {
+			got = append(got, i)
+		}))
+	}
+	// Cancel every odd event; enough to trigger compaction (n/2 >= 64).
+	for i := 1; i < n; i += 2 {
+		ids[i].Cancel()
+	}
+	s.Run()
+	if len(got) != n/2 {
+		t.Fatalf("ran %d events, want %d", len(got), n/2)
+	}
+	for k, v := range got {
+		if v != 2*k {
+			t.Fatalf("event order broken at %d: got %d, want %d", k, v, 2*k)
+		}
+	}
+}
+
+// TestStaleCancelAfterSlotReuse guards the generation counter: cancelling
+// an already-run event whose slab slot has been recycled must not kill the
+// new occupant.
+func TestStaleCancelAfterSlotReuse(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	stale := s.At(time.Millisecond, func() {})
+	s.Run() // runs and recycles the slot
+	fresh := s.At(time.Millisecond, func() { ran = true })
+	stale.Cancel() // must be a no-op, not cancel fresh
+	s.Run()
+	if !ran {
+		t.Fatal("stale Cancel killed a recycled slot's new event")
+	}
+	fresh.Cancel() // post-run cancel stays harmless
+}
+
+// TestAtCall checks the pooled-callback scheduling path.
+type countCall struct{ n int }
+
+func (c *countCall) Run() { c.n++ }
+
+func TestAtCall(t *testing.T) {
+	s := NewScheduler(1)
+	c := &countCall{}
+	s.AtCall(time.Millisecond, c)
+	s.AfterCall(2*time.Millisecond, c)
+	id := s.AfterCall(3*time.Millisecond, c)
+	id.Cancel()
+	s.Run()
+	if c.n != 2 {
+		t.Fatalf("AtCall ran %d times, want 2", c.n)
+	}
+}
+
+// TestSchedulerChurnAllocs pins the steady-state allocation behaviour: a
+// schedule/run cycle with a pre-allocated callback must not allocate at
+// all once the slab is warm.
+func TestSchedulerChurnAllocs(t *testing.T) {
+	s := NewScheduler(1)
+	c := &countCall{}
+	for i := 0; i < 1024; i++ { // warm the slab and heap arrays
+		s.AfterCall(time.Duration(i)*time.Microsecond, c)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AfterCall(time.Millisecond, c)
+		s.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state schedule+run allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSchedulerChurn measures raw scheduler throughput: the
+// schedule/execute cycle that dominates every experiment, with a mix of
+// kept and cancelled timers (the consensus-timeout pattern).
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler(1)
+	c := &countCall{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AfterCall(time.Microsecond, c)
+		timer := s.AfterCall(time.Second, c) // timeout that never fires
+		s.Step()
+		timer.Cancel()
+	}
+	s.Run()
+	b.ReportMetric(float64(s.Executed())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkSchedulerClosure measures the same churn through the func()
+// path most protocol code uses.
+func BenchmarkSchedulerClosure(b *testing.B) {
+	s := NewScheduler(1)
+	n := 0
+	fn := func() { n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		s.Step()
+	}
+	s.Run()
+}

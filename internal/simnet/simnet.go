@@ -12,6 +12,13 @@
 // at scale by internal/chaos. All probabilistic faults draw from a
 // dedicated seeded PRNG (see SeedFaults) so faulty runs replay
 // bit-identically.
+//
+// Send is the hottest path of the whole suite (every consensus message of
+// every experiment flows through it), so the per-pair link state is a flat
+// matrix with the propagation delay and byte rate precomputed once per
+// link, the active fault pointer is cached behind a cheap epoch check, and
+// in-flight messages ride pooled envelopes scheduled through
+// sim.Scheduler.AtCall — zero allocations per message in steady state.
 package simnet
 
 import (
@@ -65,8 +72,24 @@ func (n *Node) Send(to NodeID, size int, payload any) {
 }
 
 // link models one directed (src,dst) pipe with FIFO bandwidth queuing.
+// Propagation and transmission parameters are derived from the region pair
+// once, on the link's first use; the active fault pointer is revalidated
+// only when the network's fault epoch moves.
 type link struct {
-	busyUntil sim.Time
+	busyUntil   sim.Time
+	halfRTT     time.Duration // one-way propagation delay
+	bytesPerSec float64       // link byte rate; 0 = infinite
+	fault       *LinkFault    // cached active fault (nil = healthy)
+	faultEpoch  uint64
+	init        bool
+}
+
+func (l *link) initParams(a, b Region) {
+	l.halfRTT = time.Duration(RTT(a, b) / 2 * float64(time.Millisecond))
+	if bw := Bandwidth(a, b); bw > 0 {
+		l.bytesPerSec = bw * 1e6 / 8
+	}
+	l.init = true
 }
 
 // LinkFault is the degradable state of one region-pair link (or of every
@@ -90,11 +113,39 @@ func (f *LinkFault) active() bool {
 		(f.BandwidthFactor > 0 && f.BandwidthFactor != 1))
 }
 
+// envelope carries one in-flight message. Envelopes are recycled through a
+// free list: delivery releases the envelope before invoking the handler,
+// so even handler-triggered sends reuse it immediately.
+type envelope struct {
+	net  *Network
+	dst  *Node
+	msg  Message
+	next *envelope
+}
+
+// Run delivers the message (sim.Callback).
+func (e *envelope) Run() {
+	n, dst, msg := e.net, e.dst, e.msg
+	e.net, e.dst = nil, nil
+	e.msg = Message{}
+	e.next = n.envFree
+	n.envFree = e
+	if dst.crashed || dst.handler == nil {
+		return
+	}
+	if n.partition != nil && n.side(msg.From) != n.side(msg.To) {
+		return // partition formed while in flight
+	}
+	n.Delivered++
+	dst.handler(msg)
+}
+
 // Network is the simulated WAN.
 type Network struct {
 	Sched *sim.Scheduler
 	nodes []*Node
-	links map[[2]NodeID]*link
+	// links[from][to] is the directed pipe between two nodes.
+	links [][]link
 
 	// extraDelay adds a fixed delay to every message (fault injection used
 	// by the Clique message-delay tests).
@@ -107,11 +158,16 @@ type Network struct {
 	// allLinks, when non-nil, applies to pairs without a specific entry.
 	linkFaults map[[2]Region]*LinkFault
 	allLinks   *LinkFault
+	// faultEpoch invalidates the per-link fault cache; every fault edit
+	// bumps it.
+	faultEpoch uint64
 	// slow maps a straggler node to its slowdown factor (> 1).
 	slow map[NodeID]float64
 	// rng drives loss and jitter draws; consensus randomness stays on the
 	// scheduler's source so fault draws never perturb protocol behaviour.
 	rng *rand.Rand
+	// envFree is the recycled in-flight envelope pool.
+	envFree *envelope
 
 	// Delivered counts messages delivered; BytesSent counts payload bytes;
 	// Lost counts messages dropped by link faults (not crashes/partitions).
@@ -123,9 +179,9 @@ type Network struct {
 // New creates an empty network on the given scheduler.
 func New(sched *sim.Scheduler) *Network {
 	return &Network{
-		Sched: sched,
-		links: make(map[[2]NodeID]*link),
-		rng:   rand.New(rand.NewSource(1)),
+		Sched:      sched,
+		faultEpoch: 1, // ahead of the links' zero epoch
+		rng:        rand.New(rand.NewSource(1)),
 	}
 }
 
@@ -139,6 +195,11 @@ func (n *Network) SeedFaults(seed int64) {
 func (n *Network) AddNode(region Region) *Node {
 	node := &Node{ID: NodeID(len(n.nodes)), Region: region, net: n}
 	n.nodes = append(n.nodes, node)
+	// Grow the link matrix by one column per existing row plus a new row.
+	for i := range n.links {
+		n.links[i] = append(n.links[i], link{})
+	}
+	n.links = append(n.links, make([]link, len(n.nodes)))
 	return node
 }
 
@@ -198,6 +259,7 @@ func (n *Network) EditLinkFault(a, b Region, edit func(*LinkFault)) {
 		n.linkFaults[key] = f
 	}
 	edit(f)
+	n.faultEpoch++
 }
 
 // EditAllLinksFault mutates the fault state applied to every link without
@@ -207,12 +269,14 @@ func (n *Network) EditAllLinksFault(edit func(*LinkFault)) {
 		n.allLinks = &LinkFault{}
 	}
 	edit(n.allLinks)
+	n.faultEpoch++
 }
 
 // ClearLinkFaults removes all link fault state.
 func (n *Network) ClearLinkFaults() {
 	n.linkFaults = nil
 	n.allLinks = nil
+	n.faultEpoch++
 }
 
 // linkFaultFor returns the active fault on the (a, b) regions' link, or
@@ -271,6 +335,16 @@ func (n *Network) transmission(from, to NodeID, size int) time.Duration {
 	return time.Duration(float64(size) / bytesPerSec * float64(time.Second))
 }
 
+// allocEnvelope pops a recycled envelope or makes a fresh one.
+func (n *Network) allocEnvelope() *envelope {
+	if e := n.envFree; e != nil {
+		n.envFree = e.next
+		e.next = nil
+		return e
+	}
+	return &envelope{}
+}
+
 // Send schedules delivery of a message. Delivery time is:
 //
 //	max(now, link free) + transmission(size) + RTT/2 + injected delay
@@ -288,33 +362,40 @@ func (n *Network) Send(from, to NodeID, size int, payload any) {
 		return
 	}
 
-	fault := n.linkFaultFor(src.Region, dst.Region)
-
-	key := [2]NodeID{from, to}
-	l := n.links[key]
-	if l == nil {
-		l = &link{}
-		n.links[key] = l
+	l := &n.links[from][to]
+	if !l.init {
+		l.initParams(src.Region, dst.Region)
 	}
+	if l.faultEpoch != n.faultEpoch {
+		l.fault = n.linkFaultFor(src.Region, dst.Region)
+		l.faultEpoch = n.faultEpoch
+	}
+	fault := l.fault
+
 	start := n.Sched.Now()
 	if l.busyUntil > start {
 		start = l.busyUntil
 	}
-	trans := n.transmission(from, to, size)
+	var trans time.Duration
+	if l.bytesPerSec > 0 && size > 0 {
+		trans = time.Duration(float64(size) / l.bytesPerSec * float64(time.Second))
+	}
 	if fault != nil && fault.BandwidthFactor > 0 && fault.BandwidthFactor != 1 {
 		trans = time.Duration(float64(trans) / fault.BandwidthFactor)
 	}
 	done := start + trans
 	l.busyUntil = done
-	prop := n.Latency(from, to) + n.extraDelay
+	prop := l.halfRTT + n.extraDelay
 	if fault != nil {
 		prop += fault.ExtraDelay
 		if fault.Jitter > 0 {
 			prop += time.Duration(n.rng.Float64() * float64(fault.Jitter))
 		}
 	}
-	if s := n.slowFactor(from, to); s > 1 {
-		prop = time.Duration(float64(prop) * s)
+	if n.slow != nil {
+		if s := n.slowFactor(from, to); s > 1 {
+			prop = time.Duration(float64(prop) * s)
+		}
 	}
 	arrive := done + prop
 	n.BytesSent += uint64(size)
@@ -323,21 +404,14 @@ func (n *Network) Send(from, to NodeID, size int, payload any) {
 		n.Lost++
 		return // lost on the wire, bandwidth already consumed
 	}
-	if n.side(from) != n.side(to) {
+	if n.partition != nil && n.side(from) != n.side(to) {
 		return // dropped by the partition, bandwidth already consumed
 	}
 
-	msg := Message{From: from, To: to, Size: size, Payload: payload}
-	n.Sched.At(arrive, func() {
-		if dst.crashed || dst.handler == nil {
-			return
-		}
-		if n.side(from) != n.side(to) {
-			return // partition formed while in flight
-		}
-		n.Delivered++
-		dst.handler(msg)
-	})
+	e := n.allocEnvelope()
+	e.net, e.dst = n, dst
+	e.msg = Message{From: from, To: to, Size: size, Payload: payload}
+	n.Sched.AtCall(arrive, e)
 }
 
 // Broadcast sends the payload from one node to every other node.
