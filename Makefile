@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench bench-exhibits exhibits exhibits-quick examples clean
+.PHONY: build test test-short race bench bench-exhibits exhibits exhibits-quick examples trace-smoke clean
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,7 @@ test-short:
 race:
 	$(GO) test -race ./internal/sim ./internal/chaos ./internal/simnet \
 		./internal/chains/... ./internal/bench ./internal/core \
+		./internal/obs ./internal/collect \
 		./internal/report ./internal/perfharness
 
 # Tracked perf harness: scheduler events/sec, simnet msgs/sec, end-to-end
@@ -41,6 +42,16 @@ exhibits:
 exhibits-quick:
 	$(GO) run ./cmd/diablo-exp --node-scale=10 all
 
+# End-to-end observability smoke test: run a short traced benchmark, then
+# validate and render the trace with diablo-report.
+trace-smoke:
+	$(GO) run ./cmd/diablo run --stat=10 --tail=30s --metrics \
+		--trace=trace-smoke.jsonl.gz \
+		specs/setup-quorum.yaml specs/workload-native-10.yaml
+	$(GO) run ./cmd/diablo-report trace --check trace-smoke.jsonl.gz
+	$(GO) run ./cmd/diablo-report trace trace-smoke.jsonl.gz
+	rm -f trace-smoke.jsonl.gz
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/custom-blockchain
@@ -49,4 +60,4 @@ examples:
 	$(GO) run ./examples/robustness-sweep
 
 clean:
-	rm -f diablo test_output.txt bench_output.txt
+	rm -f diablo test_output.txt bench_output.txt trace-smoke.jsonl.gz

@@ -1,24 +1,46 @@
 // Command diablo-report converts DIABLO result JSON files (optionally
-// gzip-compressed) to CSV, like the artifact's csv-results script:
+// gzip-compressed) to CSV, like the artifact's csv-results script, and
+// renders transaction lifecycle traces:
 //
 //	diablo-report results.json > results.csv
 //	diablo-report --summary results.json.gz
+//	diablo-report trace out.jsonl.gz          ("where time goes" report)
+//	diablo-report trace --check out.jsonl.gz  (schema validation only)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"diablo/internal/collect"
+	"diablo/internal/obs"
+	"diablo/internal/report"
 )
+
+// writeJSON pretty-prints a value.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
 
 func main() {
 	log.SetFlags(0)
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTrace(os.Args[2:]); err != nil {
+			log.Fatalf("diablo-report: %v", err)
+		}
+		return
+	}
 	summary := flag.Bool("summary", false, "print the summary line instead of CSV")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: diablo-report [--summary] <results.json>...")
+		fmt.Fprintln(os.Stderr, `usage:
+  diablo-report [--summary] <results.json>...
+  diablo-report trace [--check] [--json] <trace.jsonl[.gz]>...`)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,4 +66,48 @@ func main() {
 			log.Fatalf("diablo-report: %v", err)
 		}
 	}
+}
+
+// runTrace parses lifecycle traces and renders the latency attribution
+// report (or just validates the schema with --check).
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	check := fs.Bool("check", false, "validate the trace schema and print a one-line summary only")
+	asJSON := fs.Bool("json", false, "print the attribution as JSON instead of text")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: diablo-report trace [--check] [--json] <trace.jsonl[.gz]>...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		tr, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if *check {
+			fmt.Printf("%s: ok — %d events, %d txs, %d blocks, %d samples, %d faults\n",
+				path, tr.Events, tr.Submitted, len(tr.Blocks), len(tr.Samples), len(tr.Faults))
+			continue
+		}
+		att := obs.Attribute(tr)
+		if *asJSON {
+			if err := writeJSON(os.Stdout, att); err != nil {
+				return err
+			}
+			continue
+		}
+		report.RenderTrace(os.Stdout, tr, att)
+	}
+	return nil
 }

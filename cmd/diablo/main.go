@@ -17,12 +17,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"diablo/internal/bench"
 	"diablo/internal/collect"
+	"diablo/internal/obs"
 	"diablo/internal/perfharness"
 	"diablo/internal/remote"
 	"diablo/internal/report"
@@ -77,7 +81,12 @@ secondary flags:
   --tag=LOCATION      the secondary's location tag
 
 run flags:
-  --output=FILE --compress --stat --tail=120s   (as above)
+  --output=FILE --compress --tail=120s          (as above)
+  --stat[=N]          print statistics; with N, also a progress line every
+                      N sim-seconds (mempool depth, block rate, commit lag)
+  --trace=FILE        write a JSONL transaction lifecycle trace (.gz = gzip)
+  --metrics           sample the metrics registry every sim-second and embed
+                      the timelines in the output JSON
   --repeat=N --workers=M    run N seeds (seed..seed+N-1), M cells at a time
 
 bench flags:
@@ -198,11 +207,14 @@ func runLocal(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	output := fs.String("output", "", "results JSON path")
 	compress := fs.Bool("compress", false, "gzip the output")
-	stat := fs.Bool("stat", true, "print statistics")
+	stat := &statFlag{enabled: true}
+	fs.Var(stat, "stat", "print statistics; --stat N also prints a progress line every N sim-seconds")
 	tail := fs.Duration("tail", 120*time.Second, "observation tail after the last submission")
 	repeat := fs.Int("repeat", 1, "run this many seeds (seed..seed+N-1)")
 	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS, 1 = serial)")
-	if err := fs.Parse(args); err != nil {
+	tracePath := fs.String("trace", "", "write a JSONL transaction lifecycle trace (a .gz path is gzip-compressed)")
+	metrics := fs.Bool("metrics", false, "sample the metrics registry every sim-second and embed the timelines in the output")
+	if err := fs.Parse(mergeStatValue(args)); err != nil {
 		return err
 	}
 	rest := fs.Args()
@@ -230,6 +242,18 @@ func runLocal(args []string) error {
 		logger(level)("chaos schedule: %d faults", len(setup.Faults.Events))
 	}
 	exps := make([]bench.Experiment, *repeat)
+	var sinks []io.Closer
+	closeSinks := func() error {
+		var first error
+		for _, s := range sinks {
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		sinks = nil
+		return first
+	}
+	defer closeSinks()
 	for i := range exps {
 		exps[i] = bench.Experiment{
 			Chain:      setup.Chain,
@@ -241,17 +265,43 @@ func runLocal(args []string) error {
 			Locations:  locations,
 			Faults:     setup.Faults,
 			Retry:      setup.Retry,
+			Metrics:    *metrics,
+		}
+		if *tracePath != "" {
+			path := *tracePath
+			if *repeat > 1 {
+				path = seedSuffixed(path, exps[i].Seed)
+			}
+			w, err := obs.OpenSink(path)
+			if err != nil {
+				return err
+			}
+			sinks = append(sinks, w)
+			exps[i].Trace = w
+			logger(level)("tracing to %s", path)
+		}
+	}
+	// The periodic progress line only makes sense for a single serial run.
+	if stat.every > 0 && *repeat == 1 {
+		exps[0].ProgressEvery = stat.every
+		exps[0].Progress = func(p bench.Progress) {
+			lag := int64(p.Submitted) - int64(p.Decided) - int64(p.TimedOut)
+			fmt.Printf("[t=%4.0fs] submitted %d, committed %d (lag %d), mempool %d, blocks %d (%.1f/s)\n",
+				p.At.Seconds(), p.Submitted, p.Decided, lag, p.Mempool, p.Blocks, p.BlockRate)
 		}
 	}
 	// Independent seeds sweep concurrently; outcomes come back in seed
 	// order and are identical to a serial sweep.
 	outs, err := bench.RunMany(*workers, exps)
+	if cerr := closeSinks(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
 	for _, out := range outs {
 		rep := collect.FromOutcome(out, true)
-		if *stat {
+		if stat.enabled {
 			if *repeat > 1 {
 				fmt.Printf("seed %d: ", out.Experiment.Seed)
 			}
@@ -272,14 +322,74 @@ func runLocal(args []string) error {
 	return nil
 }
 
-// seedSuffixed inserts "-seed<N>" before the path's extension.
+// statFlag is the run command's --stat: a boolean ("--stat",
+// "--stat=false") that also accepts a period in seconds ("--stat=10" or
+// "--stat 10") enabling the periodic progress line.
+type statFlag struct {
+	enabled bool
+	every   time.Duration
+}
+
+func (f *statFlag) IsBoolFlag() bool { return true }
+
+func (f *statFlag) String() string {
+	if f.every > 0 {
+		return strconv.Itoa(int(f.every / time.Second))
+	}
+	return strconv.FormatBool(f.enabled)
+}
+
+func (f *statFlag) Set(v string) error {
+	switch v {
+	case "", "true":
+		f.enabled = true
+		return nil
+	case "false":
+		f.enabled = false
+		f.every = 0
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return fmt.Errorf("--stat wants true, false or a period in seconds, got %q", v)
+	}
+	f.enabled = true
+	f.every = time.Duration(n) * time.Second
+	return nil
+}
+
+// mergeStatValue rewrites the paper's "--stat 10" spelling into "--stat=10"
+// so the flag package's boolean-flag parsing accepts it.
+func mergeStatValue(args []string) []string {
+	out := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if (a == "--stat" || a == "-stat") && i+1 < len(args) {
+			if _, err := strconv.Atoi(args[i+1]); err == nil {
+				out = append(out, a+"="+args[i+1])
+				i++
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// seedSuffixed inserts "-seed<N>" before the path's extension, treating a
+// trailing ".gz" as part of a compound extension (results.json.gz →
+// results-seed3.json.gz), which also keeps the suffix OpenSink gzips on.
 func seedSuffixed(path string, seed int64) string {
+	gz := ""
+	if strings.HasSuffix(path, ".gz") {
+		path, gz = path[:len(path)-3], ".gz"
+	}
 	ext := ""
 	base := path
 	if i := lastDot(path); i > 0 {
 		base, ext = path[:i], path[i:]
 	}
-	return fmt.Sprintf("%s-seed%d%s", base, seed, ext)
+	return fmt.Sprintf("%s-seed%d%s%s", base, seed, ext, gz)
 }
 
 func lastDot(s string) int {

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"diablo/internal/chains"
@@ -14,6 +15,7 @@ import (
 	"diablo/internal/chaos"
 	"diablo/internal/configs"
 	"diablo/internal/core"
+	"diablo/internal/obs"
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
 	"diablo/internal/wallet"
@@ -52,6 +54,37 @@ type Experiment struct {
 	Faults *chaos.Schedule
 	// Retry configures client-side resubmission (zero = disabled).
 	Retry chain.RetryPolicy
+	// Trace, when non-nil, receives the JSONL transaction lifecycle trace
+	// (see internal/obs). All timestamps are virtual sim-time, so traces
+	// from equal-seed runs are byte-identical.
+	Trace io.Writer
+	// Metrics enables the sim-time metrics registry: sampled every virtual
+	// second, embedded in Outcome.Metrics (and, when tracing, as "sample"
+	// events in the trace).
+	Metrics bool
+	// Progress, when set together with ProgressEvery, is called on periodic
+	// sim-time ticks with live run statistics (`diablo run --stat N`).
+	Progress func(Progress)
+	// ProgressEvery is the Progress callback period.
+	ProgressEvery time.Duration
+}
+
+// Progress is one periodic liveness report during a run.
+type Progress struct {
+	// At is the virtual time of the tick.
+	At time.Duration
+	// Submitted and Decided count client submissions and confirmed
+	// decisions so far; their difference is the commit lag.
+	Submitted uint64
+	Decided   uint64
+	// TimedOut counts transactions the retry policy abandoned.
+	TimedOut uint64
+	// Mempool is the current (global) pool depth.
+	Mempool int
+	// Blocks is the committed chain height; BlockRate is blocks per
+	// virtual second since the previous tick.
+	Blocks    uint64
+	BlockRate float64
 }
 
 // Outcome bundles the engine result with run-level diagnostics.
@@ -78,6 +111,12 @@ type Outcome struct {
 	// Result.TimedOut.)
 	Retries  uint64
 	MsgsLost uint64
+	// Metrics is the sampled registry timeline (Experiment.Metrics).
+	Metrics *obs.Snapshot
+	// Links aggregates simnet traffic per region pair (Experiment.Metrics).
+	Links []simnet.LinkLine
+	// TraceEvents counts emitted trace events (Experiment.Trace).
+	TraceEvents uint64
 }
 
 // DefaultCacheAfter is how many full interpretations warm the gas cache.
@@ -119,11 +158,38 @@ func Run(e Experiment) (*Outcome, error) {
 		Regions: cfg.Regions,
 	})
 	net.DefaultRetry = e.Retry
+
+	// Observability: the tracer and registry are wired before anything is
+	// scheduled so the sampled column order and the event stream are
+	// deterministic. Both default to off (nil), which keeps every hook on
+	// the hot paths a free nil-receiver call.
+	var tracer *obs.Tracer
+	if e.Trace != nil {
+		tracer = obs.NewTracer(e.Trace)
+	}
+	var reg *obs.Registry
+	if e.Metrics || e.Progress != nil {
+		reg = obs.NewRegistry()
+	}
+	if tracer != nil || reg != nil {
+		net.Instrument(tracer, reg)
+	}
+	var linkStats *simnet.LinkStats
+	if reg != nil {
+		linkStats = &simnet.LinkStats{}
+		wan.SetLinkStats(linkStats)
+		reg.Gauge("net.delivered", func() float64 { return float64(wan.Delivered) })
+		reg.Gauge("net.bytes", func() float64 { return float64(wan.BytesSent) })
+		reg.Gauge("net.lost", func() float64 { return float64(wan.Lost) })
+		reg.Gauge("sched.pending", func() float64 { return float64(sched.Stats().Live) })
+		reg.Gauge("sched.executed", func() float64 { return float64(sched.Executed()) })
+	}
+
 	if e.Faults != nil {
 		if err := e.Faults.Validate(cfg.Nodes); err != nil {
 			return nil, err
 		}
-		chaos.Install(sched, wan, e.Faults)
+		chaos.Install(sched, wan, e.Faults).Instrument(tracer, reg)
 	}
 	switch {
 	case e.CacheAfter > 0:
@@ -143,6 +209,43 @@ func Run(e Experiment) (*Outcome, error) {
 		return nil, err
 	}
 
+	// Engine counters are registered last, then sampling starts: the meta
+	// line must carry the complete column list.
+	em := core.NewEngineMetrics(reg)
+	const sampleInterval = time.Second
+	if tracer != nil {
+		var names []string
+		interval := time.Duration(0)
+		if reg != nil {
+			names = reg.Names()
+			interval = sampleInterval
+		}
+		tracer.Meta(e.Chain, e.Seed, interval, names)
+	}
+	reg.Attach(sched, sampleInterval, tracer)
+	if e.Progress != nil && e.ProgressEvery > 0 {
+		var lastBlocks uint64
+		var lastAt time.Duration
+		sched.Every(e.ProgressEvery, func() {
+			now := sched.Now()
+			blocks := net.Height()
+			rate := 0.0
+			if dt := (now - lastAt).Seconds(); dt > 0 {
+				rate = float64(blocks-lastBlocks) / dt
+			}
+			e.Progress(Progress{
+				At:        now,
+				Submitted: net.Obs.Submitted.Value(),
+				Decided:   net.Obs.Decided.Value(),
+				TimedOut:  net.Obs.Timeouts.Value(),
+				Mempool:   net.Pool.Len(),
+				Blocks:    blocks,
+				BlockRate: rate,
+			})
+			lastBlocks, lastAt = blocks, now
+		})
+	}
+
 	net.Start()
 	result, err := core.Run(sched, adapter, core.BenchmarkSpec{
 		Traces:    e.Traces,
@@ -150,10 +253,16 @@ func Run(e Experiment) (*Outcome, error) {
 		Seed:      e.Seed,
 		Tail:      e.Tail,
 		Placement: placement,
+		Metrics:   em,
 	})
 	net.Stop()
 	if err != nil {
 		return nil, err
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return nil, fmt.Errorf("bench: writing trace: %w", err)
+		}
 	}
 
 	return &Outcome{
@@ -169,6 +278,9 @@ func Run(e Experiment) (*Outcome, error) {
 		ReplayedTxs: net.Exec.Replayed,
 		Retries:     net.TotalRetries,
 		MsgsLost:    wan.Lost,
+		Metrics:     reg.Snapshot(),
+		Links:       linkStats.Lines(),
+		TraceEvents: tracer.Events(),
 	}, nil
 }
 

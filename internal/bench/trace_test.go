@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"diablo/internal/configs"
+	"diablo/internal/obs"
+	"diablo/internal/spec"
+	"diablo/internal/workloads"
+)
+
+// tracedChaosExperiment builds the canonical quorum-chaos run with tracing
+// and metrics enabled, writing the gzip-compressed trace into buf.
+func tracedChaosExperiment(t *testing.T, buf io.Writer) Experiment {
+	t.Helper()
+	src, err := os.ReadFile("../../specs/setup-quorum-chaos.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := spec.ParseSetup(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Experiment{
+		Chain:   setup.Chain,
+		Config:  setup.Config,
+		Traces:  []*workloads.Trace{workloads.NativeConstant(50, 60*time.Second)},
+		Seed:    setup.Seed,
+		Tail:    180 * time.Second, // cover the full fault schedule (through 220s)
+		Faults:  setup.Faults,
+		Retry:   setup.Retry,
+		Trace:   buf,
+		Metrics: true,
+	}
+}
+
+// TestTraceDeterminism is the observability determinism guarantee: two
+// runs of the quorum-chaos spec with the same seed must produce
+// byte-identical traces, fault events and registry samples included.
+func TestTraceDeterminism(t *testing.T) {
+	run := func() []byte {
+		var zipped bytes.Buffer
+		gz := gzip.NewWriter(&zipped)
+		exp := tracedChaosExperiment(t, gz)
+		out, err := Run(exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.TraceEvents == 0 {
+			t.Fatal("no trace events emitted")
+		}
+		if err := gz.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := gzip.NewReader(bytes.NewReader(zipped.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plain
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		// Find the first divergent line for a useful failure message.
+		la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+		for i := range la {
+			if i >= len(lb) || !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("traces diverge at line %d:\n%s\n%s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("traces diverge in length: %d vs %d bytes", len(a), len(b))
+	}
+	if !bytes.Contains(a, []byte(`"kind":"fault"`)) {
+		t.Fatal("trace has no fault events despite the chaos schedule")
+	}
+	if !bytes.Contains(a, []byte(`"kind":"sample"`)) {
+		t.Fatal("trace has no registry samples despite --metrics")
+	}
+	if !bytes.Contains(a, []byte(`"kind":"retry"`)) {
+		t.Fatal("trace has no retry events despite faults and a retry policy")
+	}
+}
+
+// TestTraceAttributionResidual is the acceptance bar for the "where time
+// goes" report: on a real traced run, every committed transaction's
+// latency decomposes into network/mempool/consensus/execution with less
+// than 5% unattributed residual.
+func TestTraceAttributionResidual(t *testing.T) {
+	var buf bytes.Buffer
+	exp := tracedChaosExperiment(t, &buf)
+	out, err := Run(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Committed == 0 || tr.Committed != out.Summary.Committed {
+		t.Fatalf("trace committed %d, engine committed %d", tr.Committed, out.Summary.Committed)
+	}
+	if tr.Submitted != out.Summary.Submitted {
+		t.Fatalf("trace submitted %d, engine submitted %d", tr.Submitted, out.Summary.Submitted)
+	}
+	att := obs.Attribute(tr)
+	if att.Committed != tr.Committed {
+		t.Fatalf("attribution covers %d of %d committed txs", att.Committed, tr.Committed)
+	}
+	if att.MaxResidualShare >= 0.05 {
+		t.Fatalf("max residual %.2f%% of per-tx latency, want <5%%", att.MaxResidualShare*100)
+	}
+	var share float64
+	for _, c := range att.Components {
+		share += c.Share
+	}
+	if share < 0.95 || share > 1.0001 {
+		t.Fatalf("component shares sum to %.3f, want ~1", share)
+	}
+	// The metrics registry must have sampled the whole run.
+	if out.Metrics == nil || len(out.Metrics.TimesS) == 0 {
+		t.Fatal("metrics snapshot missing")
+	}
+	if len(out.Links) == 0 {
+		t.Fatal("link traffic aggregate missing")
+	}
+}
+
+// TestMetricsDoNotPerturbTheRun: attaching the registry, tracer and
+// progress ticker must not change simulation outcomes — observability is
+// read-only.
+func TestMetricsDoNotPerturbTheRun(t *testing.T) {
+	base := func() Experiment {
+		return Experiment{
+			Chain:      "quorum",
+			Config:     configs.Devnet,
+			Traces:     []*workloads.Trace{workloads.NativeConstant(50, 20*time.Second)},
+			Seed:       7,
+			Tail:       60 * time.Second,
+			ScaleNodes: 2,
+		}
+	}
+	plain, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := base()
+	exp.Metrics = true
+	exp.Trace = io.Discard
+	exp.ProgressEvery = 5 * time.Second
+	var ticks int
+	exp.Progress = func(Progress) { ticks++ }
+	observed, err := Run(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Summary.Committed != observed.Summary.Committed ||
+		plain.Summary.ThroughputTPS != observed.Summary.ThroughputTPS ||
+		plain.Blocks != observed.Blocks {
+		t.Fatalf("observability changed the run: %+v vs %+v", plain.Summary, observed.Summary)
+	}
+	if ticks == 0 {
+		t.Fatal("progress callback never fired")
+	}
+}

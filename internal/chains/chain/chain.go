@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"diablo/internal/mempool"
+	"diablo/internal/obs"
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
 	"diablo/internal/types"
@@ -166,6 +167,12 @@ type Network struct {
 	// DefaultRetry is the retry policy new clients start with (zero =
 	// retries disabled).
 	DefaultRetry RetryPolicy
+
+	// tracer emits lifecycle events; nil (the default) disables tracing
+	// at zero cost. Obs holds the registry counters, nil-disabled the same
+	// way. Both are set by Instrument.
+	tracer *obs.Tracer
+	Obs    Metrics
 
 	// Stats
 	TotalCommittedTxs uint64
@@ -356,22 +363,31 @@ func (n *Network) BlockExecTime(gas uint64, ntxs int) time.Duration {
 // policy may resubmit after. Resubmitting an already-committed transaction
 // reports ErrDuplicate rather than executing it twice.
 func (nd *Node) SubmitTx(tx *types.Transaction) error {
-	if nd.net.crashed {
+	n := nd.net
+	if n.crashed {
+		n.tracer.Reject(n.Sched.Now(), tx.ID(), nd.Index, "network-down")
 		return ErrNodeDown
 	}
 	if nd.Sim.Crashed() {
+		n.tracer.Reject(n.Sched.Now(), tx.ID(), nd.Index, "node-crashed")
 		return ErrNodeCrashed
 	}
-	if _, done := nd.net.receipts[tx.ID()]; done {
+	if _, done := n.receipts[tx.ID()]; done {
 		return mempool.ErrDuplicate
 	}
-	nd.net.recordArrival()
-	if nd.net.crashed { // recordArrival may have tripped the collapse
+	n.recordArrival()
+	if n.crashed { // recordArrival may have tripped the collapse
+		n.tracer.Reject(n.Sched.Now(), tx.ID(), nd.Index, "network-down")
 		return ErrNodeDown
 	}
-	err := nd.net.Pool.Add(tx, nd.Index, nd.net.Sched.Now())
+	err := n.Pool.Add(tx, nd.Index, n.Sched.Now())
 	if err == nil {
-		nd.net.txOrigin[tx.ID()] = int32(nd.Index)
+		n.txOrigin[tx.ID()] = int32(nd.Index)
+		n.Obs.Admitted.Inc()
+		n.tracer.Admit(n.Sched.Now(), tx.ID(), nd.Index)
+	} else {
+		n.Obs.Rejected.Inc()
+		n.tracer.Reject(n.Sched.Now(), tx.ID(), nd.Index, rejectNote(err))
 	}
 	return err
 }
@@ -479,6 +495,19 @@ func (n *Network) AssembleBlockBudgeted(proposer int, allowEmpty bool, maxTxs in
 	n.TotalCommittedTxs += uint64(len(txs))
 	validate := n.BlockExecTime(gasUsed, len(txs))
 	assemble := validate + time.Duration(invokes)*n.Params.SerialInvokePerTx
+	n.Obs.Blocks.Inc()
+	n.Obs.Included.Add(uint64(len(txs)))
+	if n.Obs.BlockFill != nil || n.tracer != nil {
+		fill := blockFill(len(txs), gasUsed, n.Params.BlockGasLimit, maxTxs)
+		n.Obs.BlockFill.Observe(fill)
+		n.Obs.BlockGas.Observe(float64(gasUsed))
+		if n.tracer != nil {
+			n.tracer.Block(now, blk.Number, len(txs), gasUsed, n.Params.BlockGasLimit, fill, assemble, validate, proposer)
+			for _, tx := range txs {
+				n.tracer.Include(now, tx.ID(), blk.Number)
+			}
+		}
+	}
 	return blk, Cost{Assemble: assemble, Validate: validate}
 }
 

@@ -134,6 +134,8 @@ func (c *Client) Submit(tx *types.Transaction) {
 	id := tx.ID()
 	p := &pendingTx{tx: tx}
 	c.pending[id] = p
+	c.net.Obs.Submitted.Inc()
+	c.net.tracer.Submit(c.net.Sched.Now(), id, c.node.Index)
 	c.send(id, p)
 }
 
@@ -144,6 +146,7 @@ func (c *Client) send(id types.Hash, p *pendingTx) {
 		if c.pending[id] != p {
 			return // decided while the attempt was in flight
 		}
+		c.net.tracer.Send(c.net.Sched.Now(), id, c.node.Index, p.attempts)
 		err := c.node.SubmitTx(p.tx)
 		switch {
 		case err == nil:
@@ -156,6 +159,8 @@ func (c *Client) send(id types.Hash, p *pendingTx) {
 			// RPC, then a receipt query.
 			if r, done := c.net.Receipt(id); done {
 				c.settle(id, p)
+				c.net.Obs.Decided.Inc()
+				c.net.tracer.Commit(c.net.Sched.Now(), id, c.node.Index)
 				if c.OnDecided != nil {
 					c.OnDecided(id, r.Status, c.net.Sched.Now())
 				}
@@ -195,6 +200,8 @@ func (c *Client) expire(id types.Hash, p *pendingTx) {
 		delete(c.pending, id)
 		c.TimedOut++
 		c.net.TotalTimeouts++
+		c.net.Obs.Timeouts.Inc()
+		c.net.tracer.Timeout(c.net.Sched.Now(), id, p.attempts)
 		if c.OnTimeout != nil {
 			c.OnTimeout(id, p.attempts, c.net.Sched.Now())
 		}
@@ -203,6 +210,8 @@ func (c *Client) expire(id types.Hash, p *pendingTx) {
 	p.attempts++
 	c.Retries++
 	c.net.TotalRetries++
+	c.net.Obs.Retries.Inc()
+	c.net.tracer.Retry(c.net.Sched.Now(), id, p.attempts)
 	c.send(id, p)
 }
 
@@ -244,6 +253,8 @@ func (c *Client) onBlock(blk *types.Block, mine []decidedTx) {
 				continue
 			}
 			c.settle(d.id, p)
+			c.net.Obs.Decided.Inc()
+			c.net.tracer.Commit(c.net.Sched.Now(), d.id, c.node.Index)
 			if c.OnDecided != nil {
 				c.OnDecided(d.id, d.status, c.net.Sched.Now())
 			}

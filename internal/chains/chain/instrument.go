@@ -1,0 +1,101 @@
+package chain
+
+import (
+	"errors"
+
+	"diablo/internal/mempool"
+	"diablo/internal/obs"
+)
+
+// Metrics bundles the harness's registry counters and histograms. The zero
+// value (all nil) is the disabled state: every obs method no-ops on a nil
+// receiver, so instrumented code calls them unconditionally.
+type Metrics struct {
+	// Client-observed lifecycle counters.
+	Submitted *obs.Counter // transactions handed to clients
+	Admitted  *obs.Counter // mempool admissions (node-side)
+	Rejected  *obs.Counter // mempool policy rejections (node-side)
+	Included  *obs.Counter // transactions packed into blocks
+	Decided   *obs.Counter // client-observed confirmed decisions
+	Retries   *obs.Counter // retry-policy resubmissions
+	Timeouts  *obs.Counter // transactions abandoned by the retry policy
+	Blocks    *obs.Counter // blocks assembled
+
+	// Per-block distributions.
+	BlockFill *obs.Histogram // fill ratio vs the gas/tx budget
+	BlockGas  *obs.Histogram // gas used per block
+}
+
+// ConsensusStats is optionally implemented by consensus engines to expose
+// their round/view counters to the metrics registry. viewChanges counts
+// leader changes, view changes, elections or skipped slots — the protocol
+// family's "something went wrong this round" signal.
+type ConsensusStats interface {
+	ConsensusStats() (rounds, viewChanges uint64)
+}
+
+// Instrument attaches a lifecycle tracer and registers the harness's
+// metrics on the registry. Either argument may be nil: a nil tracer
+// disables tracing, a nil registry leaves every counter nil (disabled).
+// Must be called before the experiment starts so registration order — and
+// therefore the sampled column order — is deterministic.
+func (n *Network) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	n.tracer = tr
+	n.Obs = Metrics{
+		Submitted: reg.Counter("tx.submitted"),
+		Admitted:  reg.Counter("tx.admitted"),
+		Rejected:  reg.Counter("tx.rejected"),
+		Included:  reg.Counter("tx.included"),
+		Decided:   reg.Counter("tx.decided"),
+		Retries:   reg.Counter("tx.retries"),
+		Timeouts:  reg.Counter("tx.timeouts"),
+		Blocks:    reg.Counter("chain.blocks"),
+		BlockFill: reg.Histogram("block.fill", []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1}),
+		BlockGas:  reg.Histogram("block.gas", nil),
+	}
+	if reg == nil {
+		return
+	}
+	reg.Gauge("mempool.depth", func() float64 { return float64(n.Pool.Len()) })
+	reg.Gauge("mempool.dropped", func() float64 { return float64(n.Pool.Dropped()) })
+	reg.Gauge("chain.height", func() float64 { return float64(n.Height()) })
+	if n.Params.DynamicBaseFee {
+		reg.Gauge("chain.basefee", func() float64 { return float64(n.BaseFee()) })
+	}
+	if cs, ok := n.engine.(ConsensusStats); ok {
+		reg.Gauge("consensus.rounds", func() float64 {
+			r, _ := cs.ConsensusStats()
+			return float64(r)
+		})
+		reg.Gauge("consensus.viewchanges", func() float64 {
+			_, v := cs.ConsensusStats()
+			return float64(v)
+		})
+	}
+}
+
+// rejectNote maps a submission error to a short trace annotation.
+func rejectNote(err error) string {
+	switch {
+	case errors.Is(err, ErrNodeDown):
+		return "network-down"
+	case errors.Is(err, ErrNodeCrashed):
+		return "node-crashed"
+	case errors.Is(err, mempool.ErrDuplicate):
+		return "duplicate"
+	}
+	return err.Error()
+}
+
+// blockFill is the fraction of the binding per-block budget a block used:
+// gas when a gas limit binds, transaction count when only a count cap
+// does, and 0 for unbounded blocks.
+func blockFill(ntxs int, gasUsed, gasLimit uint64, maxTxs int) float64 {
+	if gasLimit > 0 {
+		return float64(gasUsed) / float64(gasLimit)
+	}
+	if maxTxs > 0 {
+		return float64(ntxs) / float64(maxTxs)
+	}
+	return 0
+}

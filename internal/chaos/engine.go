@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"diablo/internal/obs"
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
 )
@@ -15,6 +16,16 @@ type Engine struct {
 
 	// Applied counts fault applications (clearing expiries included).
 	Applied int
+
+	tracer *obs.Tracer
+	faults *obs.Counter
+}
+
+// Instrument attaches a lifecycle tracer (fault annotation events) and a
+// registry counter of fault transitions. Either argument may be nil.
+func (eng *Engine) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	eng.tracer = tr
+	eng.faults = reg.Counter("chaos.faults")
 }
 
 // Install schedules every event of the schedule on the scheduler. The
@@ -35,6 +46,10 @@ func Install(sched *sim.Scheduler, wan *simnet.Network, s *Schedule) *Engine {
 // apply puts one fault into effect.
 func (eng *Engine) apply(e Event) {
 	eng.Applied++
+	eng.faults.Inc()
+	if eng.tracer != nil {
+		eng.tracer.Fault(eng.sched.Now(), "apply", e.String())
+	}
 	switch e.Kind {
 	case Crash:
 		eng.wan.Node(simnet.NodeID(e.Node)).Crash()
@@ -67,6 +82,10 @@ func (eng *Engine) apply(e Event) {
 // clear reverts a fault whose For duration elapsed.
 func (eng *Engine) clear(e Event) {
 	eng.Applied++
+	eng.faults.Inc()
+	if eng.tracer != nil {
+		eng.tracer.Fault(eng.sched.Now(), "clear", e.String())
+	}
 	switch e.Kind {
 	case Crash:
 		eng.wan.Node(simnet.NodeID(e.Node)).Restart()

@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"diablo/internal/bench"
+	"diablo/internal/obs"
+	"diablo/internal/simnet"
 )
 
 // TxRecord is one transaction's observation in the output JSON.
@@ -49,22 +51,29 @@ type Summary struct {
 	WallMillis      int64   `json:"wall_ms"`
 	ExecutedTxs     uint64  `json:"executed_txs"`
 	ReplayedTxs     uint64  `json:"replayed_txs"`
-	Retries         uint64  `json:"retries,omitempty"`
-	TimedOut        int     `json:"timed_out,omitempty"`
-	MsgsLost        uint64  `json:"msgs_lost,omitempty"`
+	// Retries, TimedOut and MsgsLost are emitted even when zero, like every
+	// other zero-meaningful counter, so chaos and non-chaos reports diff
+	// cleanly field by field.
+	Retries         uint64  `json:"retries"`
+	TimedOut        int     `json:"timed_out"`
+	MsgsLost        uint64  `json:"msgs_lost"`
 	SubmittedPerSec []int   `json:"submitted_per_sec"`
 	CommittedPerSec []int   `json:"committed_per_sec"`
 }
 
 // Report is the Primary's aggregated output document.
 type Report struct {
-	Chain        string     `json:"chain"`
-	Config       string     `json:"config"`
-	Workloads    []string   `json:"workloads"`
-	Seed         int64      `json:"seed"`
-	Summary      Summary    `json:"summary"`
-	Recovery     *Recovery  `json:"recovery,omitempty"`
-	Transactions []TxRecord `json:"transactions,omitempty"`
+	Chain     string    `json:"chain"`
+	Config    string    `json:"config"`
+	Workloads []string  `json:"workloads"`
+	Seed      int64     `json:"seed"`
+	Summary   Summary   `json:"summary"`
+	Recovery  *Recovery `json:"recovery,omitempty"`
+	// Metrics is the sampled sim-time metrics timeline (--metrics), and
+	// LinkTraffic the per-region-pair simnet traffic aggregate.
+	Metrics      *obs.Snapshot     `json:"metrics,omitempty"`
+	LinkTraffic  []simnet.LinkLine `json:"link_traffic,omitempty"`
+	Transactions []TxRecord        `json:"transactions,omitempty"`
 }
 
 // FromOutcome converts a bench outcome into a report. includeTxs controls
@@ -101,7 +110,9 @@ func FromOutcome(out *bench.Outcome, includeTxs bool) *Report {
 			SubmittedPerSec: out.SubmittedPerSec.Counts,
 			CommittedPerSec: out.CommittedPerSec.Counts,
 		},
-		Recovery: RecoveryFrom(out),
+		Recovery:    RecoveryFrom(out),
+		Metrics:     out.Metrics,
+		LinkTraffic: out.Links,
 	}
 	if out.DeployErr != nil {
 		rep.Summary.DeployError = out.DeployErr.Error()

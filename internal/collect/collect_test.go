@@ -2,6 +2,7 @@ package collect
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -50,6 +51,32 @@ func TestRoundTripJSON(t *testing.T) {
 		if len(got.Transactions) != len(rep.Transactions) {
 			t.Fatal("transactions lost in round trip")
 		}
+	}
+}
+
+// TestZeroCountersAlwaysEmitted pins the summary schema: the chaos
+// counters must serialize even when zero, so chaos and non-chaos reports
+// diff cleanly field by field, and must survive a round trip.
+func TestZeroCountersAlwaysEmitted(t *testing.T) {
+	rep := FromOutcome(sampleOutcome(t), false)
+	if rep.Summary.Retries != 0 || rep.Summary.TimedOut != 0 || rep.Summary.MsgsLost != 0 {
+		t.Fatalf("fault-free run has nonzero chaos counters: %+v", rep.Summary)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"retries": 0`, `"timed_out": 0`, `"msgs_lost": 0`} {
+		if !strings.Contains(buf.String(), field) {
+			t.Errorf("serialized summary missing %s", field)
+		}
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Summary, rep.Summary) {
+		t.Fatalf("summary round trip mismatch:\n%+v\n%+v", got.Summary, rep.Summary)
 	}
 }
 

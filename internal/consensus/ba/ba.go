@@ -235,3 +235,6 @@ func (e *Engine) advance() {
 	wait := e.net.Params.MinBlockInterval
 	e.net.Sched.After(wait, e.propose)
 }
+
+// ConsensusStats exposes round counters to the metrics registry.
+func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Rounds, 0 }

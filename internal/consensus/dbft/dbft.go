@@ -217,3 +217,6 @@ func (e *Engine) advance() {
 	e.round++
 	e.net.Sched.After(e.net.Params.MinBlockInterval, e.propose)
 }
+
+// ConsensusStats exposes round counters to the metrics registry.
+func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Rounds, 0 }

@@ -253,3 +253,6 @@ func (e *Engine) onTimeout() {
 		})
 	}
 }
+
+// ConsensusStats exposes view counters to the metrics registry.
+func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Views, 0 }

@@ -236,3 +236,6 @@ func (e *Engine) onTimeout() {
 	}
 	e.propose()
 }
+
+// ConsensusStats exposes round counters to the metrics registry.
+func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Rounds, e.RoundChanges }

@@ -133,3 +133,7 @@ func (e *Engine) onMessage(idx int, payload any) {
 	_ = idx
 	_ = payload
 }
+
+// ConsensusStats exposes slot counters to the metrics registry; skipped
+// slots are the "view change" analogue of a slot-driven chain.
+func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Slots, e.SkippedSlots }

@@ -300,3 +300,7 @@ func (e *Engine) deliverUpTo(at int, commit uint64) {
 		}
 	}
 }
+
+// ConsensusStats exposes replication counters to the metrics registry;
+// elections are the protocol's leader-change signal.
+func (e *Engine) ConsensusStats() (uint64, uint64) { return e.commitIdx, e.Elections }

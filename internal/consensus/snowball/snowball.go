@@ -222,3 +222,6 @@ func (e *Engine) scheduleNext(d time.Duration) {
 		e.propose()
 	})
 }
+
+// ConsensusStats exposes round counters to the metrics registry.
+func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Rounds, 0 }

@@ -6,11 +6,35 @@ import (
 	"time"
 
 	"diablo/internal/dapps"
+	"diablo/internal/obs"
 	"diablo/internal/sim"
 	"diablo/internal/stats"
 	"diablo/internal/types"
 	"diablo/internal/workloads"
 )
+
+// EngineMetrics holds the engine-side registry counters: what the
+// Secondaries' clients observe, as opposed to the node-side counters the
+// chain harness keeps. The zero value (all nil) is the disabled state.
+type EngineMetrics struct {
+	Submitted *obs.Counter // workload entries handed to clients
+	Decided   *obs.Counter // observations of committed transactions
+	Dropped   *obs.Counter // node-side rejections observed by clients
+	TimedOut  *obs.Counter // transactions abandoned by the retry policy
+	Aborted   *obs.Counter // committed transactions whose execution failed
+}
+
+// NewEngineMetrics registers the engine counters; on a nil registry every
+// counter is nil (disabled).
+func NewEngineMetrics(reg *obs.Registry) EngineMetrics {
+	return EngineMetrics{
+		Submitted: reg.Counter("engine.submitted"),
+		Decided:   reg.Counter("engine.decided"),
+		Dropped:   reg.Counter("engine.dropped"),
+		TimedOut:  reg.Counter("engine.timedout"),
+		Aborted:   reg.Counter("engine.aborted"),
+	}
+}
 
 // BenchmarkSpec configures one benchmark run, as the Primary would parse it
 // from the benchmark configuration file.
@@ -35,6 +59,9 @@ type BenchmarkSpec struct {
 	// Secondary i connects to Placement[i mod len]. Empty = collocate
 	// round-robin with every endpoint.
 	Placement []Endpoint
+	// Metrics optionally receives engine-side counters (see EngineMetrics);
+	// the zero value disables them.
+	Metrics EngineMetrics
 }
 
 // Result is the aggregated outcome the Primary reports.
@@ -168,18 +195,22 @@ func Run(sched *sim.Scheduler, bc Blockchain, spec BenchmarkSpec) (*Result, erro
 			rec := &res.Records[idx]
 			if o.Dropped {
 				res.Dropped++
+				spec.Metrics.Dropped.Inc()
 				return
 			}
 			if o.TimedOut {
 				res.TimedOut++
+				spec.Metrics.TimedOut.Inc()
 				return
 			}
 			rec.Commit = o.Decided
 			if o.Status != types.StatusOK {
 				rec.Aborted = true
 				res.AbortedExec++
+				spec.Metrics.Aborted.Inc()
 				return
 			}
+			spec.Metrics.Decided.Inc()
 			res.CommittedPerSec.Add(o.Decided)
 			res.Latencies = append(res.Latencies, o.Decided-o.Submitted)
 		})
@@ -226,6 +257,7 @@ func Run(sched *sim.Scheduler, bc Blockchain, spec BenchmarkSpec) (*Result, erro
 				}
 				res.Records[s.global].Submit = sched.Now()
 				res.SubmittedPerSec.Add(sched.Now())
+				spec.Metrics.Submitted.Inc()
 				e, err := clients[worker].Encode(ispec)
 				if err != nil {
 					res.Records[s.global].Aborted = true

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"diablo/internal/types"
+)
+
+// hookSequence is the per-transaction instrumentation pattern the chain
+// harness runs on its hot path: counters plus the full lifecycle of tracer
+// emissions for one committed transaction.
+func hookSequence(tr *Tracer, m *Counter, id types.Hash) {
+	m.Inc()
+	tr.Submit(time.Millisecond, id, 1)
+	tr.Send(2*time.Millisecond, id, 1, 0)
+	tr.Admit(3*time.Millisecond, id, 1)
+	tr.Include(time.Second, id, 42)
+	tr.Commit(2*time.Second, id, 1)
+}
+
+// BenchmarkTracingDisabled measures the nil-sink fast path: the exact hook
+// calls the instrumented code makes when observability is off. Must be
+// 0 allocs/op (asserted by TestTracingDisabledAllocs).
+func BenchmarkTracingDisabled(b *testing.B) {
+	var tr *Tracer
+	var m *Counter
+	id := txid(0x5a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hookSequence(tr, m, id)
+	}
+}
+
+// BenchmarkTracingEnabled measures the same hooks with a live tracer
+// writing into io.Discard. Budget: 0 allocs/op once the line buffer is
+// warm (asserted by TestTracingEnabledAllocs).
+func BenchmarkTracingEnabled(b *testing.B) {
+	tr := NewTracer(io.Discard)
+	m := &Counter{}
+	id := txid(0x5a)
+	hookSequence(tr, m, id) // warm the line buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hookSequence(tr, m, id)
+	}
+}
+
+// TestTracingDisabledAllocs pins the disabled path at zero allocations —
+// the acceptance bar for leaving the hooks in PR2's hot loops.
+func TestTracingDisabledAllocs(t *testing.T) {
+	var tr *Tracer
+	var m *Counter
+	id := txid(0x5a)
+	if got := testing.AllocsPerRun(1000, func() { hookSequence(tr, m, id) }); got != 0 {
+		t.Fatalf("disabled tracing hooks allocate %.1f/op, want 0", got)
+	}
+}
+
+// TestTracingEnabledAllocs pins the enabled path: with a warm buffer the
+// hand-rolled serializer must not allocate per event (documented budget 0;
+// the assertion allows ≤1 for bufio flush scheduling jitter).
+func TestTracingEnabledAllocs(t *testing.T) {
+	tr := NewTracer(io.Discard)
+	m := &Counter{}
+	id := txid(0x5a)
+	hookSequence(tr, m, id)
+	if got := testing.AllocsPerRun(1000, func() { hookSequence(tr, m, id) }); got > 1 {
+		t.Fatalf("enabled tracing hooks allocate %.1f/op, want ≤1", got)
+	}
+}

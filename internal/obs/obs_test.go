@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"diablo/internal/sim"
+	"diablo/internal/types"
+)
+
+func txid(b byte) types.Hash {
+	var h types.Hash
+	for i := range h {
+		h[i] = b
+	}
+	return h
+}
+
+// TestNilTracerAndCounters pins the disabled fast path: every hook must be
+// a safe no-op on nil receivers.
+func TestNilTracerAndCounters(t *testing.T) {
+	var tr *Tracer
+	id := txid(1)
+	tr.Meta("x", 1, time.Second, []string{"a"})
+	tr.Submit(0, id, 0)
+	tr.Send(0, id, 0, 1)
+	tr.Admit(0, id, 0)
+	tr.Reject(0, id, 0, "full")
+	tr.Include(0, id, 1)
+	tr.Commit(0, id, 0)
+	tr.Retry(0, id, 1)
+	tr.Timeout(0, id, 3)
+	tr.Block(0, 1, 2, 3, 4, 0.5, time.Second, time.Second, 0)
+	tr.Fault(0, "apply", "crash")
+	tr.Sample(0, []float64{1})
+	if tr.Events() != 0 || tr.Err() != nil || tr.Flush() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram must be inert")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Histogram("y", nil) != nil || r.Names() != nil || r.Snapshot() != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	r.Gauge("z", func() float64 { return 1 })
+	r.Attach(sim.NewScheduler(1), time.Second, nil)
+}
+
+// TestTraceRoundTrip emits one of every event and checks the parsed spans,
+// blocks, samples and faults.
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	a, b := txid(0xaa), txid(0xbb)
+	tr.Meta("quorum", 7, time.Second, []string{"m1", "m2"})
+	tr.Submit(1e6, a, 3)
+	tr.Send(2e6, a, 3, 0)
+	tr.Admit(3e6, a, 3)
+	tr.Submit(1e6, b, 4)
+	tr.Send(2e6, b, 4, 0)
+	tr.Reject(3e6, b, 4, `pool "full"`)
+	tr.Retry(4e6, b, 1)
+	tr.Timeout(9e6, b, 3)
+	tr.Block(5e6, 1, 1, 2100, 10000, 0.21, 2*time.Millisecond, time.Millisecond, 2)
+	tr.Include(5e6, a, 1)
+	tr.Commit(8e6, a, 3)
+	tr.Fault(6e6, "apply", "crash node 3")
+	tr.Sample(7e6, []float64{1, 2.5})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	parsed, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Chain != "quorum" || parsed.Seed != 7 || parsed.Interval != time.Second {
+		t.Fatalf("meta mismatch: %+v", parsed)
+	}
+	if len(parsed.MetricNames) != 2 || parsed.MetricNames[1] != "m2" {
+		t.Fatalf("metric names: %v", parsed.MetricNames)
+	}
+	if parsed.Submitted != 2 || parsed.Committed != 1 || parsed.TimedOut != 1 || parsed.Retries != 1 {
+		t.Fatalf("classification: %+v", parsed)
+	}
+	sa := parsed.Spans["aaaaaaaaaaaaaaaa"]
+	if sa == nil || sa.Submit != 1e6 || sa.Admit != 3e6 || sa.Include != 5e6 || sa.Commit != 8e6 || sa.Block != 1 {
+		t.Fatalf("span a: %+v", sa)
+	}
+	sb := parsed.Spans["bbbbbbbbbbbbbbbb"]
+	if sb == nil || !sb.TimedOut || sb.Rejects != 1 || sb.Committed() {
+		t.Fatalf("span b: %+v", sb)
+	}
+	blk := parsed.Blocks[1]
+	if blk == nil || blk.Txs != 1 || blk.GasUsed != 2100 || blk.Assemble != 2*time.Millisecond || blk.Proposer != 2 {
+		t.Fatalf("block: %+v", blk)
+	}
+	if len(parsed.Faults) != 1 || parsed.Faults[0].Note != "crash node 3" {
+		t.Fatalf("faults: %+v", parsed.Faults)
+	}
+	if len(parsed.Samples) != 1 || parsed.Samples[0].Vals[1] != 2.5 {
+		t.Fatalf("samples: %+v", parsed.Samples)
+	}
+}
+
+// TestReadTraceGzipAndErrors checks gzip sniffing and schema validation.
+func TestReadTraceGzipAndErrors(t *testing.T) {
+	var plain bytes.Buffer
+	tr := NewTracer(&plain)
+	tr.Submit(0, txid(1), 0)
+	tr.Flush()
+
+	var zipped bytes.Buffer
+	gz := gzip.NewWriter(&zipped)
+	if _, err := gz.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	gz.Close()
+	parsed, err := ReadTrace(&zipped)
+	if err != nil || parsed.Submitted != 1 {
+		t.Fatalf("gzip read: %v %+v", err, parsed)
+	}
+
+	if _, err := ReadTrace(strings.NewReader(`{"t":1,"kind":"warp"}` + "\n")); err == nil {
+		t.Fatal("unknown kind must fail validation")
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"t":1,"kind":"admit","tx":"xy"}` + "\n")); err == nil {
+		t.Fatal("bad tx id must fail validation")
+	}
+	if _, err := ReadTrace(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed line must fail validation")
+	}
+}
+
+// TestRegistrySampling runs a scheduler with an attached registry and
+// checks tick count, column order and histogram-derived columns.
+func TestRegistrySampling(t *testing.T) {
+	s := sim.NewScheduler(1)
+	reg := NewRegistry()
+	c := reg.Counter("events")
+	var g float64
+	reg.Gauge("depth", func() float64 { return g })
+	h := reg.Histogram("fill", []float64{0.5})
+
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	reg.Attach(s, time.Second, tr)
+	s.Every(300*time.Millisecond, func() {
+		c.Inc()
+		g = float64(s.Now().Milliseconds())
+		h.Observe(0.25)
+		h.Observe(0.75)
+	})
+	s.RunUntil(3500 * time.Millisecond)
+	tr.Flush()
+
+	snap := reg.Snapshot()
+	wantNames := []string{"events", "depth", "fill.count", "fill.mean"}
+	if len(snap.Names) != len(wantNames) {
+		t.Fatalf("names: %v", snap.Names)
+	}
+	for i, n := range wantNames {
+		if snap.Names[i] != n {
+			t.Fatalf("names[%d] = %q, want %q", i, snap.Names[i], n)
+		}
+	}
+	if len(snap.TimesS) != 3 {
+		t.Fatalf("ticks: %v", snap.TimesS)
+	}
+	// At t=1s the 300ms ticker has fired 3 times (0.3, 0.6, 0.9).
+	if snap.Series[0][0] != 3 {
+		t.Fatalf("counter column: %v", snap.Series[0])
+	}
+	if got := snap.Series[3][2]; math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("histogram mean column = %v", got)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Counts[0] != snap.Histograms[0].Counts[1] {
+		t.Fatalf("histogram snapshot: %+v", snap.Histograms)
+	}
+
+	parsed, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Samples) != 3 || len(parsed.Samples[0].Vals) != 4 {
+		t.Fatalf("sample events: %+v", parsed.Samples)
+	}
+}
+
+// TestAttribution checks the component math on a synthetic trace: the
+// components must sum exactly to the total latency (zero residual).
+func TestAttribution(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	id := txid(1)
+	tr.Submit(0, id, 0)
+	tr.Admit(10*time.Millisecond, id, 0)
+	tr.Block(time.Second, 1, 1, 21000, 0, 0, 100*time.Millisecond, 90*time.Millisecond, 0)
+	tr.Include(1e9, id, 1)
+	tr.Commit(2e9, id, 0)
+	tr.Flush()
+
+	parsed, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := Attribute(parsed)
+	if att.Committed != 1 {
+		t.Fatalf("committed: %+v", att)
+	}
+	want := map[string]time.Duration{
+		"network":   10 * time.Millisecond,
+		"mempool":   990 * time.Millisecond,
+		"execution": 100 * time.Millisecond,
+		"consensus": 900 * time.Millisecond,
+	}
+	var sum time.Duration
+	for _, c := range att.Components {
+		if c.Median != want[c.Name] {
+			t.Fatalf("%s = %v, want %v", c.Name, c.Median, want[c.Name])
+		}
+		sum += c.Median
+	}
+	if sum != att.Total.Median || att.Total.Median != 2*time.Second {
+		t.Fatalf("components sum to %v, total %v", sum, att.Total.Median)
+	}
+	if att.MaxResidualShare != 0 {
+		t.Fatalf("residual: %v", att.MaxResidualShare)
+	}
+}
+
+// TestAttributionClampsExecution: when a block's assembly cost exceeds the
+// post-inclusion wait (overlapped pipelines), execution is capped so the
+// breakdown still sums to the total.
+func TestAttributionClampsExecution(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	id := txid(2)
+	tr.Submit(0, id, 0)
+	tr.Admit(0, id, 0)
+	tr.Block(1e9, 1, 1, 0, 0, 0, 5*time.Second, time.Second, 0)
+	tr.Include(1e9, id, 1)
+	tr.Commit(1_500_000_000, id, 0)
+	tr.Flush()
+	parsed, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := Attribute(parsed)
+	for _, c := range att.Components {
+		if c.Name == "execution" && c.Median != 500*time.Millisecond {
+			t.Fatalf("execution = %v, want clamped 500ms", c.Median)
+		}
+		if c.Name == "consensus" && c.Median != 0 {
+			t.Fatalf("consensus = %v, want 0", c.Median)
+		}
+	}
+	if att.MaxResidualShare != 0 {
+		t.Fatalf("residual: %v", att.MaxResidualShare)
+	}
+}
+
+// TestOpenSinkGzip exercises the .gz sink and byte-stability of the gzip
+// header (zero ModTime).
+func TestOpenSinkGzip(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string) []byte {
+		path := dir + "/" + name
+		w, err := OpenSink(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewTracer(w)
+		tr.Submit(1, txid(3), 0)
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := write("a.jsonl.gz")
+	b := write("b.jsonl.gz")
+	if !bytes.Equal(a, b) {
+		t.Fatal("gzip sinks are not byte-stable")
+	}
+	r, err := gzip.NewReader(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(plain, []byte(`"kind":"submit"`)) {
+		t.Fatalf("decoded trace: %s", plain)
+	}
+}

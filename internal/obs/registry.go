@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"time"
+
+	"diablo/internal/sim"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe (and
+// free) on a nil receiver, so instrumented code needs no enabled-check.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Histogram accumulates observations into fixed buckets. bounds[i] is the
+// inclusive upper edge of bucket i; one overflow bucket follows. Safe on a
+// nil receiver.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// column is one sampled value: a counter's or gauge's read function.
+type column struct {
+	name string
+	read func() float64
+}
+
+// Registry holds the run's metrics and samples them on scheduler ticks.
+// Sampling only reads state, so attaching a registry never perturbs the
+// simulation outcome. Registration order fixes the column order (and is
+// therefore deterministic); histogram-derived columns come last.
+type Registry struct {
+	cols  []column
+	hists []*Histogram
+	hnames []string
+
+	interval time.Duration
+	times    []time.Duration
+	rows     [][]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a named counter and returns it. On a nil registry it
+// returns nil, which is the disabled (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.cols = append(r.cols, column{name: name, read: func() float64 { return float64(c.v) }})
+	return c
+}
+
+// Gauge registers a named read-only sampled value.
+func (r *Registry) Gauge(name string, read func() float64) {
+	if r == nil {
+		return
+	}
+	r.cols = append(r.cols, column{name: name, read: read})
+}
+
+// Histogram registers a named histogram with the given bucket upper edges
+// (nil = a single overflow bucket, i.e. count and mean only). Its sampled
+// columns are <name>.count and <name>.mean.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	r.hists = append(r.hists, h)
+	r.hnames = append(r.hnames, name)
+	return h
+}
+
+// Names returns every sampled column name in column order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.cols)+2*len(r.hists))
+	for _, c := range r.cols {
+		names = append(names, c.name)
+	}
+	for _, n := range r.hnames {
+		names = append(names, n+".count", n+".mean")
+	}
+	return names
+}
+
+// sample reads every column into a fresh row.
+func (r *Registry) sample() []float64 {
+	row := make([]float64, 0, len(r.cols)+2*len(r.hists))
+	for _, c := range r.cols {
+		row = append(row, c.read())
+	}
+	for _, h := range r.hists {
+		row = append(row, float64(h.count), h.Mean())
+	}
+	return row
+}
+
+// Attach schedules periodic sampling on the scheduler. Each tick stores a
+// row and, when a tracer is given, emits a "sample" event. The ticker runs
+// until the simulation ends.
+func (r *Registry) Attach(sched *sim.Scheduler, every time.Duration, tr *Tracer) {
+	if r == nil || every <= 0 {
+		return
+	}
+	r.interval = every
+	sched.Every(every, func() {
+		now := sched.Now()
+		row := r.sample()
+		r.times = append(r.times, now)
+		r.rows = append(r.rows, row)
+		tr.Sample(now, row)
+	})
+}
+
+// HistogramSnapshot is one histogram's final state.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is the sampled timeline plus final histogram state, embeddable
+// in result files.
+type Snapshot struct {
+	IntervalS  float64             `json:"interval_s"`
+	Names      []string            `json:"names"`
+	TimesS     []float64           `json:"times_s"`
+	Series     [][]float64         `json:"series"` // Series[i] is column i over time
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot converts the collected rows into per-column series. Returns nil
+// on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	names := r.Names()
+	snap := &Snapshot{
+		IntervalS: r.interval.Seconds(),
+		Names:     names,
+		TimesS:    make([]float64, len(r.times)),
+		Series:    make([][]float64, len(names)),
+	}
+	for i, at := range r.times {
+		snap.TimesS[i] = at.Seconds()
+	}
+	for i := range snap.Series {
+		col := make([]float64, len(r.rows))
+		for j, row := range r.rows {
+			col[j] = row[i]
+		}
+		snap.Series[i] = col
+	}
+	for i, h := range r.hists {
+		snap.Histograms = append(snap.Histograms, HistogramSnapshot{
+			Name:   r.hnames[i],
+			Bounds: h.bounds,
+			Counts: h.counts,
+			Count:  h.count,
+			Sum:    h.sum,
+		})
+	}
+	return snap
+}

@@ -116,6 +116,25 @@ func (s *Scheduler) Executed() uint64 { return s.nexec }
 // cancelled events that have not been reaped or compacted away).
 func (s *Scheduler) Pending() int { return len(s.heap) }
 
+// HeapStats is a read-only snapshot of scheduler occupancy, sampled by the
+// observability registry.
+type HeapStats struct {
+	Live int // scheduled events that will still run
+	Dead int // cancelled events awaiting reap or compaction
+	Slab int // total slab capacity (slots ever allocated)
+	Free int // recycled slab slots available for reuse
+}
+
+// Stats reports current occupancy.
+func (s *Scheduler) Stats() HeapStats {
+	return HeapStats{
+		Live: len(s.heap) - s.ndead,
+		Dead: s.ndead,
+		Slab: len(s.slab),
+		Free: len(s.free),
+	}
+}
+
 // alloc returns a free slab slot, growing the slab when the free list is
 // empty.
 func (s *Scheduler) alloc() int32 {

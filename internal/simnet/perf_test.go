@@ -31,6 +31,33 @@ func TestSimnetSendAllocs(t *testing.T) {
 	}
 }
 
+// TestSimnetSendAllocsWithStats re-runs the steady-state allocation
+// assertion with the per-region traffic matrix installed: link accounting
+// is two array increments behind one branch and must stay free.
+func TestSimnetSendAllocsWithStats(t *testing.T) {
+	s := sim.NewScheduler(1)
+	net := New(s)
+	net.SetLinkStats(&LinkStats{})
+	a := net.AddNode(Ohio)
+	b := net.AddNode(Tokyo)
+	b.SetHandler(func(m Message) {})
+	var payload any = "blk"
+	for i := 0; i < 64; i++ {
+		net.Send(a.ID, b.ID, 100, payload)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		net.Send(a.ID, b.ID, 100, payload)
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("send+deliver with link stats allocates %.1f objects/op, want 0", allocs)
+	}
+	if len(net.linkStats.Lines()) == 0 {
+		t.Fatal("no traffic recorded in the link matrix")
+	}
+}
+
 // TestFaultEpochInvalidation guards the per-link fault cache: editing,
 // re-editing and clearing faults must take effect on the very next send,
 // not only on links that have never cached a (nil) fault.

@@ -168,6 +168,10 @@ type Network struct {
 	rng *rand.Rand
 	// envFree is the recycled in-flight envelope pool.
 	envFree *envelope
+	// linkStats, when non-nil, aggregates per-region-pair traffic. Kept a
+	// plain pointer (one predictable branch, array indexing, no allocation)
+	// so enabling it does not disturb the hot path.
+	linkStats *LinkStats
 
 	// Delivered counts messages delivered; BytesSent counts payload bytes;
 	// Lost counts messages dropped by link faults (not crashes/partitions).
@@ -399,9 +403,16 @@ func (n *Network) Send(from, to NodeID, size int, payload any) {
 	}
 	arrive := done + prop
 	n.BytesSent += uint64(size)
+	if n.linkStats != nil {
+		n.linkStats.Msgs[src.Region][dst.Region]++
+		n.linkStats.Bytes[src.Region][dst.Region] += uint64(size)
+	}
 
 	if fault != nil && fault.Loss > 0 && n.rng.Float64() < fault.Loss {
 		n.Lost++
+		if n.linkStats != nil {
+			n.linkStats.Lost[src.Region][dst.Region]++
+		}
 		return // lost on the wire, bandwidth already consumed
 	}
 	if n.partition != nil && n.side(from) != n.side(to) {
@@ -412,6 +423,50 @@ func (n *Network) Send(from, to NodeID, size int, payload any) {
 	e.net, e.dst = n, dst
 	e.msg = Message{From: from, To: to, Size: size, Payload: payload}
 	n.Sched.AtCall(arrive, e)
+}
+
+// LinkStats aggregates directed per-region-pair traffic: messages offered
+// to each link, payload bytes, and messages dropped by link faults.
+type LinkStats struct {
+	Msgs  [NumRegions][NumRegions]uint64
+	Bytes [NumRegions][NumRegions]uint64
+	Lost  [NumRegions][NumRegions]uint64
+}
+
+// SetLinkStats installs (or, with nil, removes) the traffic aggregator.
+func (n *Network) SetLinkStats(ls *LinkStats) { n.linkStats = ls }
+
+// LinkLine is one region pair's traffic, for reports.
+type LinkLine struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Msgs  uint64 `json:"msgs"`
+	Bytes uint64 `json:"bytes"`
+	Lost  uint64 `json:"lost,omitempty"`
+}
+
+// Lines returns the non-empty region pairs in deterministic (region,
+// region) order. Safe on a nil receiver.
+func (ls *LinkStats) Lines() []LinkLine {
+	if ls == nil {
+		return nil
+	}
+	var out []LinkLine
+	for a := 0; a < NumRegions; a++ {
+		for b := 0; b < NumRegions; b++ {
+			if ls.Msgs[a][b] == 0 && ls.Lost[a][b] == 0 {
+				continue
+			}
+			out = append(out, LinkLine{
+				From:  Region(a).String(),
+				To:    Region(b).String(),
+				Msgs:  ls.Msgs[a][b],
+				Bytes: ls.Bytes[a][b],
+				Lost:  ls.Lost[a][b],
+			})
+		}
+	}
+	return out
 }
 
 // Broadcast sends the payload from one node to every other node.
