@@ -2,13 +2,15 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench bench-exhibits exhibits exhibits-quick examples trace-smoke clean
+.PHONY: build test test-short vet race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke clean
 
 build:
 	$(GO) build ./...
 
-test:
+vet:
 	$(GO) vet ./...
+
+test: vet
 	$(GO) test ./...
 
 test-short:
@@ -19,15 +21,15 @@ test-short:
 race:
 	$(GO) test -race ./internal/sim ./internal/chaos ./internal/simnet \
 		./internal/chains/... ./internal/bench ./internal/core \
-		./internal/obs ./internal/collect \
+		./internal/obs ./internal/collect ./internal/snapshot \
 		./internal/report ./internal/perfharness
 
 # Tracked perf harness: scheduler events/sec, simnet msgs/sec, end-to-end
 # cell runtime and parallel-sweep speedup. Gates against the recorded
-# BENCH_PR2.json (fails on a >20% scheduler-throughput drop or a hot path
+# BENCH_PR4.json (fails on a >20% scheduler-throughput drop or a hot path
 # that allocates again), then re-records it.
 bench:
-	$(GO) run ./cmd/diablo bench --out=BENCH_PR2.json --baseline=BENCH_PR2.json
+	$(GO) run ./cmd/diablo bench --out=BENCH_PR4.json --baseline=BENCH_PR4.json
 
 # One Go benchmark per table/figure, reduced scale.
 bench-exhibits:
@@ -52,6 +54,23 @@ trace-smoke:
 	$(GO) run ./cmd/diablo-report trace trace-smoke.jsonl.gz
 	rm -f trace-smoke.jsonl.gz
 
+# Checkpoint/resume smoke test: record a checkpointed chaos run, resume it
+# from the 50s checkpoint (mid-crash), require byte-identical results after
+# wall_ms normalization, and prove the re-recorded checkpoints bisect clean.
+snapshot-smoke:
+	rm -rf ck-a ck-b ck-a.json ck-b.json
+	$(GO) run ./cmd/diablo run --checkpoint-every=25 --checkpoint-dir=ck-a \
+		--tail=120s --output=ck-a.json \
+		specs/setup-quorum-chaos.yaml specs/workload-native-10.yaml
+	$(GO) run ./cmd/diablo run --resume=ck-a/cp-000000050000ms.snap \
+		--checkpoint-dir=ck-b --tail=120s --output=ck-b.json \
+		specs/setup-quorum-chaos.yaml specs/workload-native-10.yaml
+	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' ck-a.json > ck-a.norm.json
+	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' ck-b.json > ck-b.norm.json
+	cmp ck-a.norm.json ck-b.norm.json
+	$(GO) run ./cmd/diablo-report bisect ck-a ck-b
+	rm -rf ck-a ck-b ck-a.json ck-b.json ck-a.norm.json ck-b.norm.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/custom-blockchain
@@ -61,3 +80,4 @@ examples:
 
 clean:
 	rm -f diablo test_output.txt bench_output.txt trace-smoke.jsonl.gz
+	rm -rf ck-a ck-b ck-a.json ck-b.json ck-a.norm.json ck-b.norm.json checkpoints

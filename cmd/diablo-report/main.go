@@ -19,6 +19,7 @@ import (
 	"diablo/internal/collect"
 	"diablo/internal/obs"
 	"diablo/internal/report"
+	"diablo/internal/snapshot"
 )
 
 // writeJSON pretty-prints a value.
@@ -36,11 +37,18 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bisect" {
+		if err := runBisect(os.Args[2:]); err != nil {
+			log.Fatalf("diablo-report: %v", err)
+		}
+		return
+	}
 	summary := flag.Bool("summary", false, "print the summary line instead of CSV")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, `usage:
   diablo-report [--summary] <results.json>...
-  diablo-report trace [--check] [--json] <trace.jsonl[.gz]>...`)
+  diablo-report trace [--check] [--json] <trace.jsonl[.gz]>...
+  diablo-report bisect [--json] <run-a-dir> <run-b-dir>`)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -110,4 +118,54 @@ func runTrace(args []string) error {
 		report.RenderTrace(os.Stdout, tr, att)
 	}
 	return nil
+}
+
+// runBisect diffs two checkpoint directories and reports the first
+// virtual-time window and subsystem where their state digests diverge.
+// Exits 1 (via the returned error) when the runs differ so scripts can
+// gate on the result.
+func runBisect(args []string) error {
+	fs := flag.NewFlagSet("bisect", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the bisect report as JSON instead of text")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: diablo-report bisect [--json] <run-a-dir> <run-b-dir>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	rep, err := snapshot.Bisect(fs.Arg(0), fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		if err := writeJSON(os.Stdout, rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(rep.Format())
+	}
+	if !rep.Identical {
+		return fmt.Errorf("runs diverge (first divergent subsystem: %s)", divergentNames(rep))
+	}
+	return nil
+}
+
+// divergentNames summarizes which sections diverged for the error line.
+func divergentNames(rep *snapshot.BisectReport) string {
+	names := ""
+	for i, d := range rep.Divergent {
+		if i > 0 {
+			names += ", "
+		}
+		names += d.Name
+	}
+	if names == "" {
+		names = "none recorded"
+	}
+	return names
 }

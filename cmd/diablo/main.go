@@ -30,6 +30,7 @@ import (
 	"diablo/internal/perfharness"
 	"diablo/internal/remote"
 	"diablo/internal/report"
+	"diablo/internal/snapshot"
 	"diablo/internal/spec"
 	"diablo/internal/stats"
 )
@@ -88,6 +89,11 @@ run flags:
   --metrics           sample the metrics registry every sim-second and embed
                       the timelines in the output JSON
   --repeat=N --workers=M    run N seeds (seed..seed+N-1), M cells at a time
+  --checkpoint-every=N      write a state checkpoint every N sim-seconds
+  --checkpoint-dir=DIR      where checkpoints go (default: checkpoints)
+  --resume=FILE             fast-forward deterministically and verify every
+                            subsystem against the checkpoint at its virtual
+                            time, then continue to completion
 
 bench flags:
   --out=BENCH_PR2.json      write the machine-readable perf record
@@ -214,6 +220,9 @@ func runLocal(args []string) error {
 	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS, 1 = serial)")
 	tracePath := fs.String("trace", "", "write a JSONL transaction lifecycle trace (a .gz path is gzip-compressed)")
 	metrics := fs.Bool("metrics", false, "sample the metrics registry every sim-second and embed the timelines in the output")
+	ckEvery := fs.String("checkpoint-every", "", "write a state checkpoint every N sim-seconds (plain number or duration)")
+	ckDir := fs.String("checkpoint-dir", "checkpoints", "directory for checkpoint files")
+	resume := fs.String("resume", "", "resume from a checkpoint file: fast-forward deterministically and verify every subsystem at its virtual time")
 	if err := fs.Parse(mergeStatValue(args)); err != nil {
 		return err
 	}
@@ -221,9 +230,13 @@ func runLocal(args []string) error {
 	if len(rest) != 2 {
 		return fmt.Errorf("run needs <setup.yaml> <workload.yaml>")
 	}
-	setup, benchmark, _, err := loadSpecs(rest[0], rest[1])
+	setup, benchmark, specHash, _, err := loadSpecsHashed(rest[0], rest[1])
 	if err != nil {
 		return err
+	}
+	ckInterval, err := parseSimSeconds(*ckEvery)
+	if err != nil {
+		return fmt.Errorf("--checkpoint-every: %w", err)
 	}
 	traces, err := benchmark.Traces()
 	if err != nil {
@@ -235,6 +248,9 @@ func runLocal(args []string) error {
 	}
 	if *repeat < 1 {
 		*repeat = 1
+	}
+	if (ckInterval > 0 || *resume != "") && *repeat > 1 {
+		return fmt.Errorf("checkpointing and --repeat do not combine; run one seed at a time")
 	}
 	logger(level)("running %s on %s (%d workload traces, %d seeds)",
 		setup.Chain, setup.Config.Name, len(traces), *repeat)
@@ -266,6 +282,14 @@ func runLocal(args []string) error {
 			Faults:     setup.Faults,
 			Retry:      setup.Retry,
 			Metrics:    *metrics,
+			Resume:     *resume,
+			SpecHash:   specHash,
+		}
+		// A resumed run re-records checkpoints at the recorded cadence so
+		// the original and resumed runs can be bisected against each other.
+		if ckInterval > 0 || *resume != "" {
+			exps[i].CheckpointEvery = ckInterval
+			exps[i].CheckpointDir = *ckDir
 		}
 		if *tracePath != "" {
 			path := *tracePath
@@ -301,6 +325,13 @@ func runLocal(args []string) error {
 	}
 	for _, out := range outs {
 		rep := collect.FromOutcome(out, true)
+		if len(out.Checkpoints) > 0 {
+			logger(level)("%d checkpoints written to %s", len(out.Checkpoints), *ckDir)
+		}
+		if out.Verified >= 0 {
+			fmt.Printf("resume checkpoint verified at t=%.0fs: all subsystems match the recorded state\n",
+				out.Verified.Seconds())
+		}
 		if stat.enabled {
 			if *repeat > 1 {
 				fmt.Printf("seed %d: ", out.Experiment.Seed)
@@ -358,6 +389,26 @@ func (f *statFlag) Set(v string) error {
 	return nil
 }
 
+// parseSimSeconds parses a checkpoint cadence: a plain number is taken as
+// sim-seconds ("25"), anything else as a Go duration ("25s", "1m30s").
+// Empty means disabled.
+func parseSimSeconds(v string) (time.Duration, error) {
+	if v == "" {
+		return 0, nil
+	}
+	if n, err := strconv.Atoi(v); err == nil {
+		if n <= 0 {
+			return 0, fmt.Errorf("want a positive number of sim-seconds, got %d", n)
+		}
+		return time.Duration(n) * time.Second, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("want sim-seconds or a positive duration, got %q", v)
+	}
+	return d, nil
+}
+
 // mergeStatValue rewrites the paper's "--stat 10" spelling into "--stat=10"
 // so the flag package's boolean-flag parsing accepts it.
 func mergeStatValue(args []string) []string {
@@ -409,7 +460,7 @@ func lastDot(s string) int {
 // a recorded baseline and records the new measurement.
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_PR2.json", "machine-readable output path (empty = don't write)")
+	out := fs.String("out", "BENCH_PR4.json", "machine-readable output path (empty = don't write)")
 	baseline := fs.String("baseline", "", "baseline to gate against (default: --out if it exists)")
 	tolerance := fs.Float64("tolerance", 0.2, "allowed relative throughput drop")
 	workers := fs.Int("workers", 0, "parallel-sweep pool size (0 = GOMAXPROCS)")
@@ -453,23 +504,33 @@ func runBench(args []string) error {
 }
 
 func loadSpecs(setupPath, workloadPath string) (*spec.Setup, *spec.Benchmark, string, error) {
+	setup, benchmark, _, benchYAML, err := loadSpecsHashed(setupPath, workloadPath)
+	return setup, benchmark, benchYAML, err
+}
+
+// loadSpecsHashed additionally returns the FNV-1a digest of the raw spec
+// bytes, which ties checkpoint files to the exact setup+workload pair.
+func loadSpecsHashed(setupPath, workloadPath string) (*spec.Setup, *spec.Benchmark, uint64, string, error) {
 	setupSrc, err := os.ReadFile(setupPath)
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, 0, "", err
 	}
 	setup, err := spec.ParseSetup(string(setupSrc))
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, 0, "", err
 	}
 	benchSrc, err := os.ReadFile(workloadPath)
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, 0, "", err
 	}
 	benchmark, err := spec.ParseBenchmark(string(benchSrc))
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, 0, "", err
 	}
-	return setup, benchmark, string(benchSrc), nil
+	h := snapshot.NewHash()
+	h.Bytes(setupSrc)
+	h.Bytes(benchSrc)
+	return setup, benchmark, h.Sum(), string(benchSrc), nil
 }
 
 func writeReport(path string, rep *collect.Report, compress bool) error {

@@ -67,6 +67,22 @@ type Experiment struct {
 	Progress func(Progress)
 	// ProgressEvery is the Progress callback period.
 	ProgressEvery time.Duration
+	// CheckpointEvery enables periodic state checkpoints at this virtual
+	// interval, written into CheckpointDir. Checkpoint capture only reads
+	// state, so a checkpointed run's result and trace are byte-identical
+	// to an uncheckpointed one.
+	CheckpointEvery time.Duration
+	// CheckpointDir receives the checkpoint files (cp-<vtime>ms.snap).
+	CheckpointDir string
+	// Resume is a checkpoint file to resume from: the run deterministically
+	// fast-forwards from t=0 and, on reaching the checkpoint's virtual
+	// time, reconciles every subsystem against the stored state — failing
+	// loudly on the first divergent field instead of continuing a run that
+	// would not match the original.
+	Resume string
+	// SpecHash ties checkpoints to the raw setup+workload spec bytes;
+	// resume refuses a checkpoint recorded for a different spec.
+	SpecHash uint64
 }
 
 // Progress is one periodic liveness report during a run.
@@ -117,6 +133,12 @@ type Outcome struct {
 	Links []simnet.LinkLine
 	// TraceEvents counts emitted trace events (Experiment.Trace).
 	TraceEvents uint64
+	// Checkpoints lists the checkpoint files written (CheckpointEvery).
+	Checkpoints []string
+	// Verified is the virtual time at which a Resume checkpoint was
+	// successfully reconciled against the fast-forwarded state (-1 when
+	// not resuming).
+	Verified time.Duration
 }
 
 // DefaultCacheAfter is how many full interpretations warm the gas cache.
@@ -185,11 +207,13 @@ func Run(e Experiment) (*Outcome, error) {
 		reg.Gauge("sched.executed", func() float64 { return float64(sched.Executed()) })
 	}
 
+	var chaosEng *chaos.Engine
 	if e.Faults != nil {
 		if err := e.Faults.Validate(cfg.Nodes); err != nil {
 			return nil, err
 		}
-		chaos.Install(sched, wan, e.Faults).Instrument(tracer, reg)
+		chaosEng = chaos.Install(sched, wan, e.Faults)
+		chaosEng.Instrument(tracer, reg)
 	}
 	switch {
 	case e.CacheAfter > 0:
@@ -246,6 +270,16 @@ func Run(e Experiment) (*Outcome, error) {
 		})
 	}
 
+	// Checkpoint/resume is armed last, so the recorder ticker rides after
+	// every other same-timestamp event of a tick (progress, sampling) and
+	// observes the settled state. Capture only reads state — no RNG draws,
+	// no scheduling besides its own ticker — so the run's outputs are
+	// byte-identical with or without it.
+	ck, err := armCheckpoints(e, sched, wan, chaosEng, net, reg)
+	if err != nil {
+		return nil, err
+	}
+
 	net.Start()
 	result, err := core.Run(sched, adapter, core.BenchmarkSpec{
 		Traces:    e.Traces,
@@ -256,6 +290,9 @@ func Run(e Experiment) (*Outcome, error) {
 		Metrics:   em,
 	})
 	net.Stop()
+	if cerr := ck.err(); cerr != nil {
+		return nil, cerr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -281,6 +318,8 @@ func Run(e Experiment) (*Outcome, error) {
 		Metrics:     reg.Snapshot(),
 		Links:       linkStats.Lines(),
 		TraceEvents: tracer.Events(),
+		Checkpoints: ck.written(),
+		Verified:    ck.verifiedAt(),
 	}, nil
 }
 

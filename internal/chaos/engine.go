@@ -4,6 +4,7 @@ import (
 	"diablo/internal/obs"
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
+	"diablo/internal/snapshot"
 )
 
 // Engine applies a schedule to a simulated WAN. All state changes run as
@@ -26,6 +27,21 @@ type Engine struct {
 func (eng *Engine) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 	eng.tracer = tr
 	eng.faults = reg.Counter("chaos.faults")
+}
+
+// SnapshotState implements snapshot.Stater. Only the applied-transition
+// count is captured, deliberately not the static schedule: two runs whose
+// schedules differ diverge at the virtual-time window where the extra
+// fault first fires — which is what bisect should report — not at
+// checkpoint zero.
+func (eng *Engine) SnapshotState(e *snapshot.Encoder) {
+	e.U64("applied", uint64(eng.Applied))
+}
+
+// RestoreState implements snapshot.Restorer by reconciling the stored
+// section against the fast-forwarded live engine.
+func (eng *Engine) RestoreState(d *snapshot.Decoder) error {
+	return snapshot.Reconcile(eng, d)
 }
 
 // Install schedules every event of the schedule on the scheduler. The

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"diablo/internal/dapps"
@@ -230,8 +231,17 @@ func Run(sched *sim.Scheduler, bc Blockchain, spec BenchmarkSpec) (*Result, erro
 		})
 		globalBase += int32(tr.Total())
 	}
-	for w, subs := range windows {
-		subs := subs
+	// Windows are scheduled in sorted order: each window has a distinct
+	// timestamp, so map order would not change behavior, but scheduling
+	// from map iteration would randomize event sequence numbers and break
+	// checkpoint queue digests (internal/snapshot).
+	wkeys := make([]int64, 0, len(windows))
+	for w := range windows {
+		wkeys = append(wkeys, w)
+	}
+	sort.Slice(wkeys, func(i, j int) bool { return wkeys[i] < wkeys[j] })
+	for _, w := range wkeys {
+		subs := windows[w]
 		sched.At(time.Duration(w)*batchWindow, func() {
 			for _, s := range subs {
 				tr := spec.Traces[s.trace]

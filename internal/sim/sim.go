@@ -43,6 +43,7 @@ type event struct {
 	cb   Callback
 	gen  uint32
 	dead bool
+	obs  bool // observer event: hidden from Executed()/Stats() accounting
 }
 
 // EventID identifies a scheduled event so it can be cancelled. The zero
@@ -68,6 +69,9 @@ func (id EventID) Cancel() {
 	}
 	ev.dead = true
 	ev.fn, ev.cb = nil, nil
+	if ev.obs {
+		s.obsLive--
+	}
 	s.ndead++
 	if s.ndead >= compactMinDead && s.ndead*2 >= len(s.heap) {
 		s.compact()
@@ -92,14 +96,25 @@ type Scheduler struct {
 	ndead  int     // cancelled events still occupying heap slots
 	seq    uint64
 	rng    *rand.Rand
+	rngSrc *CountingSource
 	nexec  uint64
 	halted bool
+
+	// Observer-event accounting: read-only instruments (the checkpoint
+	// capture ticker) run as ordinary events for determinism, but are
+	// subtracted from the Executed()/Stats() numbers the metrics registry
+	// samples — arming an instrument must not change a run's outputs.
+	obsLive int
+	obsExec uint64
 }
 
 // NewScheduler returns a scheduler whose clock starts at zero and whose
-// random source is seeded with seed.
+// random source is seeded with seed. The source is wrapped in a
+// CountingSource — the stream is unchanged, but the draw position is
+// observable for checkpoint digests.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	src := NewCountingSource(seed)
+	return &Scheduler{rng: rand.New(src), rngSrc: src}
 }
 
 // Now returns the current virtual time.
@@ -109,8 +124,9 @@ func (s *Scheduler) Now() Time { return s.now }
 // must draw all randomness from here to keep runs reproducible.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
-// Executed reports how many events have run so far.
-func (s *Scheduler) Executed() uint64 { return s.nexec }
+// Executed reports how many events have run so far, excluding observer
+// events (see EveryObserver).
+func (s *Scheduler) Executed() uint64 { return s.nexec - s.obsExec }
 
 // Pending reports how many events are scheduled but not yet run (including
 // cancelled events that have not been reaped or compacted away).
@@ -125,10 +141,11 @@ type HeapStats struct {
 	Free int // recycled slab slots available for reuse
 }
 
-// Stats reports current occupancy.
+// Stats reports current occupancy. Observer events are excluded from
+// Live: they instrument the run and must not show up in its metrics.
 func (s *Scheduler) Stats() HeapStats {
 	return HeapStats{
-		Live: len(s.heap) - s.ndead,
+		Live: len(s.heap) - s.ndead - s.obsLive,
 		Dead: s.ndead,
 		Slab: len(s.slab),
 		Free: len(s.free),
@@ -153,6 +170,7 @@ func (s *Scheduler) release(idx int32) {
 	ev := &s.slab[idx]
 	ev.fn, ev.cb = nil, nil
 	ev.dead = false
+	ev.obs = false
 	ev.gen++
 	s.free = append(s.free, idx)
 }
@@ -209,6 +227,20 @@ func (s *Scheduler) Every(interval time.Duration, fn func()) *Ticker {
 	return t
 }
 
+// EveryObserver is Every for read-only instruments: the ticker's events
+// run deterministically like any other, but are excluded from the
+// Executed count and Stats occupancy that the metrics registry samples.
+// The checkpoint capture ticker uses this so a checkpointed run's trace
+// and result are byte-identical to an uninstrumented run's.
+func (s *Scheduler) EveryObserver(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{s: s, interval: interval, fn: fn, observer: true}
+	t.arm()
+	return t
+}
+
 // Ticker repeatedly schedules a callback at a fixed virtual interval.
 type Ticker struct {
 	s        *Scheduler
@@ -216,10 +248,11 @@ type Ticker struct {
 	fn       func()
 	id       EventID
 	stopped  bool
+	observer bool
 }
 
 func (t *Ticker) arm() {
-	t.id = t.s.After(t.interval, func() {
+	t.id = t.s.schedule(t.s.now+t.interval, func() {
 		if t.stopped {
 			return
 		}
@@ -227,7 +260,12 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}, nil)
+	if t.observer {
+		ev := &t.s.slab[t.id.slot]
+		ev.obs = true
+		t.s.obsLive++
+	}
 }
 
 // Stop prevents any future firings.
@@ -336,6 +374,10 @@ func (s *Scheduler) Step() bool {
 		}
 		s.now = ev.at
 		s.nexec++
+		if ev.obs {
+			s.obsExec++
+			s.obsLive--
+		}
 		fn, cb := ev.fn, ev.cb
 		s.release(idx)
 		if cb != nil {

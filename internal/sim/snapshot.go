@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+
+	"diablo/internal/snapshot"
+)
+
+// CountingSource wraps a rand.Source64 and counts draws. It delegates both
+// Int63 and Uint64 unchanged, so the random stream is exactly the one the
+// bare source would produce — wrapping changes no seeded run — while the
+// draw position becomes observable for checkpoint digests: two runs whose
+// RNGs are at the same position have consumed identical randomness.
+type CountingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCountingSource wraps the standard source for seed.
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (c *CountingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *CountingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source and resets the draw count.
+func (c *CountingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// Draws reports how many values have been drawn since the last seed.
+func (c *CountingSource) Draws() uint64 { return c.n }
+
+// RandDraws reports the scheduler RNG's draw position.
+func (s *Scheduler) RandDraws() uint64 { return s.rngSrc.Draws() }
+
+// SnapshotState implements snapshot.Stater: clock, event-loop counters,
+// RNG position, and a digest over the live event queue. Pending events are
+// summarized as sorted (at, seq) pairs — the closures themselves cannot be
+// serialized, but two deterministic runs at the same virtual time with
+// identical histories have identical (at, seq) sets.
+func (s *Scheduler) SnapshotState(e *snapshot.Encoder) {
+	e.Dur("now", s.now)
+	e.U64("seq", s.seq)
+	e.U64("executed", s.nexec)
+	e.U64("rand_draws", s.rngSrc.Draws())
+	st := s.Stats()
+	e.U64("live", uint64(st.Live))
+	e.U64("dead", uint64(st.Dead))
+
+	type pending struct {
+		at  Time
+		seq uint64
+	}
+	live := make([]pending, 0, len(s.heap))
+	for _, idx := range s.heap {
+		ev := &s.slab[idx]
+		if !ev.dead {
+			live = append(live, pending{ev.at, ev.seq})
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].at != live[j].at {
+			return live[i].at < live[j].at
+		}
+		return live[i].seq < live[j].seq
+	})
+	h := snapshot.NewHash()
+	for _, p := range live {
+		h.Dur(p.at)
+		h.U64(p.seq)
+	}
+	e.U64("queue_digest", h.Sum())
+}
+
+// RestoreState implements snapshot.Restorer by reconciling the stored
+// section against the fast-forwarded live scheduler.
+func (s *Scheduler) RestoreState(d *snapshot.Decoder) error {
+	return snapshot.Reconcile(s, d)
+}

@@ -165,7 +165,10 @@ type Network struct {
 	slow map[NodeID]float64
 	// rng drives loss and jitter draws; consensus randomness stays on the
 	// scheduler's source so fault draws never perturb protocol behaviour.
-	rng *rand.Rand
+	// The counting wrapper leaves the stream untouched but exposes the draw
+	// position to checkpoint digests.
+	rng    *rand.Rand
+	rngSrc *sim.CountingSource
 	// envFree is the recycled in-flight envelope pool.
 	envFree *envelope
 	// linkStats, when non-nil, aggregates per-region-pair traffic. Kept a
@@ -182,17 +185,21 @@ type Network struct {
 
 // New creates an empty network on the given scheduler.
 func New(sched *sim.Scheduler) *Network {
+	src := sim.NewCountingSource(1)
 	return &Network{
 		Sched:      sched,
 		faultEpoch: 1, // ahead of the links' zero epoch
-		rng:        rand.New(rand.NewSource(1)),
+		rng:        rand.New(src),
+		rngSrc:     src,
 	}
 }
 
 // SeedFaults reseeds the PRNG behind probabilistic link faults so two runs
 // of the same experiment (same seed, same schedule) replay bit-identically.
 func (n *Network) SeedFaults(seed int64) {
-	n.rng = rand.New(rand.NewSource(seed))
+	src := sim.NewCountingSource(seed)
+	n.rng = rand.New(src)
+	n.rngSrc = src
 }
 
 // AddNode attaches a new node in the given region.

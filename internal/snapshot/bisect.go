@@ -1,0 +1,178 @@
+package snapshot
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SectionDiff is one subsystem whose digests differ at the divergent
+// checkpoint, with the first divergent field pinpointed.
+type SectionDiff struct {
+	Name    string
+	DigestA uint64
+	DigestB uint64
+	Field   string // first divergent field label ("" if only presence differs)
+	ValueA  string
+	ValueB  string
+}
+
+// BisectReport is the result of comparing two checkpointed runs.
+type BisectReport struct {
+	Identical bool
+	Compared  int // checkpoints compared pairwise
+
+	// Divergence window: state was identical at WindowStart (exclusive
+	// lower bound; -1 if the very first checkpoint already differs) and
+	// first differs at WindowEnd.
+	WindowStart time.Duration
+	WindowEnd   time.Duration
+	Divergent   []SectionDiff
+
+	// Warnings carries non-fatal oddities (spec-hash or seed mismatch,
+	// unpaired checkpoints).
+	Warnings []string
+}
+
+func firstFieldDiff(a, b []byte) (label, va, vb string) {
+	fa, errA := DecodePayload(a)
+	fb, errB := DecodePayload(b)
+	if errA != nil || errB != nil {
+		return "", "<undecodable>", "<undecodable>"
+	}
+	n := len(fa)
+	if len(fb) < n {
+		n = len(fb)
+	}
+	for i := 0; i < n; i++ {
+		if !fa[i].equal(fb[i]) {
+			return fa[i].Label, fa[i].Value(), fb[i].Value()
+		}
+	}
+	if len(fa) != len(fb) {
+		return "", fmt.Sprintf("%d fields", len(fa)), fmt.Sprintf("%d fields", len(fb))
+	}
+	return "", "", ""
+}
+
+// compareFiles returns the divergent sections of two same-vtime
+// checkpoints, in file (registration) order.
+func compareFiles(a, b *File) []SectionDiff {
+	var diffs []SectionDiff
+	seen := map[string]bool{}
+	for _, sa := range a.Sections {
+		seen[sa.Name] = true
+		sb := b.Section(sa.Name)
+		if sb == nil {
+			diffs = append(diffs, SectionDiff{Name: sa.Name, DigestA: sa.Digest,
+				ValueA: "present", ValueB: "missing"})
+			continue
+		}
+		if sa.Digest == sb.Digest {
+			continue
+		}
+		d := SectionDiff{Name: sa.Name, DigestA: sa.Digest, DigestB: sb.Digest}
+		d.Field, d.ValueA, d.ValueB = firstFieldDiff(sa.Payload, sb.Payload)
+		diffs = append(diffs, d)
+	}
+	for _, sb := range b.Sections {
+		if !seen[sb.Name] {
+			diffs = append(diffs, SectionDiff{Name: sb.Name, DigestB: sb.Digest,
+				ValueA: "missing", ValueB: "present"})
+		}
+	}
+	return diffs
+}
+
+// Bisect loads the checkpoints of two runs and locates the first virtual
+// time at which any subsystem's state digest differs.
+func Bisect(dirA, dirB string) (*BisectReport, error) {
+	filesA, err := LoadDir(dirA)
+	if err != nil {
+		return nil, fmt.Errorf("run-a: %w", err)
+	}
+	filesB, err := LoadDir(dirB)
+	if err != nil {
+		return nil, fmt.Errorf("run-b: %w", err)
+	}
+	if len(filesA) == 0 || len(filesB) == 0 {
+		return nil, fmt.Errorf("no checkpoints to compare (run-a has %d, run-b has %d)",
+			len(filesA), len(filesB))
+	}
+
+	rep := &BisectReport{Identical: true, WindowStart: -1, WindowEnd: -1}
+	if a, b := filesA[0].Meta, filesB[0].Meta; a.SpecHash != b.SpecHash {
+		rep.Warnings = append(rep.Warnings,
+			fmt.Sprintf("spec hash differs (%016x vs %016x): runs were not built from the same spec files", a.SpecHash, b.SpecHash))
+	} else if a.Seed != b.Seed {
+		rep.Warnings = append(rep.Warnings,
+			fmt.Sprintf("seed differs (%d vs %d)", a.Seed, b.Seed))
+	}
+
+	byVT := map[time.Duration]*File{}
+	for _, f := range filesB {
+		byVT[f.Meta.VTime] = f
+	}
+	prev := time.Duration(-1)
+	for _, fa := range filesA {
+		fb, ok := byVT[fa.Meta.VTime]
+		if !ok {
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("checkpoint at %s exists only in run-a", fa.Meta.VTime))
+			continue
+		}
+		rep.Compared++
+		if diffs := compareFiles(fa, fb); len(diffs) > 0 {
+			rep.Identical = false
+			rep.WindowStart = prev
+			rep.WindowEnd = fa.Meta.VTime
+			rep.Divergent = diffs
+			return rep, nil
+		}
+		prev = fa.Meta.VTime
+	}
+	for _, fb := range filesB {
+		found := false
+		for _, fa := range filesA {
+			if fa.Meta.VTime == fb.Meta.VTime {
+				found = true
+				break
+			}
+		}
+		if !found {
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("checkpoint at %s exists only in run-b", fb.Meta.VTime))
+		}
+	}
+	return rep, nil
+}
+
+// Format renders the report for the diablo-report bisect CLI.
+func (r *BisectReport) Format() string {
+	var sb strings.Builder
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&sb, "warning: %s\n", w)
+	}
+	if r.Identical {
+		fmt.Fprintf(&sb, "runs identical across %d checkpoints\n", r.Compared)
+		return sb.String()
+	}
+	if r.WindowStart < 0 {
+		fmt.Fprintf(&sb, "divergence before first checkpoint at %s (window: start .. %s]\n",
+			r.WindowEnd, r.WindowEnd)
+	} else {
+		fmt.Fprintf(&sb, "divergence in virtual-time window (%s .. %s]\n",
+			r.WindowStart, r.WindowEnd)
+	}
+	fmt.Fprintf(&sb, "divergent subsystems (%d):\n", len(r.Divergent))
+	for _, d := range r.Divergent {
+		fmt.Fprintf(&sb, "  %-8s digest %016x vs %016x", d.Name, d.DigestA, d.DigestB)
+		if d.Field != "" {
+			fmt.Fprintf(&sb, "  first diff: %s = %s vs %s", d.Field, d.ValueA, d.ValueB)
+		} else if d.ValueA != "" || d.ValueB != "" {
+			fmt.Fprintf(&sb, "  %s vs %s", d.ValueA, d.ValueB)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

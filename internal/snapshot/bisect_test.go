@@ -1,0 +1,149 @@
+package snapshot
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeRun writes a run's checkpoints at 25s cadence. states maps
+// vtime → per-section counter values; sections are written in fixed
+// order (sched, chain).
+func writeRun(t *testing.T, dir string, seed int64, states map[time.Duration][2]uint64) {
+	t.Helper()
+	sched := &counter{name: "sched"}
+	ch := &counter{name: "chain"}
+	rec := NewRecorder(Meta{Seed: seed, SpecHash: 99, Interval: 25 * time.Second, Chain: "quorum"}, dir)
+	rec.Register("sched", sched)
+	rec.Register("chain", ch)
+	vts := make([]time.Duration, 0, len(states))
+	for vt := range states {
+		vts = append(vts, vt)
+	}
+	// Map order doesn't matter: each WriteCheckpoint snapshots the values
+	// set for its own vtime.
+	for _, vt := range vts {
+		sched.n, ch.n = states[vt][0], states[vt][1]
+		if _, err := rec.WriteCheckpoint(vt); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBisectIdenticalRuns(t *testing.T) {
+	states := map[time.Duration][2]uint64{
+		25 * time.Second: {10, 1},
+		50 * time.Second: {20, 2},
+		75 * time.Second: {30, 3},
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeRun(t, dirA, 7, states)
+	writeRun(t, dirB, 7, states)
+	rep, err := Bisect(dirA, dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical || rep.Compared != 3 || len(rep.Warnings) != 0 {
+		t.Fatalf("identical runs misreported: %+v", rep)
+	}
+	if !strings.Contains(rep.Format(), "runs identical across 3 checkpoints") {
+		t.Fatalf("format: %q", rep.Format())
+	}
+}
+
+func TestBisectPinpointsWindowAndSubsystem(t *testing.T) {
+	// Runs agree at 25s and 50s; run B's chain section diverges at 75s.
+	a := map[time.Duration][2]uint64{
+		25 * time.Second:  {10, 1},
+		50 * time.Second:  {20, 2},
+		75 * time.Second:  {30, 3},
+		100 * time.Second: {40, 4},
+	}
+	b := map[time.Duration][2]uint64{
+		25 * time.Second:  {10, 1},
+		50 * time.Second:  {20, 2},
+		75 * time.Second:  {30, 9},
+		100 * time.Second: {40, 10},
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeRun(t, dirA, 7, a)
+	writeRun(t, dirB, 7, b)
+	rep, err := Bisect(dirA, dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Identical {
+		t.Fatal("divergent runs reported identical")
+	}
+	if rep.WindowStart != 50*time.Second || rep.WindowEnd != 75*time.Second {
+		t.Fatalf("window (%s .. %s], want (50s .. 75s]", rep.WindowStart, rep.WindowEnd)
+	}
+	if len(rep.Divergent) != 1 || rep.Divergent[0].Name != "chain" {
+		t.Fatalf("divergent = %+v, want exactly [chain]", rep.Divergent)
+	}
+	d := rep.Divergent[0]
+	if d.Field != "count" || d.ValueA != "3" || d.ValueB != "9" {
+		t.Fatalf("first diff = %s: %s vs %s", d.Field, d.ValueA, d.ValueB)
+	}
+	out := rep.Format()
+	for _, want := range []string{"(50s .. 1m15s]", "chain", "count", "3 vs 9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format %q missing %q", out, want)
+		}
+	}
+}
+
+func TestBisectFirstCheckpointDiffers(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeRun(t, dirA, 7, map[time.Duration][2]uint64{25 * time.Second: {1, 1}})
+	writeRun(t, dirB, 7, map[time.Duration][2]uint64{25 * time.Second: {2, 1}})
+	rep, err := Bisect(dirA, dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Identical || rep.WindowStart != -1 || rep.WindowEnd != 25*time.Second {
+		t.Fatalf("report: %+v", rep)
+	}
+	if len(rep.Divergent) != 1 || rep.Divergent[0].Name != "sched" {
+		t.Fatalf("divergent = %+v", rep.Divergent)
+	}
+	if !strings.Contains(rep.Format(), "before first checkpoint") {
+		t.Fatalf("format: %q", rep.Format())
+	}
+}
+
+func TestBisectWarnsOnSeedMismatchAndUnpaired(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeRun(t, dirA, 7, map[time.Duration][2]uint64{
+		25 * time.Second: {1, 1},
+		50 * time.Second: {2, 2},
+	})
+	writeRun(t, dirB, 8, map[time.Duration][2]uint64{
+		25 * time.Second: {1, 1},
+		75 * time.Second: {3, 3},
+	})
+	rep, err := Bisect(dirA, dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compared != 1 {
+		t.Fatalf("compared %d, want 1 (only 25s is paired)", rep.Compared)
+	}
+	joined := strings.Join(rep.Warnings, "\n")
+	for _, want := range []string{"seed differs", "50s exists only in run-a", "1m15s exists only in run-b"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("warnings %q missing %q", joined, want)
+		}
+	}
+}
+
+func TestBisectEmptyDirErrors(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeRun(t, dirA, 7, map[time.Duration][2]uint64{25 * time.Second: {1, 1}})
+	if _, err := Bisect(dirA, dirB); err == nil {
+		t.Fatal("empty run-b accepted")
+	}
+	if _, err := Bisect(dirA, dirA+"/missing"); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

@@ -1,0 +1,299 @@
+package snapshot
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// File format:
+//
+//	"DSNP" magic · u16 big-endian version · gzip(body)
+//
+// body:
+//
+//	meta payload (length-prefixed labeled fields)
+//	u16 section count
+//	per section: name · payload length · payload · fnv64 digest
+//
+// The gzip writer is created with a zero ModTime (the zero value of
+// gzip.Header, same trick as internal/obs), so a checkpoint's bytes are a
+// pure function of simulation state.
+const (
+	magic   = "DSNP"
+	Version = 1
+)
+
+// Meta describes the run a checkpoint belongs to. SpecHash ties a
+// checkpoint to the exact setup+workload YAML pair; resume and bisect
+// refuse to mix runs of different specs.
+type Meta struct {
+	VTime    time.Duration // virtual time of the checkpoint
+	Seed     int64
+	SpecHash uint64        // FNV-1a over raw setup+workload spec bytes
+	Interval time.Duration // checkpoint cadence of the recording run
+	Chain    string
+}
+
+// Section is one subsystem's serialized state.
+type Section struct {
+	Name    string
+	Payload []byte
+	Digest  uint64
+}
+
+// File is a decoded checkpoint.
+type File struct {
+	Meta     Meta
+	Sections []Section
+}
+
+// Section returns the named section, or nil.
+func (f *File) Section(name string) *Section {
+	for i := range f.Sections {
+		if f.Sections[i].Name == name {
+			return &f.Sections[i]
+		}
+	}
+	return nil
+}
+
+func (m Meta) encode() []byte {
+	e := NewEncoder()
+	e.Dur("vtime", m.VTime)
+	e.I64("seed", m.Seed)
+	e.U64("spec_hash", m.SpecHash)
+	e.Dur("interval", m.Interval)
+	e.Str("chain", m.Chain)
+	return e.Payload()
+}
+
+func decodeMeta(payload []byte) (Meta, error) {
+	d, err := NewDecoder(payload)
+	if err != nil {
+		return Meta{}, err
+	}
+	var m Meta
+	if f, ok := d.Lookup("vtime"); ok {
+		m.VTime = time.Duration(f.I)
+	}
+	if f, ok := d.Lookup("seed"); ok {
+		m.Seed = f.I
+	}
+	if f, ok := d.Lookup("spec_hash"); ok {
+		m.SpecHash = f.U
+	}
+	if f, ok := d.Lookup("interval"); ok {
+		m.Interval = time.Duration(f.I)
+	}
+	if f, ok := d.Lookup("chain"); ok {
+		m.Chain = f.S
+	}
+	return m, nil
+}
+
+// Encode serializes a checkpoint to its canonical byte form.
+func (f *File) Encode() ([]byte, error) {
+	var body bytes.Buffer
+	writeU16 := func(v uint16) {
+		var tmp [2]byte
+		binary.BigEndian.PutUint16(tmp[:], v)
+		body.Write(tmp[:])
+	}
+	writeU32 := func(v uint32) {
+		var tmp [4]byte
+		binary.BigEndian.PutUint32(tmp[:], v)
+		body.Write(tmp[:])
+	}
+	writeU64 := func(v uint64) {
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], v)
+		body.Write(tmp[:])
+	}
+
+	meta := f.Meta.encode()
+	writeU32(uint32(len(meta)))
+	body.Write(meta)
+
+	if len(f.Sections) > 0xffff {
+		return nil, fmt.Errorf("snapshot: %d sections exceed format limit", len(f.Sections))
+	}
+	writeU16(uint16(len(f.Sections)))
+	for _, s := range f.Sections {
+		if len(s.Name) > 0xff {
+			return nil, fmt.Errorf("snapshot: section name %q too long", s.Name)
+		}
+		body.WriteByte(byte(len(s.Name)))
+		body.WriteString(s.Name)
+		writeU32(uint32(len(s.Payload)))
+		body.Write(s.Payload)
+		writeU64(s.Digest)
+	}
+
+	var out bytes.Buffer
+	out.WriteString(magic)
+	var ver [2]byte
+	binary.BigEndian.PutUint16(ver[:], Version)
+	out.Write(ver[:])
+	zw := gzip.NewWriter(&out) // zero Header => zero ModTime => deterministic
+	if _, err := zw.Write(body.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Decode parses a checkpoint from its byte form. All errors are returned,
+// never panicked, including on truncated and corrupted input.
+func Decode(b []byte) (*File, error) {
+	if len(b) < len(magic)+2 {
+		return nil, fmt.Errorf("snapshot: input too short (%d bytes)", len(b))
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", b[:len(magic)])
+	}
+	ver := binary.BigEndian.Uint16(b[len(magic):])
+	if ver != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", ver, Version)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(b[len(magic)+2:]))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: bad gzip stream: %w", err)
+	}
+	body, err := io.ReadAll(io.LimitReader(zr, maxLen))
+	if cerr := zr.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: bad gzip stream: %w", err)
+	}
+
+	r := &byteReader{b: body}
+	u32 := func() (uint32, error) {
+		raw, err := r.take(4)
+		if err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint32(raw), nil
+	}
+
+	metaLen, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	metaRaw, err := r.take(uint64(metaLen))
+	if err != nil {
+		return nil, err
+	}
+	meta, err := decodeMeta(metaRaw)
+	if err != nil {
+		return nil, err
+	}
+
+	rawCount, err := r.take(2)
+	if err != nil {
+		return nil, err
+	}
+	count := int(binary.BigEndian.Uint16(rawCount))
+	f := &File{Meta: meta, Sections: make([]Section, 0, count)}
+	for i := 0; i < count; i++ {
+		nameLen, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		nameRaw, err := r.take(uint64(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		payLen, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := r.take(uint64(payLen))
+		if err != nil {
+			return nil, err
+		}
+		digRaw, err := r.take(8)
+		if err != nil {
+			return nil, err
+		}
+		s := Section{
+			Name:    string(nameRaw),
+			Payload: append([]byte(nil), payload...),
+			Digest:  binary.BigEndian.Uint64(digRaw),
+		}
+		if got := Digest(s.Payload); got != s.Digest {
+			return nil, fmt.Errorf("snapshot: section %q digest mismatch (stored %016x, computed %016x)",
+				s.Name, s.Digest, got)
+		}
+		f.Sections = append(f.Sections, s)
+	}
+	if !r.eof() {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after sections", len(body)-r.off)
+	}
+	return f, nil
+}
+
+// FileName is the canonical checkpoint name for a virtual time; zero-padded
+// milliseconds so lexical order is virtual-time order.
+func FileName(vt time.Duration) string {
+	return fmt.Sprintf("cp-%012dms.snap", vt.Milliseconds())
+}
+
+// WriteFile encodes and writes a checkpoint into dir.
+func (f *File) WriteFile(dir string) (string, error) {
+	b, err := f.Encode()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, FileName(f.Meta.VTime))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadFile loads and decodes one checkpoint.
+func ReadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// LoadDir loads every *.snap checkpoint in dir, sorted by virtual time.
+func LoadDir(dir string) ([]*File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".snap" {
+			continue
+		}
+		f, err := ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Meta.VTime < files[j].Meta.VTime })
+	return files, nil
+}

@@ -1,0 +1,264 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testFile builds the fixed checkpoint used by the golden-file test and
+// the fuzz seed corpus. Do not change it casually: its encoding is pinned
+// by testdata/golden-v1.snap, and changing the bytes means a format
+// version bump.
+func testFile() *File {
+	e := NewEncoder()
+	e.U64("height", 42)
+	e.I64("leader", -1)
+	e.F64("rate", 3.5)
+	e.Str("chain", "quorum")
+	e.Bytes("root", []byte{0xde, 0xad, 0xbe, 0xef})
+	e.Bool("crashed", true)
+	e.Dur("uptime", 90*time.Second)
+	secA := e.Payload()
+
+	e2 := NewEncoder()
+	e2.U64("pending", 7)
+	e2.U64("entries_digest", 0x123456789abcdef0)
+	secB := e2.Payload()
+
+	return &File{
+		Meta: Meta{
+			VTime:    50 * time.Second,
+			Seed:     7,
+			SpecHash: 0xfeedface,
+			Interval: 25 * time.Second,
+			Chain:    "quorum",
+		},
+		Sections: []Section{
+			{Name: "chain", Payload: secA, Digest: Digest(secA)},
+			{Name: "pool", Payload: secB, Digest: Digest(secB)},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := testFile()
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != f.Meta {
+		t.Fatalf("meta round-trip: %+v vs %+v", got.Meta, f.Meta)
+	}
+	if len(got.Sections) != 2 {
+		t.Fatalf("sections: %d", len(got.Sections))
+	}
+	for i, s := range got.Sections {
+		if s.Name != f.Sections[i].Name || !bytes.Equal(s.Payload, f.Sections[i].Payload) || s.Digest != f.Sections[i].Digest {
+			t.Fatalf("section %d did not round-trip", i)
+		}
+	}
+
+	fields, err := DecodePayload(got.Section("chain").Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		label, value string
+	}{
+		{"height", "42"},
+		{"leader", "-1"},
+		{"rate", "3.5"},
+		{"chain", `"quorum"`},
+		{"root", "deadbeef"},
+		{"crashed", "true"},
+		{"uptime", "1m30s"},
+	}
+	if len(fields) != len(want) {
+		t.Fatalf("%d fields, want %d", len(fields), len(want))
+	}
+	for i, w := range want {
+		if fields[i].Label != w.label || fields[i].Value() != w.value {
+			t.Fatalf("field %d = %s/%s, want %s/%s",
+				i, fields[i].Label, fields[i].Value(), w.label, w.value)
+		}
+	}
+}
+
+func TestEncodingIsDeterministic(t *testing.T) {
+	a, err := testFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same state differ")
+	}
+}
+
+// TestGoldenEncoding pins the version-1 byte format. If this fails the
+// on-disk format changed: bump Version and regenerate the golden file
+// with UPDATE_SNAPSHOT_GOLDEN=1.
+func TestGoldenEncoding(t *testing.T) {
+	path := filepath.Join("testdata", "golden-v1.snap")
+	got, err := testFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_SNAPSHOT_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding differs from pinned golden file (%d vs %d bytes): the checkpoint format changed without a version bump", len(got), len(want))
+	}
+	f, err := Decode(want)
+	if err != nil {
+		t.Fatalf("golden file no longer decodes: %v", err)
+	}
+	if f.Meta.VTime != 50*time.Second || f.Section("pool") == nil {
+		t.Fatal("golden file decoded to unexpected content")
+	}
+}
+
+func TestFloatBitsRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.F64("negzero", math.Copysign(0, -1))
+	e.F64("inf", math.Inf(1))
+	e.F64("nan", math.NaN())
+	fields, err := DecodePayload(e.Payload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Signbit(fields[0].F) != true || fields[0].F != 0 {
+		t.Fatal("-0.0 did not round-trip")
+	}
+	if !math.IsInf(fields[1].F, 1) {
+		t.Fatal("+Inf did not round-trip")
+	}
+	if !math.IsNaN(fields[2].F) {
+		t.Fatal("NaN did not round-trip")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid, err := testFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":         nil,
+		"short":         []byte("DSN"),
+		"bad magic":     append([]byte("XXXX"), valid[4:]...),
+		"bad version":   append([]byte("DSNP\x00\x63"), valid[6:]...),
+		"bad gzip":      []byte("DSNP\x00\x01not-gzip-at-all"),
+		"truncated":     valid[:len(valid)-10],
+		"trailing junk": append(append([]byte(nil), valid...), 0xff),
+	}
+	for name, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	// Flipping any single payload byte must be caught by the section digest
+	// (or fail structurally) — never silently accepted, never a panic.
+	for i := 6; i < len(valid); i++ {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x40
+		if f, err := Decode(mut); err == nil {
+			// The flip landed in gzip padding that decompresses identically;
+			// accept only if the content is bit-identical to the original.
+			b2, _ := f.Encode()
+			if !bytes.Equal(b2, valid) {
+				t.Fatalf("flipping byte %d went undetected", i)
+			}
+		}
+	}
+}
+
+func TestDecodePayloadErrors(t *testing.T) {
+	e := NewEncoder()
+	e.U64("x", 900)
+	e.Str("s", "hello")
+	valid := e.Payload()
+	for i := 1; i < len(valid); i++ {
+		if _, err := DecodePayload(valid[:i]); err == nil {
+			// Some prefixes happen to be self-delimiting field sequences;
+			// that is fine as long as nothing panics. Require an error only
+			// for cuts inside the final string body.
+			if i > len(valid)-3 {
+				t.Errorf("truncation at %d decoded without error", i)
+			}
+		}
+	}
+	if _, err := DecodePayload([]byte{0x63, 0x01, 'a'}); err == nil {
+		t.Error("unknown field type accepted")
+	}
+	if _, err := DecodePayload([]byte{TBool, 0x01, 'a', 0x02}); err == nil {
+		t.Error("out-of-range bool accepted")
+	}
+}
+
+// FuzzDecode is the never-panic guarantee for checkpoint parsing:
+// truncated, corrupted or adversarial inputs return errors.
+func FuzzDecode(f *testing.F) {
+	valid, err := testFile().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("DSNP\x00\x01"))
+	f.Add([]byte{})
+	e := NewEncoder()
+	e.U64("a", 1)
+	e.Bytes("b", bytes.Repeat([]byte{0xaa}, 100))
+	f.Add(e.Payload())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Neither entry point may panic or over-allocate; errors are fine.
+		if file, err := Decode(data); err == nil {
+			for _, s := range file.Sections {
+				_, _ = DecodePayload(s.Payload)
+			}
+		}
+		_, _ = DecodePayload(data)
+	})
+}
+
+func TestHashDiscriminates(t *testing.T) {
+	// Length prefixes keep concatenations from colliding.
+	a := NewHash()
+	a.Str("ab")
+	a.Str("c")
+	b := NewHash()
+	b.Str("a")
+	b.Str("bc")
+	if a.Sum() == b.Sum() {
+		t.Fatal("hash collided on shifted concatenation")
+	}
+	c, d := NewHash(), NewHash()
+	c.Bools([]bool{true, false})
+	d.Bools([]bool{false, true})
+	if c.Sum() == d.Sum() {
+		t.Fatal("hash collided on bool order")
+	}
+}

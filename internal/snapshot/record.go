@@ -1,0 +1,145 @@
+package snapshot
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stater is implemented by every checkpointable subsystem. SnapshotState
+// must write the subsystem's state as labeled fields in a fixed source
+// order — same state, same bytes.
+type Stater interface {
+	SnapshotState(*Encoder)
+}
+
+// Restorer is optionally implemented alongside Stater. On resume the run
+// is deterministically fast-forwarded to the checkpoint's virtual time and
+// RestoreState is called with the stored section; the subsystem reconciles
+// the stored state against its live state and returns an error naming the
+// first divergent field. (Pending scheduler events are closures, so state
+// cannot be injected — it is rebuilt by re-execution and then proven.)
+type Restorer interface {
+	RestoreState(*Decoder) error
+}
+
+// StateFunc adapts a capture function to Stater.
+type StateFunc func(*Encoder)
+
+// SnapshotState implements Stater.
+func (f StateFunc) SnapshotState(e *Encoder) { f(e) }
+
+// Reconcile re-captures the subsystem's live state and compares it
+// field-by-field against the stored section, reporting the first
+// divergence. Subsystems implement RestoreState as a one-liner around it.
+func Reconcile(st Stater, dec *Decoder) error {
+	e := NewEncoder()
+	st.SnapshotState(e)
+	live, err := DecodePayload(e.Payload())
+	if err != nil {
+		return fmt.Errorf("live state re-encode: %w", err)
+	}
+	stored := dec.Fields()
+	n := len(stored)
+	if len(live) < n {
+		n = len(live)
+	}
+	for i := 0; i < n; i++ {
+		if !stored[i].equal(live[i]) {
+			return fmt.Errorf("field %q: checkpoint has %s, resumed run has %s",
+				stored[i].Label, stored[i].Value(), live[i].Value())
+		}
+	}
+	if len(stored) != len(live) {
+		return fmt.Errorf("field count: checkpoint has %d, resumed run has %d", len(stored), len(live))
+	}
+	return nil
+}
+
+// Recorder captures per-subsystem sections into checkpoint files.
+// Subsystems are serialized in registration order, which fixes both the
+// file layout and the bisect report ordering.
+type Recorder struct {
+	meta    Meta
+	dir     string
+	names   []string
+	staters []Stater
+
+	// Written accumulates the paths of checkpoints written so far.
+	Written []string
+}
+
+// NewRecorder returns a recorder that writes checkpoints for the described
+// run into dir.
+func NewRecorder(meta Meta, dir string) *Recorder {
+	return &Recorder{meta: meta, dir: dir}
+}
+
+// Register adds a subsystem under a unique section name.
+func (r *Recorder) Register(name string, st Stater) {
+	for _, n := range r.names {
+		if n == name {
+			panic(fmt.Sprintf("snapshot: duplicate section %q", name))
+		}
+	}
+	r.names = append(r.names, name)
+	r.staters = append(r.staters, st)
+}
+
+// Capture serializes every registered subsystem at the given virtual time.
+func (r *Recorder) Capture(vt time.Duration) *File {
+	f := &File{Meta: r.meta}
+	f.Meta.VTime = vt
+	for i, st := range r.staters {
+		e := NewEncoder()
+		st.SnapshotState(e)
+		payload := e.Payload()
+		f.Sections = append(f.Sections, Section{
+			Name:    r.names[i],
+			Payload: payload,
+			Digest:  Digest(payload),
+		})
+	}
+	return f
+}
+
+// WriteCheckpoint captures and persists one checkpoint.
+func (r *Recorder) WriteCheckpoint(vt time.Duration) (string, error) {
+	path, err := r.Capture(vt).WriteFile(r.dir)
+	if err != nil {
+		return "", err
+	}
+	r.Written = append(r.Written, path)
+	return path, nil
+}
+
+// Verify reconciles a stored checkpoint against the live (fast-forwarded)
+// state of every registered subsystem. The run must be at exactly
+// f.Meta.VTime when this is called.
+func (r *Recorder) Verify(f *File) error {
+	for _, sec := range f.Sections {
+		idx := -1
+		for i, n := range r.names {
+			if n == sec.Name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("snapshot: checkpoint section %q has no registered subsystem", sec.Name)
+		}
+		dec, err := NewDecoder(sec.Payload)
+		if err != nil {
+			return fmt.Errorf("section %q: %w", sec.Name, err)
+		}
+		st := r.staters[idx]
+		if rst, ok := st.(Restorer); ok {
+			err = rst.RestoreState(dec)
+		} else {
+			err = Reconcile(st, dec)
+		}
+		if err != nil {
+			return fmt.Errorf("resume verification failed in %q at %s: %w", sec.Name, f.Meta.VTime, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package snapshot
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// counter is a minimal Stater whose state is mutable between captures.
+type counter struct {
+	n    uint64
+	name string
+}
+
+func (c *counter) SnapshotState(e *Encoder) {
+	e.U64("count", c.n)
+	e.Str("name", c.name)
+}
+
+func TestRecorderWriteReadVerify(t *testing.T) {
+	dir := t.TempDir()
+	c := &counter{n: 3, name: "pool"}
+	rec := NewRecorder(Meta{Seed: 7, SpecHash: 11, Interval: 25 * time.Second, Chain: "quorum"}, dir)
+	rec.Register("pool", c)
+
+	path, err := rec.WriteCheckpoint(50 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "cp-000000050000ms.snap" {
+		t.Fatalf("unexpected checkpoint name %s", filepath.Base(path))
+	}
+	if len(rec.Written) != 1 || rec.Written[0] != path {
+		t.Fatalf("Written = %v", rec.Written)
+	}
+
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Meta.VTime != 50*time.Second || f.Meta.Seed != 7 || f.Meta.Chain != "quorum" {
+		t.Fatalf("meta round-trip: %+v", f.Meta)
+	}
+
+	// Same live state reconciles cleanly.
+	if err := rec.Verify(f); err != nil {
+		t.Fatalf("verify against unchanged state: %v", err)
+	}
+
+	// A mutated live state fails naming the divergent field and values.
+	c.n = 4
+	err = rec.Verify(f)
+	if err == nil {
+		t.Fatal("verify accepted divergent state")
+	}
+	for _, want := range []string{`"pool"`, `"count"`, "checkpoint has 3", "resumed run has 4"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestRecorderDuplicateSectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate section name accepted")
+		}
+	}()
+	rec := NewRecorder(Meta{}, "")
+	rec.Register("pool", &counter{})
+	rec.Register("pool", &counter{})
+}
+
+func TestVerifyUnknownSection(t *testing.T) {
+	rec := NewRecorder(Meta{}, "")
+	rec.Register("pool", &counter{})
+	stranger := NewRecorder(Meta{}, "")
+	stranger.Register("ghost", &counter{})
+	if err := rec.Verify(stranger.Capture(time.Second)); err == nil {
+		t.Fatal("checkpoint with unregistered section accepted")
+	}
+}
+
+func TestReconcileFieldCountMismatch(t *testing.T) {
+	e := NewEncoder()
+	e.U64("count", 3)
+	dec, err := NewDecoder(e.Payload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Reconcile(&counter{n: 3, name: "x"}, dec)
+	if err == nil || !strings.Contains(err.Error(), "field count") {
+		t.Fatalf("want field-count error, got %v", err)
+	}
+}
+
+func TestLoadDirSortsByVTime(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecorder(Meta{Seed: 1}, dir)
+	rec.Register("pool", &counter{})
+	for _, vt := range []time.Duration{75 * time.Second, 25 * time.Second, 50 * time.Second} {
+		if _, err := rec.WriteCheckpoint(vt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("loaded %d checkpoints", len(files))
+	}
+	for i, want := range []time.Duration{25 * time.Second, 50 * time.Second, 75 * time.Second} {
+		if files[i].Meta.VTime != want {
+			t.Fatalf("file %d at %s, want %s", i, files[i].Meta.VTime, want)
+		}
+	}
+}
