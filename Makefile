@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke clean
+.PHONY: build test test-short vet lint lint-audit race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke clean
 
 build:
 	$(GO) build ./...
@@ -10,7 +10,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+# Determinism linter: proves the sim-time packages clean of wall clocks,
+# global randomness, order-sensitive map iteration, concurrency primitives
+# and unmirrored snapshot methods (DESIGN.md "Determinism rules & lint").
+# Exits non-zero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/diablo-lint ./...
+
+# Same, plus the //lint:allow suppression audit trail.
+lint-audit:
+	$(GO) run ./cmd/diablo-lint -audit ./...
+
+test: vet lint
 	$(GO) test ./...
 
 test-short:

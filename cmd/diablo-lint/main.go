@@ -1,0 +1,129 @@
+// Command diablo-lint is the determinism linter: it type-checks the whole
+// module from source and proves the sim-time packages clean of wall-clock
+// reads, global randomness, order-sensitive map iteration, concurrency
+// primitives, and unmirrored snapshot methods. It exits non-zero on any
+// unsuppressed finding, so `make lint` gates the tree.
+//
+// Usage:
+//
+//	diablo-lint [flags] [./... | path prefixes]
+//
+//	-audit       print the //lint:allow suppression trail (flagging unused ones)
+//	-json        emit findings as JSON
+//	-checks a,b  run only the named checks
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"diablo/internal/lint"
+)
+
+func main() {
+	audit := flag.Bool("audit", false, "print the suppression audit trail")
+	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default all: "+strings.Join(lint.CheckNames(), ", ")+")")
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	var cfg lint.Config
+	if *checks != "" {
+		for _, c := range strings.Split(*checks, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				cfg.Checks = append(cfg.Checks, c)
+			}
+		}
+	}
+	rep := lint.Run(mod, mod.Packages, cfg)
+
+	findings := filterArgs(rep.Findings, flag.Args(), root)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(rel(root, f.String()))
+		}
+	}
+
+	if *audit {
+		fmt.Printf("suppressions: %d\n", len(rep.Allows))
+		for _, s := range rep.Allows {
+			scope, state := "line", "used"
+			if s.File {
+				scope = "file"
+			}
+			if !s.Used {
+				state = "UNUSED"
+			}
+			fmt.Println(rel(root, fmt.Sprintf("%s:%d: allow %s (%s, %s): %s",
+				s.Pos.Filename, s.Pos.Line, s.Check, scope, state, s.Reason)))
+		}
+	}
+
+	if len(findings) > 0 {
+		if !*asJSON {
+			fmt.Printf("%d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// filterArgs restricts findings to the given path prefixes (relative to the
+// module root). No args, or the conventional "./...", means everything.
+func filterArgs(findings []lint.Finding, args []string, root string) []lint.Finding {
+	var prefixes []string
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == "." {
+			return findings
+		}
+		a = strings.TrimSuffix(a, "/...")
+		a = strings.TrimPrefix(a, "./")
+		prefixes = append(prefixes, filepath.Join(root, a))
+	}
+	if len(prefixes) == 0 {
+		return findings
+	}
+	var out []lint.Finding
+	for _, f := range findings {
+		for _, p := range prefixes {
+			if f.Pos.Filename == p || strings.HasPrefix(f.Pos.Filename, p+string(filepath.Separator)) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// rel rewrites absolute module paths in a message to root-relative ones,
+// keeping output stable across checkouts.
+func rel(root, s string) string {
+	return strings.ReplaceAll(s, root+string(filepath.Separator), "")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diablo-lint:", err)
+	os.Exit(2)
+}

@@ -91,6 +91,7 @@ run flags:
   --repeat=N --workers=M    run N seeds (seed..seed+N-1), M cells at a time
   --checkpoint-every=N      write a state checkpoint every N sim-seconds
   --checkpoint-dir=DIR      where checkpoints go (default: checkpoints)
+  --checkpoint-keep=N       retain only the newest N checkpoints (0 = all)
   --resume=FILE             fast-forward deterministically and verify every
                             subsystem against the checkpoint at its virtual
                             time, then continue to completion
@@ -222,6 +223,7 @@ func runLocal(args []string) error {
 	metrics := fs.Bool("metrics", false, "sample the metrics registry every sim-second and embed the timelines in the output")
 	ckEvery := fs.String("checkpoint-every", "", "write a state checkpoint every N sim-seconds (plain number or duration)")
 	ckDir := fs.String("checkpoint-dir", "checkpoints", "directory for checkpoint files")
+	ckKeep := fs.Int("checkpoint-keep", 0, "retain only the newest N checkpoints, pruning older .snap files after each capture (0 = keep all)")
 	resume := fs.String("resume", "", "resume from a checkpoint file: fast-forward deterministically and verify every subsystem at its virtual time")
 	if err := fs.Parse(mergeStatValue(args)); err != nil {
 		return err
@@ -290,6 +292,7 @@ func runLocal(args []string) error {
 		if ckInterval > 0 || *resume != "" {
 			exps[i].CheckpointEvery = ckInterval
 			exps[i].CheckpointDir = *ckDir
+			exps[i].CheckpointKeep = *ckKeep
 		}
 		if *tracePath != "" {
 			path := *tracePath

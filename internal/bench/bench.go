@@ -74,6 +74,10 @@ type Experiment struct {
 	CheckpointEvery time.Duration
 	// CheckpointDir receives the checkpoint files (cp-<vtime>ms.snap).
 	CheckpointDir string
+	// CheckpointKeep, when positive, prunes older checkpoints after each
+	// capture so at most this many .snap files remain — retention for
+	// multi-hour runs. 0 keeps every checkpoint.
+	CheckpointKeep int
 	// Resume is a checkpoint file to resume from: the run deterministically
 	// fast-forwards from t=0 and, on reaching the checkpoint's virtual
 	// time, reconciles every subsystem against the stored state — failing

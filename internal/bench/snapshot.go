@@ -137,6 +137,11 @@ func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, cha
 			if _, err := rec.WriteCheckpoint(now); err != nil {
 				c.failure = fmt.Errorf("bench: writing checkpoint: %w", err)
 				sched.Halt()
+				return
+			}
+			if err := rec.Prune(e.CheckpointKeep); err != nil {
+				c.failure = err
+				sched.Halt()
 			}
 		}
 	})

@@ -142,7 +142,7 @@ func (c *Client) Submit(tx *types.Transaction) {
 // send performs one submission attempt for a tracked transaction.
 func (c *Client) send(id types.Hash, p *pendingTx) {
 	delay := rpcLatency + c.net.Params.SubmitOverhead
-	c.net.Sched.After(delay, func() {
+	c.net.Sched.AfterKind(sim.KindClient, delay, func() {
 		if c.pending[id] != p {
 			return // decided while the attempt was in flight
 		}
@@ -186,7 +186,7 @@ func (c *Client) arm(id types.Hash, p *pendingTx) {
 	if !c.retry.Enabled() {
 		return
 	}
-	p.timer = c.net.Sched.After(c.retry.wait(p.attempts), func() { c.expire(id, p) })
+	p.timer = c.net.Sched.AfterKind(sim.KindClient, c.retry.wait(p.attempts), func() { c.expire(id, p) })
 	p.hasTimer = true
 }
 

@@ -51,9 +51,9 @@ func Install(sched *sim.Scheduler, wan *simnet.Network, s *Schedule) *Engine {
 	eng := &Engine{sched: sched, wan: wan, sch: s}
 	for _, e := range s.Events {
 		e := e
-		sched.At(e.At, func() { eng.apply(e) })
+		sched.AtKind(sim.KindChaos, e.At, func() { eng.apply(e) })
 		if e.For > 0 {
-			sched.At(e.At+e.For, func() { eng.clear(e) })
+			sched.AtKind(sim.KindChaos, e.At+e.For, func() { eng.clear(e) })
 		}
 	}
 	return eng

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"diablo/internal/chains/chain"
+	"diablo/internal/sim"
 	"diablo/internal/types"
 )
 
@@ -76,7 +77,7 @@ func New(n *chain.Network) chain.Engine {
 }
 
 // Start begins round 0.
-func (e *Engine) Start() { e.net.Sched.After(0, e.propose) }
+func (e *Engine) Start() { e.net.Sched.AfterKind(sim.KindConsensus, 0, e.propose) }
 
 // Stop halts the engine.
 func (e *Engine) Stop() { e.stopped = true }
@@ -130,7 +131,7 @@ func (e *Engine) propose() {
 	proposer := e.proposerOf(e.round)
 	blk, cost := e.net.AssembleBlock(proposer, false)
 	if blk == nil {
-		e.net.Sched.After(retryIdle, e.propose)
+		e.net.Sched.AfterKind(sim.KindConsensus, retryIdle, e.propose)
 		return
 	}
 	round := e.round
@@ -146,7 +147,7 @@ func (e *Engine) propose() {
 		delivered: make([]bool, size),
 	}
 	r := e.net.OverloadRatio()
-	e.net.Sched.After(time.Duration(float64(cost.Assemble)*r), func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Assemble)*r), func() {
 		if e.stopped {
 			return
 		}
@@ -167,7 +168,7 @@ func (e *Engine) onBlock(idx int, round uint64) {
 	validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
 	if e.committee(round, 0)[idx] && !st.softSent[idx] {
 		st.softSent[idx] = true
-		e.net.Sched.After(validation+processing, func() {
+		e.net.Sched.AfterKind(sim.KindConsensus, validation+processing, func() {
 			if e.stopped {
 				return
 			}
@@ -202,7 +203,7 @@ func (e *Engine) deliverVote(idx int, payload any) {
 		if st.softCount[idx] >= e.threshold() && e.committee(v.round, 1)[idx] && !st.certSent[idx] {
 			st.certSent[idx] = true
 			round := v.round
-			e.net.Sched.After(processing, func() {
+			e.net.Sched.AfterKind(sim.KindConsensus, processing, func() {
 				if e.stopped {
 					return
 				}
@@ -233,7 +234,7 @@ func (e *Engine) advance() {
 	e.Rounds++
 	e.round++
 	wait := e.net.Params.MinBlockInterval
-	e.net.Sched.After(wait, e.propose)
+	e.net.Sched.AfterKind(sim.KindConsensus, wait, e.propose)
 }
 
 // ConsensusStats exposes round counters to the metrics registry.

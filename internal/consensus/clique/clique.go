@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"diablo/internal/chains/chain"
+	"diablo/internal/sim"
 )
 
 // Engine is the Clique sealer loop.
@@ -31,7 +32,7 @@ func New(n *chain.Network) chain.Engine {
 }
 
 // Start begins sealing.
-func (e *Engine) Start() { e.net.Sched.After(e.period, e.seal) }
+func (e *Engine) Start() { e.net.Sched.AfterKind(sim.KindConsensus, e.period, e.seal) }
 
 // Stop halts sealing.
 func (e *Engine) Stop() { e.stopped = true }
@@ -52,22 +53,22 @@ func (e *Engine) seal() {
 		sealer = (sealer + 1) % n
 	}
 	if e.net.Nodes[sealer].Sim.Crashed() {
-		e.net.Sched.After(e.period, e.seal)
+		e.net.Sched.AfterKind(sim.KindConsensus, e.period, e.seal)
 		return
 	}
 	blk, cost := e.net.AssembleBlock(sealer, true)
 	r := e.net.OverloadRatio()
 	assembly := time.Duration(float64(cost.Assemble) * r)
-	e.net.Sched.After(assembly, func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, assembly, func() {
 		if e.stopped {
 			return
 		}
 		e.net.Gossip(sealer, blk.Size(), chain.DefaultFanout, func(idx int, _ time.Duration) {
 			// Import: validate (re-execute) then expose to clients.
-			e.net.Sched.After(time.Duration(float64(cost.Validate)*e.net.OverloadRatio()), func() {
+			e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Validate)*e.net.OverloadRatio()), func() {
 				e.net.DeliverBlock(idx, blk)
 			})
 		})
 	})
-	e.net.Sched.After(e.period, e.seal)
+	e.net.Sched.AfterKind(sim.KindConsensus, e.period, e.seal)
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"diablo/internal/chains/chain"
+	"diablo/internal/sim"
 	"diablo/internal/types"
 )
 
@@ -71,7 +72,7 @@ func New(n *chain.Network) chain.Engine {
 }
 
 // Start begins round 0.
-func (e *Engine) Start() { e.net.Sched.After(0, e.propose) }
+func (e *Engine) Start() { e.net.Sched.AfterKind(sim.KindConsensus, 0, e.propose) }
 
 // Stop halts the engine.
 func (e *Engine) Stop() { e.stopped = true }
@@ -94,7 +95,7 @@ func (e *Engine) propose() {
 	}
 	blk, cost := e.net.AssembleBlock(coordinator, false)
 	if blk == nil {
-		e.net.Sched.After(retryIdle, e.propose)
+		e.net.Sched.AfterKind(sim.KindConsensus, retryIdle, e.propose)
 		return
 	}
 	round := e.round
@@ -129,7 +130,7 @@ func (e *Engine) propose() {
 		for probe := 0; probe < size && e.net.Nodes[root].Sim.Crashed(); probe++ {
 			root = (root + 1) % size
 		}
-		e.net.Sched.After(perProposer, func() {
+		e.net.Sched.AfterKind(sim.KindConsensus, perProposer, func() {
 			if e.stopped {
 				return
 			}
@@ -151,7 +152,7 @@ func (e *Engine) onBlock(idx int, round uint64) {
 	}
 	st.seen[idx] = true
 	validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
-	e.net.Sched.After(validation, func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, validation, func() {
 		if e.stopped {
 			return
 		}
@@ -215,7 +216,7 @@ func (e *Engine) deliverVote(idx int, v vote) {
 func (e *Engine) advance() {
 	e.Rounds++
 	e.round++
-	e.net.Sched.After(e.net.Params.MinBlockInterval, e.propose)
+	e.net.Sched.AfterKind(sim.KindConsensus, e.net.Params.MinBlockInterval, e.propose)
 }
 
 // ConsensusStats exposes round counters to the metrics registry.

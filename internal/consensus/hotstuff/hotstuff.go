@@ -96,7 +96,7 @@ func (e *Engine) collectorOf(view uint64) int {
 }
 
 // Start begins view 0.
-func (e *Engine) Start() { e.net.Sched.After(0, e.propose) }
+func (e *Engine) Start() { e.net.Sched.AfterKind(sim.KindConsensus, 0, e.propose) }
 
 // Stop halts the engine.
 func (e *Engine) Stop() {
@@ -122,7 +122,7 @@ func (e *Engine) propose() {
 	allowEmpty := e.hasUncommitted()
 	blk, cost := e.net.AssembleBlock(leader, allowEmpty)
 	if blk == nil {
-		e.net.Sched.After(retryIdle, e.propose)
+		e.net.Sched.AfterKind(sim.KindConsensus, retryIdle, e.propose)
 		return
 	}
 	e.Views++
@@ -140,8 +140,8 @@ func (e *Engine) propose() {
 	r := e.net.OverloadRatio()
 	e.curTimeout = viewTimeoutBase
 	e.timeoutEv.Cancel()
-	e.timeoutEv = e.net.Sched.After(e.curTimeout, e.onTimeout)
-	e.net.Sched.After(time.Duration(float64(cost.Assemble)*r), func() {
+	e.timeoutEv = e.net.Sched.AfterKind(sim.KindConsensus, e.curTimeout, e.onTimeout)
+	e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Assemble)*r), func() {
 		if e.stopped || e.view != view {
 			return
 		}
@@ -180,7 +180,7 @@ func (e *Engine) onProposal(idx int, p proposal) {
 	validation := time.Duration(float64(e.costs[p.view].Validate) * e.net.OverloadRatio())
 	next := e.collectorOf(p.view)
 	view := p.view
-	e.net.Sched.After(validation, func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, validation, func() {
 		if e.stopped || e.view != view {
 			return
 		}
@@ -219,7 +219,7 @@ func (e *Engine) onVote(at int, v voteMsg) {
 		e.timeoutEv.Cancel()
 		e.view++
 		wait := e.net.Params.MinBlockInterval
-		e.net.Sched.After(wait, e.propose)
+		e.net.Sched.AfterKind(sim.KindConsensus, wait, e.propose)
 	}
 }
 
@@ -247,7 +247,7 @@ func (e *Engine) onTimeout() {
 		if e.curTimeout < viewTimeoutMax {
 			e.curTimeout *= 2
 		}
-		e.timeoutEv = e.net.Sched.After(e.curTimeout, e.onTimeout)
+		e.timeoutEv = e.net.Sched.AfterKind(sim.KindConsensus, e.curTimeout, e.onTimeout)
 		e.net.Gossip(leader, blk.Size()+64, chain.DefaultFanout, func(idx int, _ time.Duration) {
 			e.onProposal(idx, proposal{view: view})
 		})

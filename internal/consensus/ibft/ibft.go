@@ -80,7 +80,7 @@ func New(n *chain.Network) chain.Engine {
 func (e *Engine) quorum() int { return 2*len(e.net.Nodes)/3 + 1 }
 
 // Start begins the first sequence.
-func (e *Engine) Start() { e.net.Sched.After(0, e.propose) }
+func (e *Engine) Start() { e.net.Sched.AfterKind(sim.KindConsensus, 0, e.propose) }
 
 // Stop halts the engine.
 func (e *Engine) Stop() {
@@ -109,7 +109,7 @@ func (e *Engine) propose() {
 		leader := int(e.seq) % len(e.net.Nodes)
 		blk, cost := e.net.AssembleBlock(leader, false)
 		if blk == nil {
-			e.net.Sched.After(retryIdle, e.propose)
+			e.net.Sched.AfterKind(sim.KindConsensus, retryIdle, e.propose)
 			return
 		}
 		st = e.newState(len(e.net.Nodes))
@@ -132,10 +132,10 @@ func (e *Engine) propose() {
 	blk := st.blk
 	r := e.net.OverloadRatio()
 	e.timeoutEv.Cancel()
-	e.timeoutEv = e.net.Sched.After(e.timeout, e.onTimeout)
+	e.timeoutEv = e.net.Sched.AfterKind(sim.KindConsensus, e.timeout, e.onTimeout)
 	// Leader executes the block before disseminating, then gossips the
 	// pre-prepare carrying the full block body.
-	e.net.Sched.After(time.Duration(float64(st.cost.Assemble)*r), func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(st.cost.Assemble)*r), func() {
 		if e.stopped {
 			return
 		}
@@ -154,7 +154,7 @@ func (e *Engine) onPrePrepare(idx int, seq uint64, round int) {
 	}
 	st.prepared[idx] = true
 	validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
-	e.net.Sched.After(validation, func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, validation, func() {
 		if e.stopped {
 			return
 		}
@@ -216,7 +216,7 @@ func (e *Engine) advance() {
 	e.timeoutEv.Cancel()
 	e.seq++
 	e.timeout = baseTimeout
-	e.net.Sched.After(e.net.Params.MinBlockInterval, e.propose)
+	e.net.Sched.AfterKind(sim.KindConsensus, e.net.Params.MinBlockInterval, e.propose)
 }
 
 // onTimeout is the round-change path: a new leader re-proposes the same

@@ -59,7 +59,7 @@ func (e *Engine) schedule() {
 	if interval <= 0 {
 		interval = SlotInterval
 	}
-	e.ticker = e.net.Sched.After(interval, e.tick)
+	e.ticker = e.net.Sched.AfterKind(sim.KindConsensus, interval, e.tick)
 }
 
 func (e *Engine) leaderOf(slot uint64) int {

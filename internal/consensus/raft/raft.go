@@ -115,7 +115,7 @@ func (e *Engine) armElection(candidate int) {
 	span := electionTimeoutMax - electionTimeoutMin
 	timeout := electionTimeoutMin + time.Duration(e.net.Sched.Rand().Int63n(int64(span)))
 	e.electionEv.Cancel()
-	e.electionEv = e.net.Sched.After(timeout, func() { e.startElection(candidate) })
+	e.electionEv = e.net.Sched.AfterKind(sim.KindConsensus, timeout, func() { e.startElection(candidate) })
 }
 
 // startElection makes candidate request votes for a new term.
@@ -191,12 +191,12 @@ func (e *Engine) heartbeat() {
 			e.net.Nodes[e.leader].Send(i, msgSize, hb)
 		}
 	}
-	e.net.Sched.After(heartbeatInterval, e.heartbeat)
+	e.net.Sched.AfterKind(sim.KindConsensus, heartbeatInterval, e.heartbeat)
 }
 
 func (e *Engine) scheduleProduce(d time.Duration) {
 	e.produceEv.Cancel()
-	e.produceEv = e.net.Sched.After(d, e.produce)
+	e.produceEv = e.net.Sched.AfterKind(sim.KindConsensus, d, e.produce)
 }
 
 // produce has the leader assemble and replicate the next block.
@@ -219,7 +219,7 @@ func (e *Engine) produce() {
 	e.delivered[blk.Number] = make([]bool, len(e.net.Nodes))
 	r := e.net.OverloadRatio()
 	leader := e.leader
-	e.net.Sched.After(time.Duration(float64(cost.Assemble)*r), func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Assemble)*r), func() {
 		if e.stopped {
 			return
 		}
@@ -242,7 +242,7 @@ func (e *Engine) onAppend(at int, m appendEntries) {
 		if st != nil && !st.seenB[at] {
 			st.seenB[at] = true
 			validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
-			e.net.Sched.After(validation, func() {
+			e.net.Sched.AfterKind(sim.KindConsensus, validation, func() {
 				if e.stopped {
 					return
 				}

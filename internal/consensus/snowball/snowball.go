@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"diablo/internal/chains/chain"
+	"diablo/internal/sim"
 	"diablo/internal/types"
 )
 
@@ -74,7 +75,7 @@ func New(n *chain.Network) chain.Engine {
 }
 
 // Start begins block production.
-func (e *Engine) Start() { e.net.Sched.After(0, e.propose) }
+func (e *Engine) Start() { e.net.Sched.AfterKind(sim.KindConsensus, 0, e.propose) }
 
 // Stop halts the engine.
 func (e *Engine) Stop() { e.stopped = true }
@@ -99,7 +100,7 @@ func (e *Engine) propose() {
 	proposer := e.proposerOf(e.round)
 	blk, cost := e.net.AssembleBlock(proposer, false)
 	if blk == nil {
-		e.net.Sched.After(retryIdle, e.propose)
+		e.net.Sched.AfterKind(sim.KindConsensus, retryIdle, e.propose)
 		return
 	}
 	round := e.round
@@ -120,7 +121,7 @@ func (e *Engine) propose() {
 	if r > 1.05 {
 		e.scheduleNext(e.net.Params.MinBlockInterval)
 	}
-	e.net.Sched.After(time.Duration(float64(cost.Assemble)*r), func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Assemble)*r), func() {
 		if e.stopped {
 			return
 		}
@@ -138,7 +139,7 @@ func (e *Engine) startSampling(idx int, round uint64) {
 	}
 	// Validate (re-execute) before sampling.
 	validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
-	e.net.Sched.After(validation, func() { e.sampleOnce(idx, round) })
+	e.net.Sched.AfterKind(sim.KindConsensus, validation, func() { e.sampleOnce(idx, round) })
 }
 
 // sampleOnce sends one query to a random peer.
@@ -217,7 +218,7 @@ func (e *Engine) scheduleNext(d time.Duration) {
 		return
 	}
 	e.nextPending = true
-	e.net.Sched.After(d, func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, d, func() {
 		e.nextPending = false
 		e.propose()
 	})

@@ -123,7 +123,7 @@ func Run(sched *sim.Scheduler, bc Blockchain, spec BenchmarkSpec) (*Result, erro
 	if spec.Tail <= 0 {
 		spec.Tail = 120 * time.Second
 	}
-	rng := rand.New(rand.NewSource(spec.Seed))
+	rng := rand.New(rand.NewSource(spec.Seed)) //lint:allow globalrand workload RNG is seeded from spec.Seed and drawn before the event loop starts; draw position never needs checkpointing
 
 	res := &Result{Chain: bc.Name()}
 	for _, tr := range spec.Traces {
@@ -242,7 +242,7 @@ func Run(sched *sim.Scheduler, bc Blockchain, spec BenchmarkSpec) (*Result, erro
 	sort.Slice(wkeys, func(i, j int) bool { return wkeys[i] < wkeys[j] })
 	for _, w := range wkeys {
 		subs := windows[w]
-		sched.At(time.Duration(w)*batchWindow, func() {
+		sched.AtKind(sim.KindSubmission, time.Duration(w)*batchWindow, func() {
 			for _, s := range subs {
 				tr := spec.Traces[s.trace]
 				worker := int(s.global) % spec.Secondaries

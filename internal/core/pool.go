@@ -1,5 +1,7 @@
 package core
 
+//lint:allowfile concurrency sweep worker pool runs whole isolated cells, never intra-sim work; TestParallelRunnerMatchesSerial proves bit-identical output vs the serial path
+
 import (
 	"runtime"
 	"sync"

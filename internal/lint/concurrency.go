@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runConcurrency enforces the single-goroutine contract of deterministic
+// packages: the event loop owns all execution order, so goroutines,
+// channels, and sync primitives inside it either deadlock the loop or —
+// worse — run and make scheduling racy. The one sanctioned exception
+// (core's sweep worker pool, proven bit-identical to the serial path) is
+// carried by a //lint:allowfile directive, not by the analyzer.
+func runConcurrency(p *pass) []Finding {
+	var out []Finding
+	for _, pkg := range p.pkgs {
+		if !p.det(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			report := func(pos token.Pos, what string) {
+				out = append(out, Finding{
+					Pos:     p.mod.Fset.Position(pos),
+					Check:   "concurrency",
+					Message: fmt.Sprintf("%s in deterministic package %s", what, pkg.Path),
+					Hint:    "deterministic packages are single-goroutine by contract; schedule sim events instead",
+				})
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					report(n.Pos(), "go statement")
+				case *ast.SendStmt:
+					report(n.Pos(), "channel send")
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						report(n.Pos(), "channel receive")
+					}
+				case *ast.SelectStmt:
+					report(n.Pos(), "select statement")
+				case *ast.ChanType:
+					report(n.Pos(), "channel type")
+					return false // don't re-report the inner <-chan of a chan chan
+				case *ast.RangeStmt:
+					if tv, ok := pkg.Info.Types[n.X]; ok {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+							report(n.Pos(), "range over channel")
+						}
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+						if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+							report(n.Pos(), "close of channel")
+						}
+					}
+				case *ast.SelectorExpr:
+					if id, ok := n.X.(*ast.Ident); ok {
+						if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+							switch path := pn.Imported().Path(); path {
+							case "sync", "sync/atomic":
+								report(n.Pos(), "use of "+path+"."+n.Sel.Name)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

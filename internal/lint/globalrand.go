@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// globalRandFuncs are the math/rand (and v2) package-level functions that
+// draw from the shared global source. Inside deterministic packages they
+// are poison twice over: the stream is unseeded, and the source is shared
+// across concurrent sweep cells.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// runGlobalRand flags, inside deterministic packages, (a) calls to the
+// top-level math/rand functions backed by the global source and (b)
+// rand.NewSource outside internal/sim — the CountingSource plumbing is the
+// one sanctioned seed point, so checkpoint digests can observe every draw.
+func runGlobalRand(p *pass) []Finding {
+	simPath := p.mod.Path + "/internal/sim"
+	var out []Finding
+	for _, pkg := range p.pkgs {
+		if !p.det(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+				if !ok || !isRandPkg(pn.Imported().Path()) {
+					return true
+				}
+				switch name := sel.Sel.Name; {
+				case globalRandFuncs[name]:
+					out = append(out, Finding{
+						Pos:     p.mod.Fset.Position(call.Pos()),
+						Check:   "globalrand",
+						Message: fmt.Sprintf("rand.%s draws from the global math/rand source in deterministic package %s", name, pkg.Path),
+						Hint:    "draw from the scheduler's seeded RNG (sim.Scheduler.Rand) instead",
+					})
+				case name == "NewSource" && pkg.Path != simPath && !strings.HasPrefix(pkg.Path, simPath+"/"):
+					out = append(out, Finding{
+						Pos:     p.mod.Fset.Position(call.Pos()),
+						Check:   "globalrand",
+						Message: fmt.Sprintf("rand.NewSource outside the CountingSource plumbing in deterministic package %s", pkg.Path),
+						Hint:    "wrap sources in sim.NewCountingSource so checkpoint digests can observe the draw position",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+// Package lint is a determinism linter for this repository: a whole-module
+// static-analysis pass (stdlib go/ast + go/parser + go/types only) that
+// proves sim-time purity. Every guarantee the reproduction makes —
+// bit-identical replay of seeded workloads, chaos-run reproducibility,
+// checkpoint/resume byte-equivalence — rests on deterministic packages
+// never touching wall clocks, global randomness, goroutines, or map
+// iteration order in ordered output. The analyzers catch that class of
+// bug statically, before a run ever diverges (DESIGN.md "Determinism
+// rules & lint").
+//
+// The loader below type-checks the module from source: module-internal
+// packages are parsed and checked in dependency order, and standard
+// library imports are resolved through go/importer's source importer, so
+// the tool needs no pre-built export data and no third-party modules.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	Path  string // import path ("diablo/internal/sim")
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the fully loaded and type-checked module.
+type Module struct {
+	Root     string // directory containing go.mod
+	Path     string // module path from go.mod
+	Fset     *token.FileSet
+	Packages []*Package // dependency (topological) order
+
+	byPath map[string]*Package
+	std    types.ImporterFrom
+}
+
+// Lookup returns the loaded package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(rest); err == nil {
+				rest = unq
+			}
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// skipDir reports whether a directory is outside the buildable module
+// tree: hidden and underscore directories, testdata, and vendor are
+// invisible to the go tool, so the linter skips them too.
+func skipDir(name string) bool {
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+		name == "testdata" || name == "vendor"
+}
+
+// sourceDirs lists every directory under root holding at least one
+// non-test .go file, in sorted order.
+func sourceDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parsedPkg is a parsed-but-not-yet-checked package.
+type parsedPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // module-internal imports only
+}
+
+// parseDir parses every non-test .go file in dir into one package.
+func (m *Module) parseDir(dir, importPath string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &parsedPkg{path: importPath, dir: dir}
+	name := ""
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			name = f.Name.Name
+		} else if f.Name.Name != name {
+			return nil, fmt.Errorf("lint: %s mixes packages %s and %s", dir, name, f.Name.Name)
+		}
+		p.files = append(p.files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+				p.imports = append(p.imports, path)
+			}
+		}
+	}
+	return p, nil
+}
+
+// check type-checks a parsed package; module-internal imports must already
+// be in m.byPath.
+func (m *Module) check(p *parsedPkg) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: m}
+	tpkg, err := conf.Check(p.path, m.Fset, p.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", p.path, err)
+	}
+	pkg := &Package{Path: p.path, Dir: p.dir, Files: p.files, Types: tpkg, Info: info}
+	m.byPath[p.path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module packages come from the loaded
+// set, everything else from the standard library source importer.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if p, ok := m.byPath[path]; ok {
+		return p.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// LoadModule parses and type-checks every package of the module rooted at
+// root (a directory containing go.mod), in dependency order.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:   root,
+		Path:   modPath,
+		Fset:   token.NewFileSet(),
+		byPath: map[string]*Package{},
+	}
+	m.std = importer.ForCompiler(m.Fset, "source", nil).(types.ImporterFrom)
+
+	dirs, err := sourceDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	parsed := map[string]*parsedPkg{}
+	var order []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := m.parseDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.files) == 0 {
+			continue
+		}
+		parsed[importPath] = p
+		order = append(order, importPath)
+	}
+
+	// Topological sort over module-internal imports, with the sorted
+	// directory order as a deterministic tie-break.
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		p, ok := parsed[path]
+		if !ok {
+			return nil // external or stdlib
+		}
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, dep := range p.imports {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		pkg, err := m.check(p)
+		if err != nil {
+			return err
+		}
+		m.Packages = append(m.Packages, pkg)
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// LoadExtra parses and type-checks one extra package directory (test
+// fixtures under testdata) against the already-loaded module, giving it
+// the stated import path. The package is returned but not appended to
+// m.Packages.
+func (m *Module) LoadExtra(dir, importPath string) (*Package, error) {
+	p, err := m.parseDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg, err := m.check(p)
+	if err != nil {
+		delete(m.byPath, importPath)
+		return nil, err
+	}
+	return pkg, nil
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// schedMethods are the sim.Scheduler entry points that assign an event a
+// sequence number. Calling one per map-iteration element randomizes the
+// (at, seq, kind) queue digest between runs — the exact shape of the PR 4
+// submission-window bug: invisible to traces, fatal to checkpoint
+// reconciliation.
+var schedMethods = map[string]bool{
+	"At": true, "After": true, "AtCall": true, "AfterCall": true,
+	"AtKind": true, "AfterKind": true, "AtCallKind": true, "AfterCallKind": true,
+	"Every": true, "EveryObserver": true,
+}
+
+const sortedKeysHint = "iterate deterministically: collect the keys, sort them, then range over the sorted slice"
+
+// runMapRange flags `for range` loops over maps, in deterministic
+// packages, whose body is order-sensitive: scheduling events, appending
+// non-key values to an outer slice, feeding a digest or encoder, or
+// assigning sequence numbers. The one sanctioned map loop is the
+// sorted-iteration prelude itself — appending only the key to a slice —
+// which is exempt.
+func runMapRange(p *pass) []Finding {
+	simPath := p.mod.Path + "/internal/sim"
+	snapPath := p.mod.Path + "/internal/snapshot"
+	var out []Finding
+	for _, pkg := range p.pkgs {
+		if !p.det(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pkg.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				out = append(out, checkMapBody(p, pkg, rs, simPath, snapPath)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// objectOf resolves an identifier to its object whether it is being
+// defined or used.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// lhsObject resolves an assignable expression (identifier, field selector,
+// index expression base) to the variable it ultimately writes.
+func lhsObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return objectOf(info, e)
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// checkMapBody inspects one map-range body and reports each
+// order-sensitive effect it finds, anchored at the range statement.
+func checkMapBody(p *pass, pkg *Package, rs *ast.RangeStmt, simPath, snapPath string) []Finding {
+	var keyObj types.Object
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyObj = objectOf(pkg.Info, id)
+	}
+	outer := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() >= rs.End())
+	}
+
+	pos := p.mod.Fset.Position(rs.For)
+	seen := map[string]bool{}
+	var out []Finding
+	report := func(category, msg string) {
+		if seen[category] {
+			return
+		}
+		seen[category] = true
+		out = append(out, Finding{Pos: pos, Check: "maprange", Message: msg, Hint: sortedKeysHint})
+	}
+
+	// Count identifier uses per object so the sequence-number heuristic
+	// can tell a counter whose value matters (`m[k] = seq; seq++`) from a
+	// pure tally (`n++`, commutative and safe).
+	uses := map[types.Object]int{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				uses[obj]++
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := funcFor(pkg.Info, n)
+			if callee == nil {
+				return true
+			}
+			if named := recvNamed(callee); named != nil {
+				recvPkg := pkgPathOf(named.Obj())
+				switch {
+				case recvPkg == simPath && named.Obj().Name() == "Scheduler" && schedMethods[callee.Name()]:
+					report("sched", fmt.Sprintf("map iteration order schedules events (Scheduler.%s): event sequence numbers would differ between runs", callee.Name()))
+				case recvPkg == snapPath && (named.Obj().Name() == "Hash" || named.Obj().Name() == "Encoder"):
+					report("digest", fmt.Sprintf("map iteration order feeds a %s.%s: the digest would differ between runs of identical state", named.Obj().Name(), callee.Name()))
+				}
+			} else if pkgPathOf(callee) == "hash" {
+				report("digest", fmt.Sprintf("map iteration order feeds hash.%s: the digest would differ between runs of identical state", callee.Name()))
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 || len(n.Lhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				return true
+			}
+			if _, isBuiltin := pkg.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			dst := lhsObject(pkg.Info, n.Lhs[0])
+			if !outer(dst) {
+				return true
+			}
+			// The sorted-iteration prelude — appending only the map key —
+			// is the sanctioned rewrite, not a violation.
+			keysOnly := keyObj != nil && len(call.Args) > 1
+			for _, arg := range call.Args[1:] {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok || objectOf(pkg.Info, id) != keyObj {
+					keysOnly = false
+					break
+				}
+			}
+			if !keysOnly {
+				report("append", fmt.Sprintf("map iteration order is appended to %q: the slice's element order would differ between runs", dst.Name()))
+			}
+		case *ast.IncDecStmt:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := objectOf(pkg.Info, id)
+			if outer(obj) && uses[obj] > 1 {
+				report("seq", fmt.Sprintf("map iteration order assigns sequence numbers through %q: per-element numbering would differ between runs", obj.Name()))
+			}
+		}
+		return true
+	})
+	return out
+}

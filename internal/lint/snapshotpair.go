@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// runSnapshotPair checks the checkpoint protocol's structural invariant:
+// every type that captures state with SnapshotState(*snapshot.Encoder)
+// must also restore it with RestoreState(*snapshot.Decoder) error, and the
+// restore side must cover every field label the capture side writes. A
+// RestoreState that delegates to snapshot.Reconcile covers everything by
+// construction (Reconcile re-captures and compares the full section);
+// otherwise the labels passed to Decoder.Lookup are matched against the
+// labels the Encoder writes.
+func runSnapshotPair(p *pass) []Finding {
+	snapPath := p.mod.Path + "/internal/snapshot"
+
+	// Index every method declaration so the analyzer can walk the bodies
+	// of SnapshotState/RestoreState wherever they live.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	pkgOf := map[*types.Func]*Package{}
+	for _, pkg := range p.pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+					pkgOf[fn] = pkg
+				}
+			}
+		}
+	}
+
+	isSnapPtr := func(t types.Type, name string) bool {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			return false
+		}
+		return named.Obj().Name() == name && pkgPathOf(named.Obj()) == snapPath
+	}
+
+	var out []Finding
+	for _, pkg := range p.pkgs {
+		if pkg.Path == snapPath {
+			continue // the protocol package itself (StateFunc etc.) is exempt
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			var snap, restore *types.Func
+			for i := 0; i < named.NumMethods(); i++ {
+				switch m := named.Method(i); m.Name() {
+				case "SnapshotState":
+					snap = m
+				case "RestoreState":
+					restore = m
+				}
+			}
+			if snap == nil {
+				continue
+			}
+			sig := snap.Type().(*types.Signature)
+			if sig.Params().Len() != 1 || !isSnapPtr(sig.Params().At(0).Type(), "Encoder") {
+				continue // not the checkpoint protocol
+			}
+			pos := p.mod.Fset.Position(snap.Pos())
+			if restore == nil {
+				out = append(out, Finding{
+					Pos:     pos,
+					Check:   "snapshotpair",
+					Message: fmt.Sprintf("%s has SnapshotState but no RestoreState: its checkpoint section can be written but never restored", tn.Name()),
+					Hint:    "add RestoreState(*snapshot.Decoder) error; delegating to snapshot.Reconcile mirrors every field automatically",
+				})
+				continue
+			}
+			rsig := restore.Type().(*types.Signature)
+			if rsig.Params().Len() != 1 || !isSnapPtr(rsig.Params().At(0).Type(), "Decoder") ||
+				rsig.Results().Len() != 1 || rsig.Results().At(0).Type().String() != "error" {
+				out = append(out, Finding{
+					Pos:     p.mod.Fset.Position(restore.Pos()),
+					Check:   "snapshotpair",
+					Message: fmt.Sprintf("%s.RestoreState does not match the protocol signature RestoreState(*snapshot.Decoder) error", tn.Name()),
+					Hint:    "the Recorder only dispatches to the exact snapshot.Restorer signature",
+				})
+				continue
+			}
+			missing := uncoveredLabels(p, decls, pkgOf, snap, restore, snapPath)
+			if len(missing) > 0 {
+				out = append(out, Finding{
+					Pos:     p.mod.Fset.Position(restore.Pos()),
+					Check:   "snapshotpair",
+					Message: fmt.Sprintf("%s.RestoreState never reads field(s) %v written by SnapshotState", tn.Name(), missing),
+					Hint:    "look up every encoded label, or delegate to snapshot.Reconcile for full-section comparison",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// uncoveredLabels returns the string-literal field labels SnapshotState
+// encodes that RestoreState never looks up. A RestoreState delegating to
+// snapshot.Reconcile (directly or through a same-module helper that does)
+// covers all labels. Labels that are not simple string literals cannot be
+// matched statically and are skipped.
+func uncoveredLabels(p *pass, decls map[*types.Func]*ast.FuncDecl, pkgOf map[*types.Func]*Package, snap, restore *types.Func, snapPath string) []string {
+	written := labelArgs(p, decls, pkgOf, snap, snapPath, "Encoder")
+	if len(written) == 0 {
+		return nil
+	}
+	if callsReconcile(p, decls, pkgOf, restore, snapPath, map[*types.Func]bool{}) {
+		return nil
+	}
+	read := labelArgs(p, decls, pkgOf, restore, snapPath, "Decoder")
+	var missing []string
+	for label := range written {
+		if !read[label] {
+			missing = append(missing, label)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// labelArgs collects the string-literal first arguments of method calls on
+// the snapshot Encoder or Decoder inside fn's body.
+func labelArgs(p *pass, decls map[*types.Func]*ast.FuncDecl, pkgOf map[*types.Func]*Package, fn *types.Func, snapPath, recvName string) map[string]bool {
+	fd, pkg := decls[fn], pkgOf[fn]
+	labels := map[string]bool{}
+	if fd == nil || pkg == nil {
+		return labels
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		callee := funcFor(pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		named := recvNamed(callee)
+		if named == nil || named.Obj().Name() != recvName || pkgPathOf(named.Obj()) != snapPath {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				labels[s] = true
+			}
+		}
+		return true
+	})
+	return labels
+}
+
+// callsReconcile reports whether fn's body (or a module-internal function
+// it statically calls, one level of indirection at a time) reaches
+// snapshot.Reconcile.
+func callsReconcile(p *pass, decls map[*types.Func]*ast.FuncDecl, pkgOf map[*types.Func]*Package, fn *types.Func, snapPath string, seen map[*types.Func]bool) bool {
+	if seen[fn] {
+		return false
+	}
+	seen[fn] = true
+	fd, pkg := decls[fn], pkgOf[fn]
+	if fd == nil || pkg == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := funcFor(pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		if callee.Name() == "Reconcile" && pkgPathOf(callee) == snapPath {
+			found = true
+			return false
+		}
+		if decls[callee] != nil && callsReconcile(p, decls, pkgOf, callee, snapPath, seen) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

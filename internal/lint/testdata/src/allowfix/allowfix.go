@@ -1,0 +1,10 @@
+// Package allowfix is a lint fixture: a real violation silenced by a
+// line-scoped //lint:allow, which must leave zero findings and a used
+// suppression in the audit trail.
+package allowfix
+
+import "math/rand"
+
+func Allowed() int {
+	return rand.Intn(3) //lint:allow globalrand fixture proves line-scoped suppression works
+}

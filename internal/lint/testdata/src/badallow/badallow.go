@@ -1,0 +1,9 @@
+// Package badallow is a lint fixture: malformed suppression directives,
+// each of which must surface as an unsuppressible badallow finding.
+package badallow
+
+//lint:allow nosuchcheck the check name does not exist
+
+//lint:allow wallclock
+
+func Nothing() {}

@@ -1,0 +1,36 @@
+// Package concurrency is a lint fixture: goroutines, channels and sync
+// primitives in a deterministic package.
+package concurrency
+
+import "sync"
+
+func Spawn(done chan struct{}) { // want "concurrency: channel type"
+	go func() { // want "concurrency: go statement"
+		done <- struct{}{} // want "concurrency: channel send"
+	}()
+	<-done // want "concurrency: channel receive"
+}
+
+func Pick(a, b chan int) int { // want "concurrency: channel type"
+	select { // want "concurrency: select statement"
+	case v := <-a: // want "concurrency: channel receive"
+		return v
+	case v := <-b: // want "concurrency: channel receive"
+		return v
+	}
+}
+
+func Drain(ch chan int) int { // want "concurrency: channel type"
+	close(ch) // want "concurrency: close of channel"
+	n := 0
+	for range ch { // want "concurrency: range over channel"
+		n++
+	}
+	return n
+}
+
+func Guard(mu *sync.Mutex, n *int) { // want "concurrency: use of sync.Mutex"
+	mu.Lock() // clean at the type level; the parameter declaration carries the finding
+	defer mu.Unlock()
+	*n++
+}

@@ -1,0 +1,13 @@
+// Package globalrand is a lint fixture: global math/rand state in a
+// deterministic package.
+package globalrand
+
+import "math/rand"
+
+func Draw() int {
+	return rand.Intn(10) // want "globalrand: rand.Intn draws from the global math/rand source"
+}
+
+func Seeded() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want "globalrand: rand.NewSource outside the CountingSource plumbing"
+}

@@ -1,0 +1,58 @@
+// Package maprange is a lint fixture reproducing the submission-window
+// bug class: scheduling per-window batches by ranging over a map hands
+// event sequence numbers to map iteration order, which differs between
+// runs and breaks checkpoint reconciliation.
+package maprange
+
+import (
+	"sort"
+
+	"diablo/internal/sim"
+	"diablo/internal/snapshot"
+)
+
+// ScheduleWindows is the bug shape itself: one scheduled event per map
+// element, sequence-numbered in iteration order.
+func ScheduleWindows(sched *sim.Scheduler, windows map[int][]string) {
+	for w, batch := range windows { // want "maprange: map iteration order schedules events .Scheduler.AtKind."
+		b := batch
+		sched.AtKind(sim.KindSubmission, sim.Time(w), func() { _ = b })
+	}
+}
+
+func CollectValues(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // want "maprange: map iteration order is appended to .vals."
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+func Digest(m map[string]uint64) uint64 {
+	h := snapshot.NewHash()
+	for _, v := range m { // want "maprange: map iteration order feeds a Hash.U64"
+		h.U64(v)
+	}
+	return h.Sum()
+}
+
+func Sequence(m map[string]struct{}) map[string]int {
+	out := make(map[string]int, len(m))
+	seq := 0
+	for k := range m { // want "maprange: map iteration order assigns sequence numbers through .seq."
+		out[k] = seq
+		seq++
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned rewrite: the keys-only collection prelude
+// is exempt, and the ordered work happens over the sorted slice.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,53 @@
+// Package snapshotpair is a lint fixture for the checkpoint protocol
+// invariant: capture without restore, partial label coverage, and the two
+// clean shapes (full Lookup coverage and Reconcile delegation).
+package snapshotpair
+
+import "diablo/internal/snapshot"
+
+type WriteOnly struct{ n uint64 }
+
+func (w *WriteOnly) SnapshotState(e *snapshot.Encoder) { // want "snapshotpair: WriteOnly has SnapshotState but no RestoreState"
+	e.U64("n", w.n)
+}
+
+type Partial struct{ a, b uint64 }
+
+func (p *Partial) SnapshotState(e *snapshot.Encoder) {
+	e.U64("a", p.a)
+	e.U64("b", p.b)
+}
+
+func (p *Partial) RestoreState(d *snapshot.Decoder) error { // want `snapshotpair: Partial.RestoreState never reads field\(s\) \[b\]`
+	if f, ok := d.Lookup("a"); ok {
+		p.a = f.U
+	}
+	return nil
+}
+
+type Covered struct{ a, b uint64 }
+
+func (c *Covered) SnapshotState(e *snapshot.Encoder) {
+	e.U64("a", c.a)
+	e.U64("b", c.b)
+}
+
+func (c *Covered) RestoreState(d *snapshot.Decoder) error {
+	if f, ok := d.Lookup("a"); ok {
+		c.a = f.U
+	}
+	if f, ok := d.Lookup("b"); ok {
+		c.b = f.U
+	}
+	return nil
+}
+
+type Mirrored struct{ a uint64 }
+
+func (m *Mirrored) SnapshotState(e *snapshot.Encoder) {
+	e.U64("a", m.a)
+}
+
+func (m *Mirrored) RestoreState(d *snapshot.Decoder) error {
+	return snapshot.Reconcile(m, d)
+}

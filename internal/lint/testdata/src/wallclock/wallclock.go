@@ -1,0 +1,21 @@
+// Package wallclock is a lint fixture: wall-clock reads in a deterministic
+// package, both direct and one static call away through a helper package.
+package wallclock
+
+import (
+	"time"
+
+	"diablo/internal/lint/testdata/src/wallclockhelper"
+)
+
+func Direct() time.Time {
+	return time.Now() // want "wallclock: time.Now called in Direct"
+}
+
+func Wait() {
+	time.Sleep(time.Second) // want "wallclock: time.Sleep called in Wait"
+}
+
+func Indirect() int64 {
+	return wallclockhelper.Stamp()
+}

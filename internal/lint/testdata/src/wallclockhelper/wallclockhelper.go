@@ -1,0 +1,13 @@
+// Package wallclockhelper is the non-deterministic half of the wallclock
+// fixture: Stamp is reached from sim-time code, Unreached is not.
+package wallclockhelper
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wallclock: time.Now called in .*wallclockhelper.Stamp, which sim-time code reaches via .*wallclock.Indirect"
+}
+
+func Unreached() time.Time {
+	return time.Now() // clean: nothing deterministic calls this
+}

@@ -348,7 +348,7 @@ func RunPrimary(cfg PrimaryConfig) (*PrimaryResult, error) {
 		if s.at > maxAt {
 			maxAt = s.at
 		}
-		sched.At(s.at, func() { clients[s.sec].Submit(s.tx) })
+		sched.AtKind(sim.KindSubmission, s.at, func() { clients[s.sec].Submit(s.tx) })
 	}
 	cfg.logf("starting benchmark: %d transactions over %s of virtual time", len(all), maxAt.Round(time.Second))
 	sched.RunUntil(maxAt + 120*time.Second)

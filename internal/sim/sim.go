@@ -33,6 +33,45 @@ type Callback interface {
 	Run()
 }
 
+// EventKind tags a scheduled event with the subsystem that scheduled it.
+// Kinds are folded into the checkpoint queue digest alongside (at, seq):
+// two runs that schedule *different* work at the same timestamp and
+// sequence number — say, a message delivery in one and a consensus timer
+// in the other — reconcile as divergent instead of silently matching.
+// Call sites register their kind through the *Kind scheduling variants;
+// the untagged variants schedule KindGeneric.
+type EventKind uint8
+
+const (
+	KindGeneric    EventKind = iota // untagged At/After/AtCall/AfterCall
+	KindConsensus                   // consensus-engine timers: propose, vote, timeout
+	KindDelivery                    // simnet message arrival
+	KindClient                      // client submit delays and retry timers
+	KindChaos                       // fault-schedule apply/clear events
+	KindSubmission                  // workload submission windows
+	KindTick                        // periodic tickers (progress, metrics sampling)
+	KindObserver                    // read-only instruments (checkpoint capture)
+)
+
+var kindNames = [...]string{
+	KindGeneric:    "generic",
+	KindConsensus:  "consensus",
+	KindDelivery:   "delivery",
+	KindClient:     "client",
+	KindChaos:      "chaos",
+	KindSubmission: "submission",
+	KindTick:       "tick",
+	KindObserver:   "observer",
+}
+
+// String returns the kind's registered name.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
 // event is one slab slot. A slot is reused after its event runs, is
 // reaped, or is compacted away; gen distinguishes incarnations so stale
 // EventIDs can never touch a recycled slot.
@@ -42,6 +81,7 @@ type event struct {
 	fn   func()
 	cb   Callback
 	gen  uint32
+	kind EventKind
 	dead bool
 	obs  bool // observer event: hidden from Executed()/Stats() accounting
 }
@@ -171,17 +211,18 @@ func (s *Scheduler) release(idx int32) {
 	ev.fn, ev.cb = nil, nil
 	ev.dead = false
 	ev.obs = false
+	ev.kind = KindGeneric
 	ev.gen++
 	s.free = append(s.free, idx)
 }
 
-func (s *Scheduler) schedule(at Time, fn func(), cb Callback) EventID {
+func (s *Scheduler) schedule(at Time, fn func(), cb Callback, kind EventKind) EventID {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
 	idx := s.alloc()
 	ev := &s.slab[idx]
-	ev.at, ev.seq, ev.fn, ev.cb = at, s.seq, fn, cb
+	ev.at, ev.seq, ev.fn, ev.cb, ev.kind = at, s.seq, fn, cb, kind
 	s.seq++
 	s.heapPush(idx)
 	return EventID{s: s, slot: idx, gen: ev.gen}
@@ -190,14 +231,26 @@ func (s *Scheduler) schedule(at Time, fn func(), cb Callback) EventID {
 // At schedules fn to run at the absolute virtual time at. Scheduling in the
 // past panics: it would silently reorder causality.
 func (s *Scheduler) At(at Time, fn func()) EventID {
-	return s.schedule(at, fn, nil)
+	return s.schedule(at, fn, nil, KindGeneric)
+}
+
+// AtKind is At with an event-kind tag; the tag is folded into the
+// checkpoint queue digest so cross-run event mismatches reconcile as
+// divergent (see EventKind).
+func (s *Scheduler) AtKind(kind EventKind, at Time, fn func()) EventID {
+	return s.schedule(at, fn, nil, kind)
 }
 
 // AtCall schedules cb.Run at the absolute virtual time at. It is At for
 // allocation-sensitive callers: cb is typically a pooled object, so the
 // hot path allocates nothing.
 func (s *Scheduler) AtCall(at Time, cb Callback) EventID {
-	return s.schedule(at, nil, cb)
+	return s.schedule(at, nil, cb, KindGeneric)
+}
+
+// AtCallKind is AtCall with an event-kind tag (see EventKind).
+func (s *Scheduler) AtCallKind(kind EventKind, at Time, cb Callback) EventID {
+	return s.schedule(at, nil, cb, kind)
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -208,6 +261,14 @@ func (s *Scheduler) After(d time.Duration, fn func()) EventID {
 	return s.At(s.now+d, fn)
 }
 
+// AfterKind is After with an event-kind tag (see EventKind).
+func (s *Scheduler) AfterKind(kind EventKind, d time.Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtKind(kind, s.now+d, fn)
+}
+
 // AfterCall schedules cb.Run d from now. Negative d is treated as zero.
 func (s *Scheduler) AfterCall(d time.Duration, cb Callback) EventID {
 	if d < 0 {
@@ -216,13 +277,22 @@ func (s *Scheduler) AfterCall(d time.Duration, cb Callback) EventID {
 	return s.AtCall(s.now+d, cb)
 }
 
+// AfterCallKind is AfterCall with an event-kind tag (see EventKind).
+func (s *Scheduler) AfterCallKind(kind EventKind, d time.Duration, cb Callback) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtCallKind(kind, s.now+d, cb)
+}
+
 // Every schedules fn to run every interval, starting interval from now,
-// until the returned Ticker is stopped or the simulation ends.
+// until the returned Ticker is stopped or the simulation ends. Ticker
+// firings carry the KindTick tag.
 func (s *Scheduler) Every(interval time.Duration, fn func()) *Ticker {
 	if interval <= 0 {
 		panic("sim: ticker interval must be positive")
 	}
-	t := &Ticker{s: s, interval: interval, fn: fn}
+	t := &Ticker{s: s, interval: interval, fn: fn, kind: KindTick}
 	t.arm()
 	return t
 }
@@ -236,7 +306,7 @@ func (s *Scheduler) EveryObserver(interval time.Duration, fn func()) *Ticker {
 	if interval <= 0 {
 		panic("sim: ticker interval must be positive")
 	}
-	t := &Ticker{s: s, interval: interval, fn: fn, observer: true}
+	t := &Ticker{s: s, interval: interval, fn: fn, kind: KindObserver, observer: true}
 	t.arm()
 	return t
 }
@@ -247,6 +317,7 @@ type Ticker struct {
 	interval time.Duration
 	fn       func()
 	id       EventID
+	kind     EventKind
 	stopped  bool
 	observer bool
 }
@@ -260,7 +331,7 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	}, nil)
+	}, nil, t.kind)
 	if t.observer {
 		ev := &t.s.slab[t.id.slot]
 		ev.obs = true

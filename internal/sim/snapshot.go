@@ -48,9 +48,12 @@ func (s *Scheduler) RandDraws() uint64 { return s.rngSrc.Draws() }
 
 // SnapshotState implements snapshot.Stater: clock, event-loop counters,
 // RNG position, and a digest over the live event queue. Pending events are
-// summarized as sorted (at, seq) pairs — the closures themselves cannot be
-// serialized, but two deterministic runs at the same virtual time with
-// identical histories have identical (at, seq) sets.
+// summarized as sorted (at, seq, kind) triples — the closures themselves
+// cannot be serialized, but two deterministic runs at the same virtual time
+// with identical histories have identical (at, seq, kind) sets. Folding in
+// the registered event kind catches the case (at, seq) alone cannot: two
+// runs scheduling *different* work under the same timestamp and sequence
+// number reconcile as divergent instead of matching.
 func (s *Scheduler) SnapshotState(e *snapshot.Encoder) {
 	e.Dur("now", s.now)
 	e.U64("seq", s.seq)
@@ -61,14 +64,15 @@ func (s *Scheduler) SnapshotState(e *snapshot.Encoder) {
 	e.U64("dead", uint64(st.Dead))
 
 	type pending struct {
-		at  Time
-		seq uint64
+		at   Time
+		seq  uint64
+		kind EventKind
 	}
 	live := make([]pending, 0, len(s.heap))
 	for _, idx := range s.heap {
 		ev := &s.slab[idx]
 		if !ev.dead {
-			live = append(live, pending{ev.at, ev.seq})
+			live = append(live, pending{ev.at, ev.seq, ev.kind})
 		}
 	}
 	sort.Slice(live, func(i, j int) bool {
@@ -81,6 +85,7 @@ func (s *Scheduler) SnapshotState(e *snapshot.Encoder) {
 	for _, p := range live {
 		h.Dur(p.at)
 		h.U64(p.seq)
+		h.U64(uint64(p.kind))
 	}
 	e.U64("queue_digest", h.Sum())
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -103,5 +104,47 @@ func TestSchedulerSnapshotReconciles(t *testing.T) {
 	}
 	if err := a.RestoreState(dec2); err == nil {
 		t.Fatal("diverged RNG position reconciled cleanly")
+	}
+}
+
+// TestQueueDigestDistinguishesKinds is the queue-digest hardening
+// contract: two schedulers whose pending queues agree on every (at, seq)
+// pair but disagree on what *kind* of work is scheduled must reconcile as
+// divergent. Before kinds were folded into the digest, a resumed run that
+// scheduled a different closure under the same timestamp and sequence
+// number matched silently.
+func TestQueueDigestDistinguishesKinds(t *testing.T) {
+	build := func(kind EventKind) *Scheduler {
+		s := NewScheduler(7)
+		s.AtKind(kind, time.Second, func() {})
+		return s
+	}
+	a := build(KindDelivery)
+	b := build(KindConsensus)
+
+	e := snapshot.NewEncoder()
+	a.SnapshotState(e)
+	dec, err := snapshot.NewDecoder(e.Payload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = b.RestoreState(dec)
+	if err == nil {
+		t.Fatal("queues with different event kinds at the same (at, seq) reconciled cleanly")
+	}
+	if !strings.Contains(err.Error(), "queue_digest") {
+		t.Fatalf("divergence blamed on %v, want queue_digest", err)
+	}
+
+	// Same kinds still reconcile.
+	c := build(KindDelivery)
+	e2 := snapshot.NewEncoder()
+	a.SnapshotState(e2)
+	dec2, err := snapshot.NewDecoder(e2.Payload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestoreState(dec2); err != nil {
+		t.Fatalf("identical tagged queues did not reconcile: %v", err)
 	}
 }

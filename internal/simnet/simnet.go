@@ -429,7 +429,7 @@ func (n *Network) Send(from, to NodeID, size int, payload any) {
 	e := n.allocEnvelope()
 	e.net, e.dst = n, dst
 	e.msg = Message{From: from, To: to, Size: size, Payload: payload}
-	n.Sched.AtCall(arrive, e)
+	n.Sched.AtCallKind(sim.KindDelivery, arrive, e)
 }
 
 // LinkStats aggregates directed per-region-pair traffic: messages offered

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"fmt"
+	"os"
 	"time"
 )
 
@@ -110,6 +111,24 @@ func (r *Recorder) WriteCheckpoint(vt time.Duration) (string, error) {
 	}
 	r.Written = append(r.Written, path)
 	return path, nil
+}
+
+// Prune deletes the oldest written checkpoints until at most keep remain,
+// so multi-hour runs do not accumulate unbounded .snap files. Written is
+// trimmed to the surviving files (it is appended in virtual-time order, so
+// the head is always the oldest). keep <= 0 retains everything.
+func (r *Recorder) Prune(keep int) error {
+	if keep <= 0 || len(r.Written) <= keep {
+		return nil
+	}
+	drop := r.Written[:len(r.Written)-keep]
+	for _, path := range drop {
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("snapshot: pruning checkpoint: %w", err)
+		}
+	}
+	r.Written = append(r.Written[:0:0], r.Written[len(r.Written)-keep:]...)
+	return nil
 }
 
 // Verify reconciles a stored checkpoint against the live (fast-forwarded)

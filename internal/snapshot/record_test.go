@@ -117,3 +117,46 @@ func TestLoadDirSortsByVTime(t *testing.T) {
 		}
 	}
 }
+
+func TestRecorderPruneRetention(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecorder(Meta{Seed: 1}, dir)
+	rec.Register("pool", &counter{})
+
+	// Simulate the capture loop: write then prune, as armCheckpoints does.
+	for i := 1; i <= 5; i++ {
+		if _, err := rec.WriteCheckpoint(time.Duration(i) * 25 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Prune(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rec.Written) != 2 {
+		t.Fatalf("Written retained %d paths, want 2: %v", len(rec.Written), rec.Written)
+	}
+	files, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("%d checkpoints on disk, want 2", len(files))
+	}
+	// Always the newest survive.
+	for i, want := range []time.Duration{100 * time.Second, 125 * time.Second} {
+		if files[i].Meta.VTime != want {
+			t.Fatalf("survivor %d at %s, want %s", i, files[i].Meta.VTime, want)
+		}
+	}
+
+	// keep <= 0 and keep >= len are no-ops.
+	if err := rec.Prune(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Prune(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Written) != 2 {
+		t.Fatalf("no-op prune changed Written: %v", rec.Written)
+	}
+}
