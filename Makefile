@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint lint-audit race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke clean
+.PHONY: build test test-short vet lint lint-audit race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke adversary-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ lint:
 lint-audit:
 	$(GO) run ./cmd/diablo-lint -audit ./...
 
-test: vet lint
+test: vet lint adversary-smoke
 	$(GO) test ./...
 
 test-short:
@@ -33,7 +33,8 @@ race:
 	$(GO) test -race ./internal/sim ./internal/chaos ./internal/simnet \
 		./internal/chains/... ./internal/bench ./internal/core \
 		./internal/obs ./internal/collect ./internal/snapshot \
-		./internal/report ./internal/perfharness
+		./internal/report ./internal/perfharness \
+		./internal/adversary ./internal/invariant
 
 # Tracked perf harness: scheduler events/sec, simnet msgs/sec, end-to-end
 # cell runtime and parallel-sweep speedup. Gates against the recorded
@@ -82,6 +83,23 @@ snapshot-smoke:
 	$(GO) run ./cmd/diablo-report bisect ck-a ck-b
 	rm -rf ck-a ck-b ck-a.json ck-b.json ck-a.norm.json ck-b.norm.json
 
+# Byzantine adversary smoke test: run the equivocating-leader spec twice
+# under the invariant gate and require byte-identical results after
+# wall_ms normalization; then require the gate to exit non-zero on the
+# deliberately unsafe (f=2) spec, proving the agreement monitor fires.
+adversary-smoke:
+	rm -f adv-a.json adv-b.json adv-a.norm.json adv-b.norm.json
+	$(GO) run ./cmd/diablo run --invariants --output=adv-a.json \
+		specs/setup-quorum-byzantine.yaml specs/workload-native-10.yaml
+	$(GO) run ./cmd/diablo run --invariants --output=adv-b.json \
+		specs/setup-quorum-byzantine.yaml specs/workload-native-10.yaml
+	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' adv-a.json > adv-a.norm.json
+	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' adv-b.json > adv-b.norm.json
+	cmp adv-a.norm.json adv-b.norm.json
+	! $(GO) run ./cmd/diablo run --invariants \
+		specs/setup-quorum-byzantine-unsafe.yaml specs/workload-native-10.yaml
+	rm -f adv-a.json adv-b.json adv-a.norm.json adv-b.norm.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/custom-blockchain
@@ -92,3 +110,4 @@ examples:
 clean:
 	rm -f diablo test_output.txt bench_output.txt trace-smoke.jsonl.gz
 	rm -rf ck-a ck-b ck-a.json ck-b.json ck-a.norm.json ck-b.norm.json checkpoints
+	rm -f adv-a.json adv-b.json adv-a.norm.json adv-b.norm.json

@@ -68,6 +68,8 @@ func main() {
 		}
 		if *summary {
 			fmt.Println(collect.StatLine(rep))
+			report.RenderAdversary(os.Stdout, rep.Adversary)
+			report.RenderInvariants(os.Stdout, rep.Invariants)
 			continue
 		}
 		if err := collect.WriteCSV(os.Stdout, rep); err != nil {

@@ -20,6 +20,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -89,12 +90,17 @@ run flags:
   --metrics           sample the metrics registry every sim-second and embed
                       the timelines in the output JSON
   --repeat=N --workers=M    run N seeds (seed..seed+N-1), M cells at a time
-  --checkpoint-every=N      write a state checkpoint every N sim-seconds
+  --checkpoint-every=N      write a state checkpoint every N sim-seconds;
+                            with --repeat, each seed gets DIR/seed-<N>/
   --checkpoint-dir=DIR      where checkpoints go (default: checkpoints)
   --checkpoint-keep=N       retain only the newest N checkpoints (0 = all)
-  --resume=FILE             fast-forward deterministically and verify every
+  --resume=FILE|DIR         fast-forward deterministically and verify every
                             subsystem against the checkpoint at its virtual
-                            time, then continue to completion
+                            time, then continue to completion; a directory
+                            resolves each seed's latest checkpoint
+  --invariants              arm the agreement/validity/integrity/inclusion
+                            monitors; any violation is printed and the run
+                            exits non-zero
 
 bench flags:
   --out=BENCH_PR2.json      write the machine-readable perf record
@@ -224,7 +230,8 @@ func runLocal(args []string) error {
 	ckEvery := fs.String("checkpoint-every", "", "write a state checkpoint every N sim-seconds (plain number or duration)")
 	ckDir := fs.String("checkpoint-dir", "checkpoints", "directory for checkpoint files")
 	ckKeep := fs.Int("checkpoint-keep", 0, "retain only the newest N checkpoints, pruning older .snap files after each capture (0 = keep all)")
-	resume := fs.String("resume", "", "resume from a checkpoint file: fast-forward deterministically and verify every subsystem at its virtual time")
+	resume := fs.String("resume", "", "resume from a checkpoint file or directory: fast-forward deterministically and verify every subsystem at its virtual time")
+	invariants := fs.Bool("invariants", false, "arm the safety/liveness invariant monitors and exit non-zero on any violation")
 	if err := fs.Parse(mergeStatValue(args)); err != nil {
 		return err
 	}
@@ -251,14 +258,29 @@ func runLocal(args []string) error {
 	if *repeat < 1 {
 		*repeat = 1
 	}
-	if (ckInterval > 0 || *resume != "") && *repeat > 1 {
-		return fmt.Errorf("checkpointing and --repeat do not combine; run one seed at a time")
+	// A sweep checkpoints into per-seed subdirectories (<dir>/seed-<N>/),
+	// so concurrent cells never interleave .snap files; resuming a sweep
+	// takes the checkpoint directory and resolves each seed's latest
+	// checkpoint (a seed without one starts fresh). Only a single
+	// checkpoint *file* is tied to one seed and refuses --repeat.
+	resumeIsDir := false
+	if *resume != "" {
+		if fi, err := os.Stat(*resume); err == nil && fi.IsDir() {
+			resumeIsDir = true
+		}
+	}
+	if *resume != "" && !resumeIsDir && *repeat > 1 {
+		return fmt.Errorf("--resume with a single checkpoint file does not combine with --repeat; pass the checkpoint directory instead")
 	}
 	logger(level)("running %s on %s (%d workload traces, %d seeds)",
 		setup.Chain, setup.Config.Name, len(traces), *repeat)
 	if setup.Faults != nil {
 		logger(level)("chaos schedule: %d faults", len(setup.Faults.Events))
 	}
+	if setup.Byzantine != nil {
+		logger(level)("byzantine schedule: %d behavior windows", len(setup.Byzantine.Events))
+	}
+	gate := *invariants || setup.Invariants
 	exps := make([]bench.Experiment, *repeat)
 	var sinks []io.Closer
 	closeSinks := func() error {
@@ -274,25 +296,41 @@ func runLocal(args []string) error {
 	defer closeSinks()
 	for i := range exps {
 		exps[i] = bench.Experiment{
-			Chain:      setup.Chain,
-			Config:     setup.Config,
-			Traces:     traces,
-			Seed:       setup.Seed + int64(i),
-			Tail:       *tail,
-			ScaleNodes: setup.NodeScale,
-			Locations:  locations,
-			Faults:     setup.Faults,
-			Retry:      setup.Retry,
-			Metrics:    *metrics,
-			Resume:     *resume,
-			SpecHash:   specHash,
+			Chain:            setup.Chain,
+			Config:           setup.Config,
+			Traces:           traces,
+			Seed:             setup.Seed + int64(i),
+			Tail:             *tail,
+			ScaleNodes:       setup.NodeScale,
+			Locations:        locations,
+			Faults:           setup.Faults,
+			Byzantine:        setup.Byzantine,
+			Invariants:       gate,
+			InclusionHorizon: setup.InclusionHorizon,
+			Retry:            setup.Retry,
+			Metrics:          *metrics,
+			SpecHash:         specHash,
 		}
 		// A resumed run re-records checkpoints at the recorded cadence so
 		// the original and resumed runs can be bisected against each other.
 		if ckInterval > 0 || *resume != "" {
 			exps[i].CheckpointEvery = ckInterval
-			exps[i].CheckpointDir = *ckDir
+			exps[i].CheckpointDir = seedDir(*ckDir, *repeat, exps[i].Seed)
 			exps[i].CheckpointKeep = *ckKeep
+		}
+		switch {
+		case *resume == "":
+		case resumeIsDir:
+			cp, err := latestSnap(seedDir(*resume, *repeat, exps[i].Seed))
+			if err != nil {
+				return err
+			}
+			if cp == "" {
+				logger(level)("seed %d: no checkpoint under %s, starting fresh", exps[i].Seed, *resume)
+			}
+			exps[i].Resume = cp
+		default:
+			exps[i].Resume = *resume
 		}
 		if *tracePath != "" {
 			path := *tracePath
@@ -326,10 +364,11 @@ func runLocal(args []string) error {
 	if err != nil {
 		return err
 	}
+	violated := 0
 	for _, out := range outs {
 		rep := collect.FromOutcome(out, true)
 		if len(out.Checkpoints) > 0 {
-			logger(level)("%d checkpoints written to %s", len(out.Checkpoints), *ckDir)
+			logger(level)("%d checkpoints written to %s", len(out.Checkpoints), out.Experiment.CheckpointDir)
 		}
 		if out.Verified >= 0 {
 			fmt.Printf("resume checkpoint verified at t=%.0fs: all subsystems match the recorded state\n",
@@ -341,6 +380,17 @@ func runLocal(args []string) error {
 			}
 			fmt.Println(collect.StatLine(rep))
 			report.RenderRecovery(os.Stdout, rep.Recovery)
+			report.RenderAdversary(os.Stdout, rep.Adversary)
+			report.RenderInvariants(os.Stdout, rep.Invariants)
+		}
+		if gate {
+			if len(out.Violations) == 0 {
+				logger(level)("invariants ok: %s", strings.Join(out.InvariantsChecked, ", "))
+			}
+			for _, v := range out.Violations {
+				fmt.Fprintln(os.Stderr, v.String())
+			}
+			violated += len(out.Violations)
 		}
 		if *output != "" {
 			path := *output
@@ -353,7 +403,45 @@ func runLocal(args []string) error {
 			logger(level)("results written to %s", path)
 		}
 	}
+	if violated > 0 {
+		return fmt.Errorf("%d invariant violation(s) detected", violated)
+	}
 	return nil
+}
+
+// seedDir places a sweep cell's checkpoints under <dir>/seed-<N>/ so
+// concurrent cells never share a directory; a single run keeps dir as-is.
+func seedDir(dir string, repeat int, seed int64) string {
+	if repeat <= 1 {
+		return dir
+	}
+	return filepath.Join(dir, fmt.Sprintf("seed-%d", seed))
+}
+
+// latestSnap returns the newest checkpoint file (by virtual time — the
+// file names sort lexically) in dir, or "" when the directory does not
+// exist or holds no checkpoints, which resumes as a fresh run.
+func latestSnap(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", err
+	}
+	latest := ""
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		if e.Name() > latest {
+			latest = e.Name()
+		}
+	}
+	if latest == "" {
+		return "", nil
+	}
+	return filepath.Join(dir, latest), nil
 }
 
 // statFlag is the run command's --stat: a boolean ("--stat",

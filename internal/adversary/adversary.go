@@ -1,0 +1,192 @@
+// Package adversary is the deterministic Byzantine fault engine: a
+// scripted timeline of protocol-level misbehaviors (equivocation, vote
+// withholding, payload corruption, transaction censorship, message replay)
+// applied to individual nodes through hook points in the consensus engines
+// and the chain harness. Like the chaos engine it is layered on, every
+// behavior window opens and closes at a scripted virtual time through
+// ordinary scheduler events, so an adversarial run replays bit-identically
+// — the property Berger et al. exploit to explore BFT misbehavior cheaply
+// in simulation. Each consensus engine declares which behaviors apply to it
+// (raft, being crash-fault-tolerant only, declares none); scheduling an
+// unsupported behavior is a configuration error, never a silent no-op.
+package adversary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the Byzantine behavior primitives.
+type Kind int
+
+const (
+	// Equivocate makes a leader/proposer present conflicting proposals to
+	// disjoint peer sets. Whether the conflict can split commits is decided
+	// by quorum intersection: with n nodes, q the engine's quorum size and
+	// f concurrently equivocating nodes, two conflicting quorums exist only
+	// when n + f >= 2q; below that every pair of quorums intersects in a
+	// correct node and the equivocation is defended.
+	Equivocate Kind = iota
+	// WithholdVotes makes a node silently drop its votes (acks, chits) for
+	// a window.
+	WithholdVotes
+	// CorruptPayload corrupts the node's outbound consensus messages; the
+	// receiver's validation detects the damage and discards the message,
+	// so the bytes still consume network capacity but carry no meaning.
+	CorruptPayload
+	// Censor makes a proposer exclude transactions that entered the
+	// network through a scripted range of origin nodes. Censored
+	// transactions stay pooled, so honest proposers include them later.
+	Censor
+	// Replay re-delivers the node's previous protocol message ahead of
+	// each new send, exercising the receivers' duplicate handling.
+	Replay
+)
+
+var kindNames = [...]string{
+	"equivocate", "withhold-votes", "corrupt-payload", "censor", "replay",
+}
+
+// String returns the kind's spec keyword.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one scripted behavior window.
+type Event struct {
+	// At is when the behavior starts (virtual time from experiment start).
+	At time.Duration
+	// For is the window length; a zero For keeps the behavior active for
+	// the rest of the run.
+	For time.Duration
+	// Kind selects the behavior.
+	Kind Kind
+	// Node is the misbehaving node.
+	Node int
+
+	// Victims lists the peers shown the conflicting proposal (Equivocate
+	// only); empty means the upper half of the deployment.
+	Victims []int
+	// ClientLo and ClientHi bound the censored origin-node range,
+	// inclusive (Censor only).
+	ClientLo, ClientHi int
+}
+
+// String renders the event the way a schedule describes it.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s node %d", e.Kind, e.Node)
+	switch e.Kind {
+	case Equivocate:
+		if len(e.Victims) > 0 {
+			nums := make([]string, len(e.Victims))
+			for i, v := range e.Victims {
+				nums[i] = fmt.Sprint(v)
+			}
+			fmt.Fprintf(&b, " victims %s", strings.Join(nums, ","))
+		}
+	case Censor:
+		fmt.Fprintf(&b, " clients %d-%d", e.ClientLo, e.ClientHi)
+	}
+	return b.String()
+}
+
+// Schedule is an ordered Byzantine behavior timeline.
+type Schedule struct {
+	Events []Event
+}
+
+// NewSchedule builds a schedule from events (sorted by time on Validate).
+func NewSchedule(events ...Event) *Schedule {
+	return &Schedule{Events: events}
+}
+
+// Add appends an event and returns the schedule for chaining.
+func (s *Schedule) Add(e Event) *Schedule {
+	s.Events = append(s.Events, e)
+	return s
+}
+
+// Validate checks the schedule against a deployment of the given node
+// count, sorts events by time, and rejects out-of-range targets and
+// malformed parameters.
+func (s *Schedule) Validate(nodes int) error {
+	for i, e := range s.Events {
+		if e.At < 0 {
+			return fmt.Errorf("adversary: event %d (%s): negative time %v", i, e, e.At)
+		}
+		if e.For < 0 {
+			return fmt.Errorf("adversary: event %d (%s): negative duration %v", i, e, e.For)
+		}
+		if e.Kind < 0 || int(e.Kind) >= len(kindNames) {
+			return fmt.Errorf("adversary: event %d: unknown behavior kind %d", i, int(e.Kind))
+		}
+		if e.Node < 0 || e.Node >= nodes {
+			return fmt.Errorf("adversary: event %d (%s): node %d out of range (deployment has %d)", i, e, e.Node, nodes)
+		}
+		switch e.Kind {
+		case Equivocate:
+			for _, v := range e.Victims {
+				if v < 0 || v >= nodes {
+					return fmt.Errorf("adversary: event %d (%s): victim %d out of range (deployment has %d)", i, e, v, nodes)
+				}
+			}
+		case Censor:
+			if e.ClientLo < 0 || e.ClientHi >= nodes || e.ClientLo > e.ClientHi {
+				return fmt.Errorf("adversary: event %d (%s): client range %d-%d invalid (deployment has %d)", i, e, e.ClientLo, e.ClientHi, nodes)
+			}
+		}
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return nil
+}
+
+// Kinds returns the distinct behavior kinds the schedule uses, in kind
+// order.
+func (s *Schedule) Kinds() []Kind {
+	if s == nil {
+		return nil
+	}
+	var used [len(kindNames)]bool
+	for _, e := range s.Events {
+		if e.Kind >= 0 && int(e.Kind) < len(kindNames) {
+			used[e.Kind] = true
+		}
+	}
+	var out []Kind
+	for k, u := range used {
+		if u {
+			out = append(out, Kind(k))
+		}
+	}
+	return out
+}
+
+// CheckSupport verifies every behavior the schedule uses is among the
+// kinds the named consensus engine declared. The error names each
+// unsupported behavior, so a spec targeting e.g. raft (crash-fault-tolerant,
+// declares none) fails loudly instead of silently not misbehaving.
+func (s *Schedule) CheckSupport(supported []Kind, engine string) error {
+	var missing []string
+	for _, k := range s.Kinds() {
+		ok := false
+		for _, sk := range supported {
+			if sk == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			missing = append(missing, k.String())
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("adversary: %s does not support byzantine behavior(s) %s", engine, strings.Join(missing, ", "))
+	}
+	return nil
+}

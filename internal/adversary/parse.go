@@ -1,0 +1,170 @@
+package adversary
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"diablo/internal/yamlite"
+)
+
+// ParseEvents interprets the `byzantine:` section of a setup
+// specification: a sequence of single-key mappings whose key names the
+// behavior kind, e.g.
+//
+//	byzantine:
+//	  - equivocate: {node: 0, at: 20s, for: 20s, victims: "2,3"}
+//	  - withhold-votes: {node: 1, at: 50s, for: 10s}
+//	  - corrupt-payload: {node: 2, at: 65s, for: 10s}
+//	  - censor: {node: 0, clients: "1-2", at: 80s, for: 10s}
+//	  - replay: {node: 3, at: 95s, for: 10s}
+//
+// Durations accept Go syntax ("90s", "1m30s") or bare seconds ("90").
+// An unknown behavior kind is a parse error, never a silent no-op.
+func ParseEvents(n *yamlite.Node) (*Schedule, error) {
+	if n == nil || n.Kind != yamlite.Seq {
+		return nil, fmt.Errorf("adversary: byzantine section must be a sequence")
+	}
+	s := &Schedule{}
+	for i, item := range n.Items {
+		e, err := parseEvent(item)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: behavior %d: %w", i, err)
+		}
+		s.Events = append(s.Events, e)
+	}
+	return s, nil
+}
+
+func parseEvent(n *yamlite.Node) (Event, error) {
+	var e Event
+	if n == nil || n.Kind != yamlite.Map || len(n.Fields) != 1 {
+		return e, fmt.Errorf("expected a single `kind: {params}` mapping")
+	}
+	kindName := n.Fields[0].Key
+	params := n.Fields[0].Value
+	if params == nil || params.Kind != yamlite.Map {
+		return e, fmt.Errorf("%s: parameters must be a mapping", kindName)
+	}
+
+	kind := -1
+	for k, name := range kindNames {
+		if name == kindName {
+			kind = k
+			break
+		}
+	}
+	if kind < 0 {
+		return e, fmt.Errorf("unknown behavior kind %q (want one of %s)", kindName, strings.Join(kindNames[:], ", "))
+	}
+	e.Kind = Kind(kind)
+
+	at, ok := getScalar(params, "at")
+	if !ok {
+		return e, fmt.Errorf("%s: missing `at:` time", kindName)
+	}
+	var err error
+	if e.At, err = parseDuration(at); err != nil {
+		return e, fmt.Errorf("%s: bad at %q", kindName, at)
+	}
+	if v, ok := getScalar(params, "for"); ok {
+		if e.For, err = parseDuration(v); err != nil {
+			return e, fmt.Errorf("%s: bad for %q", kindName, v)
+		}
+	}
+
+	node, ok := getScalar(params, "node")
+	if !ok {
+		return e, fmt.Errorf("%s: missing `node:`", kindName)
+	}
+	if e.Node, err = strconv.Atoi(node); err != nil {
+		return e, fmt.Errorf("%s: bad node %q", kindName, node)
+	}
+
+	switch e.Kind {
+	case Equivocate:
+		if v, ok := getScalar(params, "victims"); ok {
+			if e.Victims, err = parseNodeList(v); err != nil {
+				return e, fmt.Errorf("equivocate: %w", err)
+			}
+		}
+	case Censor:
+		v, ok := getScalar(params, "clients")
+		if !ok {
+			return e, fmt.Errorf("censor: missing `clients:` origin-node range")
+		}
+		if e.ClientLo, e.ClientHi, err = parseRange(v); err != nil {
+			return e, fmt.Errorf("censor: %w", err)
+		}
+	}
+	return e, nil
+}
+
+func getScalar(n *yamlite.Node, key string) (string, bool) {
+	v, ok := n.Get(key)
+	if !ok || v == nil || v.Kind != yamlite.Scalar {
+		return "", false
+	}
+	return v.Value, true
+}
+
+// parseDuration accepts Go duration syntax or a bare number of seconds.
+func parseDuration(s string) (time.Duration, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return d, nil
+	}
+	if sec, err := strconv.ParseFloat(s, 64); err == nil {
+		return time.Duration(sec * float64(time.Second)), nil
+	}
+	return 0, fmt.Errorf("bad duration %q", s)
+}
+
+// parseNodeList parses "2,3" / "1-3" / "0,2-3" into a node list.
+func parseNodeList(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(tok, "-"); ok {
+			a, errA := strconv.Atoi(strings.TrimSpace(lo))
+			b, errB := strconv.Atoi(strings.TrimSpace(hi))
+			if errA != nil || errB != nil || b < a {
+				return nil, fmt.Errorf("bad range %q", tok)
+			}
+			for n := a; n <= b; n++ {
+				out = append(out, n)
+			}
+		} else {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("bad node %q", tok)
+			}
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty node list %q", s)
+	}
+	return out, nil
+}
+
+// parseRange parses an inclusive "lo-hi" range (or a single "n").
+func parseRange(s string) (int, int, error) {
+	s = strings.TrimSpace(s)
+	if lo, hi, ok := strings.Cut(s, "-"); ok {
+		a, errA := strconv.Atoi(strings.TrimSpace(lo))
+		b, errB := strconv.Atoi(strings.TrimSpace(hi))
+		if errA != nil || errB != nil || b < a {
+			return 0, 0, fmt.Errorf("bad range %q", s)
+		}
+		return a, b, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad range %q", s)
+	}
+	return n, n, nil
+}

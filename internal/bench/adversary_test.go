@@ -1,0 +1,340 @@
+// Byzantine adversary + invariant monitor integration tests. Like the
+// checkpoint tests, these live in package bench_test so they can render
+// result JSON through internal/collect.
+package bench_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"diablo/internal/adversary"
+	"diablo/internal/bench"
+	"diablo/internal/collect"
+	"diablo/internal/configs"
+	"diablo/internal/snapshot"
+	"diablo/internal/spec"
+	"diablo/internal/workloads"
+)
+
+// byzantineSpecExperiment builds a run from the real byzantine spec files
+// (setup-quorum-byzantine[-unsafe].yaml + workload-native-10.yaml), with
+// the JSONL trace directed into buf — the exact configuration the CLI
+// and the adversary-smoke Makefile target execute.
+func byzantineSpecExperiment(t *testing.T, setupFile string, buf *bytes.Buffer) bench.Experiment {
+	t.Helper()
+	setupSrc, err := os.ReadFile(filepath.Join("../../specs", setupFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := spec.ParseSetup(string(setupSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	benchSrc, err := os.ReadFile("../../specs/workload-native-10.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := spec.ParseBenchmark(string(benchSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := bm.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := snapshot.NewHash()
+	h.Bytes(setupSrc)
+	h.Bytes(benchSrc)
+	return bench.Experiment{
+		Chain:            setup.Chain,
+		Config:           setup.Config,
+		Traces:           traces,
+		Seed:             setup.Seed,
+		Tail:             120 * time.Second,
+		ScaleNodes:       setup.NodeScale,
+		Byzantine:        setup.Byzantine,
+		Invariants:       setup.Invariants,
+		InclusionHorizon: setup.InclusionHorizon,
+		Trace:            buf,
+		SpecHash:         h.Sum(),
+	}
+}
+
+// byzantineArtifacts runs one configured byzantine experiment and returns
+// the determinism artifacts (trace, wall_ms-normalized result JSON).
+func byzantineArtifacts(t *testing.T, setupFile string, mutate func(*bench.Experiment)) (trace, result []byte, out *bench.Outcome) {
+	t.Helper()
+	var buf bytes.Buffer
+	exp := byzantineSpecExperiment(t, setupFile, &buf)
+	mutate(&exp)
+	out, err := bench.Run(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := collect.FromOutcome(out, true)
+	rep.Summary.WallMillis = 0
+	var jb bytes.Buffer
+	if err := collect.WriteJSON(&jb, rep, false); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), jb.Bytes(), out
+}
+
+// TestByzantineRunReplaysIdentically is the tentpole's determinism
+// guarantee: the quorum run with one equivocating leader (f=1, n=4)
+// replays byte-identically — trace and result JSON — and passes every
+// invariant monitor, with the adversary counters showing the behaviors
+// actually fired.
+func TestByzantineRunReplaysIdentically(t *testing.T) {
+	trA, resA, outA := byzantineArtifacts(t, "setup-quorum-byzantine.yaml", func(e *bench.Experiment) {})
+	trB, resB, _ := byzantineArtifacts(t, "setup-quorum-byzantine.yaml", func(e *bench.Experiment) {})
+	diffArtifacts(t, "byzantine replay trace", trA, trB)
+	diffArtifacts(t, "byzantine replay result JSON", resA, resB)
+
+	if len(outA.Violations) != 0 {
+		t.Fatalf("f=1 run violated invariants: %v", outA.Violations)
+	}
+	if got := outA.InvariantsChecked; len(got) != 4 || got[3] != "inclusion" {
+		t.Fatalf("InvariantsChecked = %v, want all four armed", got)
+	}
+	adv := outA.Adversary
+	if adv == nil {
+		t.Fatal("no adversary stats on a byzantine run")
+	}
+	// The spec schedules 5 windows, each with a close transition: 10.
+	if adv.Windows != 10 {
+		t.Errorf("Windows = %d, want 10", adv.Windows)
+	}
+	// IBFT at n=4, q=3 defends a single equivocator (4+1 < 6): every
+	// conflicting proposal must land in the Defended counter, none in
+	// Equivocations.
+	if adv.Equivocations != 0 || adv.Defended == 0 {
+		t.Errorf("equivocations = %d, defended = %d; want 0 undefended, >0 defended", adv.Equivocations, adv.Defended)
+	}
+	for what, n := range map[string]uint64{
+		"withheld": adv.Withheld, "corrupted": adv.Corrupted,
+		"discarded": adv.Discarded, "censored": adv.Censored, "replayed": adv.Replayed,
+	} {
+		if n == 0 {
+			t.Errorf("%s = 0: the scripted window never fired", what)
+		}
+	}
+	if adv.Corrupted != adv.Discarded {
+		t.Errorf("corrupted %d != discarded %d: receivers missed damaged messages", adv.Corrupted, adv.Discarded)
+	}
+}
+
+// TestByzantineCheckpointResume checkpoints the f=1 run every 25s — the
+// 25s checkpoint lands mid-equivocation (window 10s..30s) — and requires
+// the resumed run to reconcile cleanly against the stored adversary and
+// invariant state and reproduce both artifacts byte-for-byte.
+func TestByzantineCheckpointResume(t *testing.T) {
+	baseTrace, baseResult, _ := byzantineArtifacts(t, "setup-quorum-byzantine.yaml", func(e *bench.Experiment) {})
+
+	dirA := t.TempDir()
+	recTrace, recResult, recOut := byzantineArtifacts(t, "setup-quorum-byzantine.yaml", func(e *bench.Experiment) {
+		e.CheckpointEvery = 25 * time.Second
+		e.CheckpointDir = dirA
+	})
+	diffArtifacts(t, "checkpointed byzantine trace", baseTrace, recTrace)
+	diffArtifacts(t, "checkpointed byzantine result JSON", baseResult, recResult)
+	if len(recOut.Checkpoints) < 4 {
+		t.Fatalf("only %d checkpoints written", len(recOut.Checkpoints))
+	}
+
+	cp := filepath.Join(dirA, snapshot.FileName(25*time.Second))
+	if _, err := os.Stat(cp); err != nil {
+		t.Fatalf("mid-equivocation checkpoint missing: %v", err)
+	}
+	resTrace, resResult, resOut := byzantineArtifacts(t, "setup-quorum-byzantine.yaml", func(e *bench.Experiment) {
+		e.Resume = cp
+	})
+	if resOut.Verified != 25*time.Second {
+		t.Fatalf("Verified = %s, want 25s", resOut.Verified)
+	}
+	diffArtifacts(t, "resumed byzantine trace", baseTrace, resTrace)
+	diffArtifacts(t, "resumed byzantine result JSON", baseResult, resResult)
+	if len(resOut.Violations) != 0 {
+		t.Fatalf("resumed run violated invariants: %v", resOut.Violations)
+	}
+}
+
+// TestEquivocationAboveToleranceTripsAgreement is the violation path:
+// two concurrent equivocators at n=4 defeat IBFT's quorum intersection
+// (4 + 2 >= 2*3), and the agreement monitor must flag the first split
+// commit at its exact virtual time and height, naming the diverging
+// nodes. The pinned values double as a regression anchor: any change to
+// the deterministic event order moves them.
+func TestEquivocationAboveToleranceTripsAgreement(t *testing.T) {
+	_, _, out := byzantineArtifacts(t, "setup-quorum-byzantine-unsafe.yaml", func(e *bench.Experiment) {})
+	if len(out.Violations) == 0 {
+		t.Fatal("f=2 equivocation produced no violations")
+	}
+	if out.Adversary.Equivocations == 0 {
+		t.Fatal("no undefended equivocations counted at f=2")
+	}
+	v := out.Violations[0]
+	if v.Invariant != "agreement" {
+		t.Fatalf("first violation is %q, want agreement", v.Invariant)
+	}
+	if v.VTime != 15354124719*time.Nanosecond || v.Height != 13 {
+		t.Fatalf("violation at vtime %v height %d, want 15.354124719s height 13", v.VTime, v.Height)
+	}
+	if len(v.Nodes) != 2 || v.Nodes[0] != 1 || v.Nodes[1] != 3 {
+		t.Fatalf("violation nodes = %v, want [1 3]", v.Nodes)
+	}
+	for _, vv := range out.Violations {
+		if vv.Invariant != "agreement" {
+			t.Fatalf("unexpected %q violation: %+v", vv.Invariant, vv)
+		}
+	}
+}
+
+// supportedSchedule builds an f=1 schedule exercising exactly the given
+// behavior kinds. The windows are staggered — never overlapping — so at
+// most one node misbehaves at any instant: overlapping a vote-withholder
+// with a payload-corrupter would silence two of five nodes at once,
+// which exceeds the f=1 tolerance this test is about.
+func supportedSchedule(kinds []adversary.Kind) *adversary.Schedule {
+	s := adversary.NewSchedule()
+	for i, k := range kinds {
+		e := adversary.Event{Kind: k, At: time.Duration(4+4*i) * time.Second, For: 3 * time.Second}
+		switch k {
+		case adversary.Equivocate:
+			e.Node = 1
+		case adversary.WithholdVotes:
+			e.Node = 2
+		case adversary.CorruptPayload:
+			e.Node = 3
+		case adversary.Censor:
+			e.Node = 1
+			e.ClientLo, e.ClientHi = 0, 1
+		case adversary.Replay:
+			e.Node = 2
+		}
+		s.Add(e)
+	}
+	return s
+}
+
+// TestBelowToleranceAllEnginesPass runs every consensus engine that
+// declares Byzantine support under an f=1 schedule of exactly its
+// supported behaviors and requires all armed monitors to pass.
+func TestBelowToleranceAllEnginesPass(t *testing.T) {
+	cases := []struct {
+		chain string
+		kinds []adversary.Kind
+	}{
+		{"quorum", []adversary.Kind{adversary.Equivocate, adversary.WithholdVotes, adversary.CorruptPayload, adversary.Censor, adversary.Replay}},
+		{"diem", []adversary.Kind{adversary.Equivocate, adversary.WithholdVotes, adversary.CorruptPayload, adversary.Censor, adversary.Replay}},
+		{"redbelly", []adversary.Kind{adversary.Equivocate, adversary.WithholdVotes, adversary.CorruptPayload, adversary.Censor, adversary.Replay}},
+		{"algorand", []adversary.Kind{adversary.Equivocate, adversary.WithholdVotes, adversary.Censor}},
+		{"avalanche", []adversary.Kind{adversary.WithholdVotes, adversary.CorruptPayload, adversary.Censor, adversary.Replay}},
+		{"solana", []adversary.Kind{adversary.WithholdVotes, adversary.CorruptPayload, adversary.Censor, adversary.Replay}},
+		{"ethereum", []adversary.Kind{adversary.Censor}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.chain, func(t *testing.T) {
+			t.Parallel()
+			out, err := bench.Run(bench.Experiment{
+				Chain:            tc.chain,
+				Config:           configs.Devnet,
+				Traces:           []*workloads.Trace{workloads.NativeConstant(10, 20*time.Second)},
+				Seed:             3,
+				Tail:             90 * time.Second,
+				ScaleNodes:       2,
+				Byzantine:        supportedSchedule(tc.kinds),
+				Invariants:       true,
+				InclusionHorizon: 60 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Violations) != 0 {
+				t.Fatalf("f=1 violated invariants on %s: %v", tc.chain, out.Violations)
+			}
+			if out.Adversary == nil || out.Adversary.Windows == 0 {
+				t.Fatalf("adversary never fired on %s", tc.chain)
+			}
+		})
+	}
+}
+
+// TestUnsupportedBehaviorRejected locks in the configuration errors: a
+// crash-fault-tolerant engine (raft) rejects any Byzantine schedule, and
+// clique rejects the behaviors it does not model — both naming the
+// engine and behaviors, before the run starts.
+func TestUnsupportedBehaviorRejected(t *testing.T) {
+	run := func(chain string, kinds []adversary.Kind) error {
+		_, err := bench.Run(bench.Experiment{
+			Chain:      chain,
+			Config:     configs.Devnet,
+			Traces:     []*workloads.Trace{workloads.NativeConstant(10, 10*time.Second)},
+			Seed:       1,
+			Tail:       30 * time.Second,
+			ScaleNodes: 2,
+			Byzantine:  supportedSchedule(kinds),
+		})
+		return err
+	}
+	err := run("quorum-raft", []adversary.Kind{adversary.Equivocate})
+	if err == nil || !strings.Contains(err.Error(), "does not support byzantine behavior(s) equivocate") {
+		t.Fatalf("raft accepted an equivocation schedule: %v", err)
+	}
+	err = run("ethereum", []adversary.Kind{adversary.Equivocate, adversary.Replay})
+	if err == nil || !strings.Contains(err.Error(), "equivocate, replay") {
+		t.Fatalf("clique accepted unsupported behaviors: %v", err)
+	}
+}
+
+// TestSweepShareCheckpointDirRejected pins the RunMany guard that makes
+// per-seed checkpoint subdirectories mandatory: two cells recording into
+// one directory would interleave their .snap files.
+func TestSweepShareCheckpointDirRejected(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(seed int64, ckDir string) bench.Experiment {
+		return bench.Experiment{
+			Chain:           "quorum",
+			Config:          configs.Devnet,
+			Traces:          []*workloads.Trace{workloads.NativeConstant(10, 10*time.Second)},
+			Seed:            seed,
+			Tail:            30 * time.Second,
+			ScaleNodes:      2,
+			CheckpointEvery: 10 * time.Second,
+			CheckpointDir:   ckDir,
+		}
+	}
+	_, err := bench.RunMany(2, []bench.Experiment{mk(1, dir), mk(2, dir)})
+	if err == nil || !strings.Contains(err.Error(), "share checkpoint directory") {
+		t.Fatalf("shared checkpoint dir accepted: %v", err)
+	}
+
+	// Distinct per-seed subdirectories run cleanly and leave each seed's
+	// checkpoints separated.
+	outs, err := bench.RunMany(2, []bench.Experiment{
+		mk(1, filepath.Join(dir, "seed-1")),
+		mk(2, filepath.Join(dir, "seed-2")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if len(out.Checkpoints) == 0 {
+			t.Fatalf("cell %d wrote no checkpoints", i)
+		}
+	}
+	for _, sub := range []string{"seed-1", "seed-2"} {
+		files, err := snapshot.LoadDir(filepath.Join(dir, sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Fatalf("%s holds no checkpoints", sub)
+		}
+	}
+}

@@ -10,11 +10,13 @@ import (
 	"io"
 	"time"
 
+	"diablo/internal/adversary"
 	"diablo/internal/chains"
 	"diablo/internal/chains/chain"
 	"diablo/internal/chaos"
 	"diablo/internal/configs"
 	"diablo/internal/core"
+	"diablo/internal/invariant"
 	"diablo/internal/obs"
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
@@ -52,6 +54,19 @@ type Experiment struct {
 	// schedule; all probabilistic faults draw from a PRNG seeded with Seed,
 	// so faulty runs replay bit-identically.
 	Faults *chaos.Schedule
+	// Byzantine optionally runs the experiment under a scripted Byzantine
+	// adversary (see internal/adversary); like Faults, every behavior
+	// window opens and closes at scripted virtual times, so adversarial
+	// runs replay bit-identically.
+	Byzantine *adversary.Schedule
+	// Invariants arms the continuous safety/liveness monitors (agreement,
+	// validity, integrity, eventual inclusion); detected violations land
+	// in Outcome.Violations.
+	Invariants bool
+	// InclusionHorizon bounds eventual inclusion: an admitted transaction
+	// still uncommitted this long after admission (checked at run end) is
+	// a liveness violation. Zero defaults to the run's Tail.
+	InclusionHorizon time.Duration
 	// Retry configures client-side resubmission (zero = disabled).
 	Retry chain.RetryPolicy
 	// Trace, when non-nil, receives the JSONL transaction lifecycle trace
@@ -143,6 +158,32 @@ type Outcome struct {
 	// successfully reconciled against the fast-forwarded state (-1 when
 	// not resuming).
 	Verified time.Duration
+	// InvariantsChecked names the armed invariants (Experiment.Invariants);
+	// Violations lists the detected breaches in detection order.
+	InvariantsChecked []string
+	Violations        []invariant.Violation
+	// Adversary summarizes the Byzantine engine's counters
+	// (Experiment.Byzantine).
+	Adversary *AdversaryStats
+}
+
+// AdversaryStats summarizes what a scripted Byzantine adversary did.
+type AdversaryStats struct {
+	// Windows counts behavior window transitions (opens and closes).
+	Windows uint64
+	// Equivocations counts conflicting proposals that could split commits;
+	// Defended counts attempts absorbed by quorum intersection.
+	Equivocations uint64
+	Defended      uint64
+	// Withheld counts dropped votes; Corrupted/Discarded count damaged
+	// outbound messages and their receiver-side drops; Censored counts
+	// transactions skipped by censoring proposers; Replayed counts stale
+	// message re-deliveries.
+	Withheld  uint64
+	Corrupted uint64
+	Discarded uint64
+	Censored  uint64
+	Replayed  uint64
 }
 
 // DefaultCacheAfter is how many full interpretations warm the gas cache.
@@ -219,6 +260,32 @@ func Run(e Experiment) (*Outcome, error) {
 		chaosEng = chaos.Install(sched, wan, e.Faults)
 		chaosEng.Instrument(tracer, reg)
 	}
+	var advEng *adversary.Engine
+	if e.Byzantine != nil && len(e.Byzantine.Events) > 0 {
+		if err := e.Byzantine.Validate(cfg.Nodes); err != nil {
+			return nil, err
+		}
+		bs, ok := net.Engine().(chain.ByzantineSupport)
+		if !ok {
+			return nil, fmt.Errorf("bench: the %s consensus engine declares no byzantine behavior support", params.Consensus)
+		}
+		if err := e.Byzantine.CheckSupport(bs.ByzantineBehaviors(), params.Consensus); err != nil {
+			return nil, err
+		}
+		advEng = adversary.Install(sched, cfg.Nodes, e.Byzantine)
+		advEng.Instrument(tracer, reg)
+		net.AttachAdversary(advEng)
+	}
+	var mon *invariant.Monitor
+	if e.Invariants {
+		horizon := e.InclusionHorizon
+		if horizon <= 0 {
+			horizon = e.Tail
+		}
+		mon = invariant.NewMonitor(horizon)
+		mon.Instrument(tracer, reg)
+		net.AttachMonitor(mon)
+	}
 	switch {
 	case e.CacheAfter > 0:
 		net.Exec.CacheAfter = e.CacheAfter
@@ -279,7 +346,7 @@ func Run(e Experiment) (*Outcome, error) {
 	// observes the settled state. Capture only reads state — no RNG draws,
 	// no scheduling besides its own ticker — so the run's outputs are
 	// byte-identical with or without it.
-	ck, err := armCheckpoints(e, sched, wan, chaosEng, net, reg)
+	ck, err := armCheckpoints(e, sched, wan, chaosEng, advEng, mon, net, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -294,6 +361,9 @@ func Run(e Experiment) (*Outcome, error) {
 		Metrics:   em,
 	})
 	net.Stop()
+	// The inclusion check runs after the engine stopped: anything still
+	// uncommitted now will stay uncommitted.
+	mon.Finalize(sched.Now())
 	if cerr := ck.err(); cerr != nil {
 		return nil, cerr
 	}
@@ -306,7 +376,7 @@ func Run(e Experiment) (*Outcome, error) {
 		}
 	}
 
-	return &Outcome{
+	out := &Outcome{
 		Result:      result,
 		Experiment:  e,
 		Crashed:     net.Crashed(),
@@ -324,7 +394,22 @@ func Run(e Experiment) (*Outcome, error) {
 		TraceEvents: tracer.Events(),
 		Checkpoints: ck.written(),
 		Verified:    ck.verifiedAt(),
-	}, nil
+	}
+	out.InvariantsChecked = mon.Checked()
+	out.Violations = mon.Violations()
+	if advEng != nil {
+		out.Adversary = &AdversaryStats{
+			Windows:       advEng.Applied,
+			Equivocations: advEng.Equivocations,
+			Defended:      advEng.Defended,
+			Withheld:      advEng.Withheld,
+			Corrupted:     advEng.Corrupted,
+			Discarded:     advEng.Discarded,
+			Censored:      advEng.Censored,
+			Replayed:      advEng.Replayed,
+		}
+	}
+	return out, nil
 }
 
 // ResolvePlacement maps the specification's location tags to the deployed

@@ -1,6 +1,10 @@
 package bench
 
-import "diablo/internal/core"
+import (
+	"fmt"
+
+	"diablo/internal/core"
+)
 
 // RunMany executes independent experiments concurrently on a worker pool
 // (workers <= 0 uses GOMAXPROCS, 1 runs serially) and returns the outcomes
@@ -11,6 +15,21 @@ import "diablo/internal/core"
 // Shared inputs (configs, traces, fault schedules) are read-only during a
 // run, so the same Experiment values may appear in several cells.
 func RunMany(workers int, exps []Experiment) ([]*Outcome, error) {
+	// Checkpointing cells must not share a directory: concurrent recorders
+	// would interleave .snap files from different seeds and neither run's
+	// checkpoints could be resumed or bisected. The sweep runner in
+	// cmd/diablo derives a per-seed subdirectory for exactly this reason.
+	dirs := make(map[string]int, len(exps))
+	for i, e := range exps {
+		if e.CheckpointDir == "" || e.CheckpointEvery <= 0 {
+			continue
+		}
+		if j, dup := dirs[e.CheckpointDir]; dup {
+			return nil, fmt.Errorf("bench: experiments %d and %d (seeds %d and %d) share checkpoint directory %s; give every cell its own",
+				j, i, exps[j].Seed, e.Seed, e.CheckpointDir)
+		}
+		dirs[e.CheckpointDir] = i
+	}
 	outs := make([]*Outcome, len(exps))
 	err := core.ForEach(workers, len(exps), func(i int) error {
 		out, err := Run(exps[i])

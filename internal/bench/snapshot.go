@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"diablo/internal/adversary"
 	"diablo/internal/chains/chain"
 	"diablo/internal/chaos"
+	"diablo/internal/invariant"
 	"diablo/internal/obs"
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
@@ -50,16 +52,16 @@ func (c *ckState) verifiedAt() time.Duration {
 }
 
 // armCheckpoints wires the snapshot recorder into a run: section
-// registration in a fixed order (sched, simnet, chaos, chain, pool, exec,
-// clients, engine, obs — the order bisect reports subsystems in), a
-// capture ticker, and — when resuming — reconciliation of the stored
-// checkpoint against the fast-forwarded state at its virtual time.
-// Returns nil state when checkpointing is disabled.
-func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, chaosEng *chaos.Engine, net *chain.Network, reg *obs.Registry) (*ckState, error) {
+// registration in a fixed order (sched, simnet, chaos, adversary, chain,
+// pool, exec, clients, engine, obs, invariant — the order bisect reports
+// subsystems in), a capture ticker, and — when resuming — reconciliation
+// of the stored checkpoint against the fast-forwarded state at its
+// virtual time. Returns nil state when checkpointing is disabled.
+func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, chaosEng *chaos.Engine, advEng *adversary.Engine, mon *invariant.Monitor, net *chain.Network, reg *obs.Registry) (*ckState, error) {
 	interval := e.CheckpointEvery
 	var resume *snapshot.File
 	if e.Resume != "" {
-		f, err := snapshot.ReadFile(e.Resume)
+		f, err := snapshot.ReadResolved(e.Resume)
 		if err != nil {
 			return nil, fmt.Errorf("bench: reading resume checkpoint: %w", err)
 		}
@@ -93,10 +95,17 @@ func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, cha
 		Interval: interval,
 		Chain:    e.Chain,
 	}, e.CheckpointDir)
+	// Sections that did not change since the previous capture (a quiet
+	// chaos or adversary engine, a drained pool) are stored as digests
+	// only, resolved against the preceding checkpoint on read.
+	rec.Delta = true
 	rec.Register("sched", sched)
 	rec.Register("simnet", wan)
 	if chaosEng != nil {
 		rec.Register("chaos", chaosEng)
+	}
+	if advEng != nil {
+		rec.Register("adversary", advEng)
 	}
 	rec.Register("chain", net)
 	rec.Register("pool", net.Pool)
@@ -110,6 +119,9 @@ func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, cha
 	}
 	if reg != nil {
 		rec.Register("obs", reg)
+	}
+	if mon != nil {
+		rec.Register("invariant", mon)
 	}
 
 	c := &ckState{recorder: rec, verified: -1, resuming: resume != nil}

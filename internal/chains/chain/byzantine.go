@@ -1,0 +1,79 @@
+package chain
+
+import (
+	"diablo/internal/adversary"
+	"diablo/internal/invariant"
+	"diablo/internal/types"
+)
+
+// ByzantineSupport is implemented by consensus engines that can be driven
+// by the adversary engine; the returned kinds are the behaviors whose
+// hook points the engine honors. An engine that declares none (raft,
+// crash-fault-tolerant by design) rejects every byzantine schedule.
+type ByzantineSupport interface {
+	ByzantineBehaviors() []adversary.Kind
+}
+
+// AttachAdversary wires a scripted Byzantine adversary into the harness's
+// send/assembly/vote hook points. Must be called before Start.
+func (n *Network) AttachAdversary(adv *adversary.Engine) { n.adversary = adv }
+
+// AttachMonitor wires the invariant monitors into the harness's
+// admit/include/commit paths. Must be called before Start.
+func (n *Network) AttachMonitor(m *invariant.Monitor) { n.monitor = m }
+
+// ByzantineActive reports whether an adversary is attached; engines use
+// it to arm defenses (query retry timeouts) that would be dead weight in
+// benign runs.
+func (n *Network) ByzantineActive() bool { return n.adversary != nil }
+
+// VoteWithheld reports whether node drops its vote right now (the
+// WithholdVotes behavior), counting the drop when it does. Engines call
+// this at the top of their vote-emission paths.
+func (n *Network) VoteWithheld(node int) bool {
+	return n.adversary != nil && n.adversary.WithholdVote(node)
+}
+
+// conflictHash derives the "other" proposal's hash an equivocating leader
+// shows its victims: deterministic, and guaranteed distinct.
+func conflictHash(h types.Hash) types.Hash {
+	h[0] ^= 0xff
+	return h
+}
+
+// MaybeEquivocate is called by leader-based engines right after block
+// assembly: if the proposer is inside an Equivocate window, decide by
+// quorum intersection whether the conflicting proposal can split commits.
+// With n nodes, quorum size q and f concurrently equivocating nodes, two
+// conflicting quorums exist only when n + f >= 2q; below that every
+// quorum pair intersects in a correct node and the attempt is defended
+// (counted, but harmless). When the split is possible, the victims'
+// commit observations report the conflicting hash, which the agreement
+// monitor flags at the exact height and vtime.
+func (n *Network) MaybeEquivocate(proposer int, blk *types.Block, quorum int) {
+	adv := n.adversary
+	if adv == nil || blk == nil || !adv.Equivocating(proposer) {
+		return
+	}
+	f := adv.ActiveEquivocators()
+	if len(n.Nodes)+f < 2*quorum {
+		adv.NoteDefended(proposer)
+		return
+	}
+	ch := conflictHash(blk.Hash())
+	split := make(map[int]types.Hash)
+	for _, v := range adv.VictimsOf(proposer) {
+		if v != proposer && v < len(n.Nodes) {
+			split[v] = ch
+		}
+	}
+	if len(split) == 0 {
+		adv.NoteDefended(proposer)
+		return
+	}
+	if n.conflicts == nil {
+		n.conflicts = make(map[*types.Block]map[int]types.Hash)
+	}
+	n.conflicts[blk] = split
+	adv.NoteEquivocation(proposer)
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"time"
 
+	"diablo/internal/adversary"
+	"diablo/internal/invariant"
 	"diablo/internal/mempool"
 	"diablo/internal/obs"
 	"diablo/internal/sim"
@@ -167,6 +169,16 @@ type Network struct {
 	// DefaultRetry is the retry policy new clients start with (zero =
 	// retries disabled).
 	DefaultRetry RetryPolicy
+
+	// adversary, when attached, drives scripted Byzantine behaviors
+	// through the send/assembly/vote hook points; monitor, when attached,
+	// referees the admit/include/commit paths. Both are nil (and free) in
+	// benign runs.
+	adversary *adversary.Engine
+	monitor   *invariant.Monitor
+	// conflicts maps an equivocated block to the conflicting hash each
+	// victim node observes at commit; freed with blockIndex.
+	conflicts map[*types.Block]map[int]types.Hash
 
 	// tracer emits lifecycle events; nil (the default) disables tracing
 	// at zero cost. Obs holds the registry counters, nil-disabled the same
@@ -320,6 +332,13 @@ func (nd *Node) handle(msg simnet.Message) {
 	switch p := msg.Payload.(type) {
 	case *gossipMsg:
 		nd.net.receiveGossip(nd, p)
+	case *adversary.Corrupted:
+		// The receiver's validation (signature check, frame decode)
+		// detects the damage; the message consumed bandwidth but is
+		// dropped here, never reaching the engine.
+		if nd.net.adversary != nil {
+			nd.net.adversary.NoteDiscarded()
+		}
 	default:
 		if nd.onMessage != nil {
 			nd.onMessage(int(msg.From), msg.Payload)
@@ -331,9 +350,22 @@ func (nd *Node) handle(msg simnet.Message) {
 func (nd *Node) SetMessageHandler(h func(from int, payload any)) { nd.onMessage = h }
 
 // Send sends an engine message from this node to another node's engine
-// handler.
+// handler. With an adversary attached this is also the Replay and
+// CorruptPayload hook point: a replaying node re-delivers its previous
+// message ahead of the new one, and a corrupting node's payload is
+// wrapped so the receiver's validation discards it.
 func (nd *Node) Send(to int, size int, payload any) {
-	nd.Sim.Send(nd.net.Nodes[to].Sim.ID, size, payload)
+	n := nd.net
+	if adv := n.adversary; adv != nil {
+		if stale, staleSize, ok := adv.ReplayOutbound(nd.Index); ok {
+			nd.Sim.Send(n.Nodes[to].Sim.ID, staleSize, stale)
+		}
+		adv.RecordOutbound(nd.Index, size, payload)
+		if adv.CorruptOutbound(nd.Index) {
+			payload = &adversary.Corrupted{Orig: payload}
+		}
+	}
+	nd.Sim.Send(n.Nodes[to].Sim.ID, size, payload)
 }
 
 // ExecTime converts gas into execution wall time on this network's
@@ -383,6 +415,7 @@ func (nd *Node) SubmitTx(tx *types.Transaction) error {
 	err := n.Pool.Add(tx, nd.Index, n.Sched.Now())
 	if err == nil {
 		n.txOrigin[tx.ID()] = int32(nd.Index)
+		n.monitor.OnAdmit(tx.ID(), nd.Index, n.Sched.Now())
 		n.Obs.Admitted.Inc()
 		n.tracer.Admit(n.Sched.Now(), tx.ID(), nd.Index)
 	} else {
@@ -447,6 +480,17 @@ func (n *Network) AssembleBlockBudgeted(proposer int, allowEmpty bool, maxTxs in
 	if n.Params.StrictNonces {
 		spec.NextNonce = n.Exec.NextNonce
 	}
+	if n.adversary != nil {
+		if lo, hi, censoring := n.adversary.Censoring(proposer); censoring {
+			spec.Skip = func(_ *types.Transaction, origin int) bool {
+				if origin >= lo && origin <= hi {
+					n.adversary.NoteCensored()
+					return true
+				}
+				return false
+			}
+		}
+	}
 	if n.Params.DynamicBaseFee {
 		spec.MinGasPrice = n.baseFee
 	}
@@ -474,6 +518,7 @@ func (n *Network) AssembleBlockBudgeted(proposer int, allowEmpty bool, maxTxs in
 		if tx.Kind == types.KindInvoke {
 			invokes++
 		}
+		n.monitor.OnInclude(id, blk.Number, now)
 		r := n.Exec.Apply(tx, blk, n.Params)
 		n.receipts[id] = r
 		gasUsed += r.GasUsed
@@ -526,10 +571,20 @@ func (n *Network) DeliverBlock(idx int, blk *types.Block) {
 	for _, c := range nd.clients {
 		c.onBlock(blk, mine)
 	}
+	if n.monitor != nil {
+		h := blk.Hash()
+		if split := n.conflicts[blk]; split != nil {
+			if ch, victim := split[idx]; victim {
+				h = ch
+			}
+		}
+		n.monitor.OnCommit(idx, blk.Number, h, n.Sched.Now())
+	}
 	if groups != nil {
 		groups.deliveries++
 		if groups.deliveries >= len(n.Nodes) {
 			delete(n.blockIndex, blk)
+			delete(n.conflicts, blk)
 		}
 	}
 }

@@ -205,6 +205,28 @@ func (s *Schedule) Validate(nodes int) error {
 		}
 	}
 	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	// With the timeline in order, a recovery event must follow a fault it
+	// can recover from: a Restart without a preceding Crash of the same
+	// node (or a Heal without any preceding Partition) would silently do
+	// nothing at run time.
+	crashed := make(map[int]bool)
+	partitions := 0
+	for i, e := range s.Events {
+		switch e.Kind {
+		case Crash:
+			crashed[e.Node] = true
+		case Restart:
+			if !crashed[e.Node] {
+				return fmt.Errorf("chaos: event %d (%s): restart of node %d has no preceding crash", i, e, e.Node)
+			}
+		case Partition:
+			partitions++
+		case Heal:
+			if partitions == 0 {
+				return fmt.Errorf("chaos: event %d (%s): heal has no preceding partition", i, e)
+			}
+		}
+	}
 	return nil
 }
 

@@ -137,6 +137,55 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsOrphanRecovery pins the exact errors for recovery
+// events that precede any fault they could recover from: the injection
+// engine would silently no-op on them at run time.
+func TestValidateRejectsOrphanRecovery(t *testing.T) {
+	err := NewSchedule(
+		Event{At: 10 * time.Second, Kind: Restart, Node: 2},
+	).Validate(4)
+	want := "chaos: event 0 (restart node 2): restart of node 2 has no preceding crash"
+	if err == nil || err.Error() != want {
+		t.Fatalf("err = %v, want %q", err, want)
+	}
+
+	// A restart of a node that never crashed is rejected even when some
+	// other node did crash.
+	err = NewSchedule(
+		Event{At: 5 * time.Second, Kind: Crash, Node: 1},
+		Event{At: 10 * time.Second, Kind: Restart, Node: 2},
+	).Validate(4)
+	if err == nil || !strings.Contains(err.Error(), "restart of node 2 has no preceding crash") {
+		t.Fatalf("err = %v, want no-preceding-crash for node 2", err)
+	}
+
+	// Ordering is by virtual time, not listing order: a restart listed
+	// first but scheduled after its crash is fine.
+	err = NewSchedule(
+		Event{At: 90 * time.Second, Kind: Restart, Node: 3},
+		Event{At: 30 * time.Second, Kind: Crash, Node: 3},
+	).Validate(4)
+	if err != nil {
+		t.Fatalf("time-ordered crash/restart rejected: %v", err)
+	}
+
+	err = NewSchedule(
+		Event{At: 10 * time.Second, Kind: Heal},
+	).Validate(4)
+	want = "chaos: event 0 (heal): heal has no preceding partition"
+	if err == nil || err.Error() != want {
+		t.Fatalf("err = %v, want %q", err, want)
+	}
+
+	err = NewSchedule(
+		Event{At: 5 * time.Second, Kind: Partition, Sides: [][]int{{0, 1}}},
+		Event{At: 10 * time.Second, Kind: Heal},
+	).Validate(4)
+	if err != nil {
+		t.Fatalf("heal after partition rejected: %v", err)
+	}
+}
+
 func TestWindowsPairing(t *testing.T) {
 	s := NewSchedule(
 		Event{At: 30 * time.Second, Kind: Crash, Node: 3},

@@ -61,6 +61,37 @@ type Summary struct {
 	CommittedPerSec []int   `json:"committed_per_sec"`
 }
 
+// InvariantViolation is one monitor breach in the output JSON. All
+// timestamps are virtual, so equal-seed runs produce identical records.
+type InvariantViolation struct {
+	Invariant string  `json:"invariant"`
+	VTimeS    float64 `json:"vtime_s"`
+	Height    uint64  `json:"height,omitempty"`
+	Nodes     []int   `json:"nodes,omitempty"`
+	Tx        string  `json:"tx,omitempty"`
+	Detail    string  `json:"detail"`
+}
+
+// InvariantReport summarizes the run's invariant monitoring.
+type InvariantReport struct {
+	// Checked names the armed invariants; Violations lists the breaches
+	// in detection order (empty = the run passed).
+	Checked    []string             `json:"checked"`
+	Violations []InvariantViolation `json:"violations"`
+}
+
+// AdversarySummary reports what a scripted Byzantine adversary did.
+type AdversarySummary struct {
+	Windows       uint64 `json:"windows"`
+	Equivocations uint64 `json:"equivocations"`
+	Defended      uint64 `json:"defended"`
+	Withheld      uint64 `json:"withheld"`
+	Corrupted     uint64 `json:"corrupted"`
+	Discarded     uint64 `json:"discarded"`
+	Censored      uint64 `json:"censored"`
+	Replayed      uint64 `json:"replayed"`
+}
+
 // Report is the Primary's aggregated output document.
 type Report struct {
 	Chain     string    `json:"chain"`
@@ -69,6 +100,11 @@ type Report struct {
 	Seed      int64     `json:"seed"`
 	Summary   Summary   `json:"summary"`
 	Recovery  *Recovery `json:"recovery,omitempty"`
+	// Invariants carries the safety/liveness monitor verdict (--invariants
+	// or an `invariants:` spec section); Adversary the Byzantine engine's
+	// counters (a `byzantine:` spec section).
+	Invariants *InvariantReport  `json:"invariants,omitempty"`
+	Adversary  *AdversarySummary `json:"adversary,omitempty"`
 	// Metrics is the sampled sim-time metrics timeline (--metrics), and
 	// LinkTraffic the per-region-pair simnet traffic aggregate.
 	Metrics      *obs.Snapshot     `json:"metrics,omitempty"`
@@ -116,6 +152,38 @@ func FromOutcome(out *bench.Outcome, includeTxs bool) *Report {
 	}
 	if out.DeployErr != nil {
 		rep.Summary.DeployError = out.DeployErr.Error()
+	}
+	if len(out.InvariantsChecked) > 0 {
+		inv := &InvariantReport{
+			Checked:    out.InvariantsChecked,
+			Violations: make([]InvariantViolation, 0, len(out.Violations)),
+		}
+		for _, v := range out.Violations {
+			rec := InvariantViolation{
+				Invariant: v.Invariant,
+				VTimeS:    v.VTime.Seconds(),
+				Height:    v.Height,
+				Nodes:     v.Nodes,
+				Detail:    v.Detail,
+			}
+			if v.HasTx {
+				rec.Tx = fmt.Sprintf("%x", v.Tx[:8])
+			}
+			inv.Violations = append(inv.Violations, rec)
+		}
+		rep.Invariants = inv
+	}
+	if out.Adversary != nil {
+		rep.Adversary = &AdversarySummary{
+			Windows:       out.Adversary.Windows,
+			Equivocations: out.Adversary.Equivocations,
+			Defended:      out.Adversary.Defended,
+			Withheld:      out.Adversary.Withheld,
+			Corrupted:     out.Adversary.Corrupted,
+			Discarded:     out.Adversary.Discarded,
+			Censored:      out.Adversary.Censored,
+			Replayed:      out.Adversary.Replayed,
+		}
 	}
 	if includeTxs {
 		rep.Transactions = make([]TxRecord, len(out.Records))

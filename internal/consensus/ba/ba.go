@@ -11,6 +11,7 @@ package ba
 import (
 	"time"
 
+	"diablo/internal/adversary"
 	"diablo/internal/chains/chain"
 	"diablo/internal/sim"
 	"diablo/internal/types"
@@ -134,6 +135,7 @@ func (e *Engine) propose() {
 		e.net.Sched.AfterKind(sim.KindConsensus, retryIdle, e.propose)
 		return
 	}
+	e.net.MaybeEquivocate(proposer, blk, e.threshold())
 	round := e.round
 	size := len(e.net.Nodes)
 	e.rounds[round] = &roundState{
@@ -169,7 +171,7 @@ func (e *Engine) onBlock(idx int, round uint64) {
 	if e.committee(round, 0)[idx] && !st.softSent[idx] {
 		st.softSent[idx] = true
 		e.net.Sched.AfterKind(sim.KindConsensus, validation+processing, func() {
-			if e.stopped {
+			if e.stopped || e.net.VoteWithheld(idx) {
 				return
 			}
 			e.broadcast(idx, softVote{round: round})
@@ -204,7 +206,7 @@ func (e *Engine) deliverVote(idx int, payload any) {
 			st.certSent[idx] = true
 			round := v.round
 			e.net.Sched.AfterKind(sim.KindConsensus, processing, func() {
-				if e.stopped {
+				if e.stopped || e.net.VoteWithheld(idx) {
 					return
 				}
 				e.broadcast(idx, certVote{round: round})
@@ -239,3 +241,10 @@ func (e *Engine) advance() {
 
 // ConsensusStats exposes round counters to the metrics registry.
 func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Rounds, 0 }
+
+// ByzantineBehaviors implements chain.ByzantineSupport. Committee votes
+// spread by gossip rather than point-to-point sends, so CorruptPayload
+// and Replay (which hook the engine-message send path) do not apply.
+func (e *Engine) ByzantineBehaviors() []adversary.Kind {
+	return []adversary.Kind{adversary.Equivocate, adversary.WithholdVotes, adversary.Censor}
+}

@@ -11,6 +11,7 @@ package clique
 import (
 	"time"
 
+	"diablo/internal/adversary"
 	"diablo/internal/chains/chain"
 	"diablo/internal/sim"
 )
@@ -71,4 +72,11 @@ func (e *Engine) seal() {
 		})
 	})
 	e.net.Sched.AfterKind(sim.KindConsensus, e.period, e.seal)
+}
+
+// ByzantineBehaviors implements chain.ByzantineSupport. Clique has no
+// protocol messages at all (sealed blocks spread by gossip, there are no
+// votes), so only proposer-side censorship applies.
+func (e *Engine) ByzantineBehaviors() []adversary.Kind {
+	return []adversary.Kind{adversary.Censor}
 }

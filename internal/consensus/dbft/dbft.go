@@ -17,6 +17,7 @@ package dbft
 import (
 	"time"
 
+	"diablo/internal/adversary"
 	"diablo/internal/chains/chain"
 	"diablo/internal/sim"
 	"diablo/internal/types"
@@ -98,6 +99,7 @@ func (e *Engine) propose() {
 		e.net.Sched.AfterKind(sim.KindConsensus, retryIdle, e.propose)
 		return
 	}
+	e.net.MaybeEquivocate(coordinator, blk, e.quorum())
 	round := e.round
 	size := len(e.net.Nodes)
 	st := &roundState{
@@ -160,9 +162,14 @@ func (e *Engine) onBlock(idx int, round uint64) {
 	})
 }
 
-// castVote broadcasts a vote exactly once per node and phase.
+// castVote broadcasts a vote exactly once per node and phase. A node
+// inside a WithholdVotes window drops the attempt without marking it
+// sent, so a later quorum trigger retries once the window clears.
 func (e *Engine) castVote(idx int, v vote, st *roundState, sent *bool) {
 	if *sent {
+		return
+	}
+	if e.net.VoteWithheld(idx) {
 		return
 	}
 	*sent = true
@@ -221,3 +228,12 @@ func (e *Engine) advance() {
 
 // ConsensusStats exposes round counters to the metrics registry.
 func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Rounds, 0 }
+
+// ByzantineBehaviors implements chain.ByzantineSupport: the coordinator
+// assembles the superblock and every node votes, so all hooks apply.
+func (e *Engine) ByzantineBehaviors() []adversary.Kind {
+	return []adversary.Kind{
+		adversary.Equivocate, adversary.WithholdVotes, adversary.CorruptPayload,
+		adversary.Censor, adversary.Replay,
+	}
+}

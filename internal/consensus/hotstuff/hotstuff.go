@@ -11,6 +11,7 @@ package hotstuff
 import (
 	"time"
 
+	"diablo/internal/adversary"
 	"diablo/internal/chains/chain"
 	"diablo/internal/sim"
 	"diablo/internal/types"
@@ -129,6 +130,7 @@ func (e *Engine) propose() {
 	view := e.view
 	e.blocks[view] = blk
 	e.costs[view] = cost
+	e.net.MaybeEquivocate(leader, blk, e.quorum())
 	e.anyProposed = true
 	if len(blk.Txs) > 0 {
 		e.lastNonEmpty = view
@@ -182,6 +184,9 @@ func (e *Engine) onProposal(idx int, p proposal) {
 	view := p.view
 	e.net.Sched.AfterKind(sim.KindConsensus, validation, func() {
 		if e.stopped || e.view != view {
+			return
+		}
+		if e.net.VoteWithheld(idx) {
 			return
 		}
 		if idx == next {
@@ -256,3 +261,12 @@ func (e *Engine) onTimeout() {
 
 // ConsensusStats exposes view counters to the metrics registry.
 func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Views, 0 }
+
+// ByzantineBehaviors implements chain.ByzantineSupport: the leader-based
+// three-chain protocol exposes every hook point.
+func (e *Engine) ByzantineBehaviors() []adversary.Kind {
+	return []adversary.Kind{
+		adversary.Equivocate, adversary.WithholdVotes, adversary.CorruptPayload,
+		adversary.Censor, adversary.Replay,
+	}
+}

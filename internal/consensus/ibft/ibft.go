@@ -10,6 +10,7 @@ package ibft
 import (
 	"time"
 
+	"diablo/internal/adversary"
 	"diablo/internal/chains/chain"
 	"diablo/internal/sim"
 	"diablo/internal/types"
@@ -117,6 +118,7 @@ func (e *Engine) propose() {
 		st.cost = cost
 		e.seq = blk.Number
 		e.states[e.seq] = st
+		e.net.MaybeEquivocate(leader, blk, e.quorum())
 	} else {
 		// Round change: reset the vote state for the retry.
 		nd := e.newState(len(e.net.Nodes))
@@ -165,6 +167,9 @@ func (e *Engine) onPrePrepare(idx int, seq uint64, round int) {
 // broadcastVote sends a vote from node idx to every node (including a
 // local self-delivery, as real implementations count their own vote).
 func (e *Engine) broadcastVote(idx int, v vote) {
+	if e.net.VoteWithheld(idx) {
+		return
+	}
 	e.onVote(idx, v)
 	for i := range e.net.Nodes {
 		if i != idx {
@@ -239,3 +244,12 @@ func (e *Engine) onTimeout() {
 
 // ConsensusStats exposes round counters to the metrics registry.
 func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Rounds, e.RoundChanges }
+
+// ByzantineBehaviors implements chain.ByzantineSupport: the leader-based
+// three-phase protocol exposes every hook point.
+func (e *Engine) ByzantineBehaviors() []adversary.Kind {
+	return []adversary.Kind{
+		adversary.Equivocate, adversary.WithholdVotes, adversary.CorruptPayload,
+		adversary.Censor, adversary.Replay,
+	}
+}

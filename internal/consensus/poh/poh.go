@@ -13,6 +13,7 @@ package poh
 import (
 	"time"
 
+	"diablo/internal/adversary"
 	"diablo/internal/chains/chain"
 	"diablo/internal/sim"
 )
@@ -116,7 +117,7 @@ func (e *Engine) tick() {
 		e.net.DeliverBlock(idx, blk)
 		// TowerBFT vote to the upcoming leader.
 		next := e.leaderOf(slot + 1)
-		if idx != next {
+		if idx != next && !e.net.VoteWithheld(idx) {
 			e.net.Nodes[idx].Send(next, voteSize, voteMsg{slot: slot})
 		}
 	})
@@ -137,3 +138,13 @@ func (e *Engine) onMessage(idx int, payload any) {
 // ConsensusStats exposes slot counters to the metrics registry; skipped
 // slots are the "view change" analogue of a slot-driven chain.
 func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Slots, e.SkippedSlots }
+
+// ByzantineBehaviors implements chain.ByzantineSupport. No Equivocate:
+// PoH forks are resolved by the 30-block confirmation depth rather than
+// quorum intersection, so conflicting slot streams model as liveness
+// delay, not commit divergence.
+func (e *Engine) ByzantineBehaviors() []adversary.Kind {
+	return []adversary.Kind{
+		adversary.WithholdVotes, adversary.CorruptPayload, adversary.Censor, adversary.Replay,
+	}
+}

@@ -14,6 +14,7 @@ package raft
 import (
 	"time"
 
+	"diablo/internal/adversary"
 	"diablo/internal/chains/chain"
 	"diablo/internal/sim"
 	"diablo/internal/types"
@@ -304,3 +305,9 @@ func (e *Engine) deliverUpTo(at int, commit uint64) {
 // ConsensusStats exposes replication counters to the metrics registry;
 // elections are the protocol's leader-change signal.
 func (e *Engine) ConsensusStats() (uint64, uint64) { return e.commitIdx, e.Elections }
+
+// ByzantineBehaviors implements chain.ByzantineSupport: none. Raft is
+// crash-fault-tolerant only — its correctness argument assumes no
+// Byzantine participants, so scheduling any byzantine behavior against a
+// raft deployment is a configuration error.
+func (e *Engine) ByzantineBehaviors() []adversary.Kind { return nil }

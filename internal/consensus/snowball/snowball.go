@@ -12,6 +12,7 @@ package snowball
 import (
 	"time"
 
+	"diablo/internal/adversary"
 	"diablo/internal/chains/chain"
 	"diablo/internal/sim"
 	"diablo/internal/types"
@@ -30,6 +31,12 @@ const paceInterval = 2600 * time.Millisecond
 
 // retryIdle is the proposer's idle re-check interval.
 const retryIdle = 250 * time.Millisecond
+
+// queryTimeout is how long a sampler waits for a chit before re-sampling.
+// It is only armed in adversarial runs (a Byzantine peer may withhold its
+// chit or corrupt the query); in benign runs every query is answered and
+// the timeout would be dead weight in the event stream.
+const queryTimeout = 500 * time.Millisecond
 
 type query struct {
 	round uint64
@@ -164,13 +171,27 @@ func (e *Engine) sampleOnce(idx int, round uint64) {
 		return
 	}
 	e.net.Nodes[idx].Send(peer, querySize, query{round: round})
+	if e.net.ByzantineActive() {
+		conf := st.confidence[idx]
+		e.net.Sched.AfterKind(sim.KindConsensus, queryTimeout, func() {
+			cur := e.rounds[round]
+			if e.stopped || cur == nil || cur.accepted[idx] || cur.confidence[idx] != conf {
+				return
+			}
+			e.sampleOnce(idx, round)
+		})
+	}
 }
 
 func (e *Engine) onMessage(at, from int, payload any) {
 	switch m := payload.(type) {
 	case query:
 		// Respond with a chit: with a single proposal per round there is
-		// no conflicting preference to report.
+		// no conflicting preference to report. A withholding node stays
+		// silent; the sampler's query timeout re-samples elsewhere.
+		if e.net.VoteWithheld(at) {
+			return
+		}
 		e.net.Nodes[at].Send(from, querySize, chit{round: m.round})
 	case chit:
 		e.onChit(at, m)
@@ -226,3 +247,12 @@ func (e *Engine) scheduleNext(d time.Duration) {
 
 // ConsensusStats exposes round counters to the metrics registry.
 func (e *Engine) ConsensusStats() (uint64, uint64) { return e.Rounds, 0 }
+
+// ByzantineBehaviors implements chain.ByzantineSupport. No Equivocate:
+// metastable sampling has no quorum certificates to split — conflicting
+// proposals resolve to one preference by the sampling dynamics.
+func (e *Engine) ByzantineBehaviors() []adversary.Kind {
+	return []adversary.Kind{
+		adversary.WithholdVotes, adversary.CorruptPayload, adversary.Censor, adversary.Replay,
+	}
+}

@@ -1,0 +1,151 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"diablo/internal/snapshot"
+	"diablo/internal/types"
+)
+
+func txid(b byte) types.Hash {
+	var h types.Hash
+	h[0] = b
+	return h
+}
+
+func TestNilMonitorIsInert(t *testing.T) {
+	var m *Monitor
+	m.OnAdmit(txid(1), 0, time.Second)
+	m.OnInclude(txid(1), 1, time.Second)
+	m.OnCommit(0, 1, txid(2), time.Second)
+	m.Finalize(time.Minute)
+	m.Instrument(nil, nil)
+	if m.Violations() != nil || m.Checked() != nil || m.Horizon() != 0 {
+		t.Fatal("nil monitor reported state")
+	}
+}
+
+func TestCheckedReflectsHorizon(t *testing.T) {
+	if got := NewMonitor(0).Checked(); len(got) != 3 || got[2] != "integrity" {
+		t.Fatalf("Checked() without horizon = %v", got)
+	}
+	if got := NewMonitor(time.Minute).Checked(); len(got) != 4 || got[3] != "inclusion" {
+		t.Fatalf("Checked() with horizon = %v", got)
+	}
+}
+
+func TestAgreementViolation(t *testing.T) {
+	m := NewMonitor(0)
+	good, bad := txid(0xaa), txid(0xbb)
+	m.OnCommit(0, 5, good, 10*time.Second)
+	m.OnCommit(1, 5, good, 11*time.Second) // matching commit: fine
+	m.OnCommit(2, 5, bad, 12*time.Second)  // conflicting commit: violation
+	m.OnCommit(3, 5, bad, 13*time.Second)  // same height: flagged only once
+	vs := m.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1", len(vs))
+	}
+	v := vs[0]
+	if v.Invariant != "agreement" || v.VTime != 12*time.Second || v.Height != 5 ||
+		len(v.Nodes) != 2 || v.Nodes[0] != 0 || v.Nodes[1] != 2 {
+		t.Fatalf("violation = %+v", v)
+	}
+	want := `invariant "agreement" violated at 12s height 5 nodes 0,2: node 0 committed aa00000000000000, node 2 committed bb00000000000000`
+	if v.String() != want {
+		t.Fatalf("String() = %q, want %q", v.String(), want)
+	}
+}
+
+func TestValidityViolation(t *testing.T) {
+	m := NewMonitor(0)
+	m.OnAdmit(txid(1), 2, time.Second)
+	m.OnInclude(txid(1), 3, 5*time.Second) // admitted then included: fine
+	m.OnInclude(txid(9), 3, 6*time.Second) // never admitted: violation
+	vs := m.Violations()
+	if len(vs) != 1 || vs[0].Invariant != "validity" || !vs[0].HasTx || vs[0].Tx != txid(9) {
+		t.Fatalf("violations = %+v", vs)
+	}
+}
+
+func TestIntegrityViolation(t *testing.T) {
+	m := NewMonitor(0)
+	m.OnAdmit(txid(1), 2, time.Second)
+	m.OnInclude(txid(1), 3, 5*time.Second)
+	m.OnInclude(txid(1), 7, 9*time.Second) // second inclusion: violation
+	vs := m.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1", len(vs))
+	}
+	v := vs[0]
+	if v.Invariant != "integrity" || v.Height != 7 || len(v.Nodes) != 1 || v.Nodes[0] != 2 ||
+		!strings.Contains(v.Detail, "already committed at height 3") {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestInclusionViolationOrdering(t *testing.T) {
+	m := NewMonitor(30 * time.Second)
+	// Two stuck transactions admitted out of id order, one in time: the
+	// report must order by admission time, then id.
+	m.OnAdmit(txid(9), 1, 2*time.Second)
+	m.OnAdmit(txid(3), 0, 2*time.Second)
+	m.OnAdmit(txid(5), 2, 4*time.Second)
+	m.OnAdmit(txid(7), 3, 50*time.Second) // inside horizon at finalize: not stuck
+	m.OnAdmit(txid(1), 0, time.Second)
+	m.OnInclude(txid(1), 2, 10*time.Second) // included: not stuck
+	m.Finalize(60 * time.Second)
+	vs := m.Violations()
+	if len(vs) != 3 {
+		t.Fatalf("got %d violations, want 3: %+v", len(vs), vs)
+	}
+	wantTx := []types.Hash{txid(3), txid(9), txid(5)}
+	for i, v := range vs {
+		if v.Invariant != "inclusion" || v.Tx != wantTx[i] {
+			t.Fatalf("violation %d = %+v, want tx %x", i, v, wantTx[i][0])
+		}
+	}
+	if !strings.Contains(vs[0].Detail, "admitted at 2s, still uncommitted after 30s horizon") {
+		t.Fatalf("detail = %q", vs[0].Detail)
+	}
+	// Zero horizon disarms the liveness check entirely.
+	m2 := NewMonitor(0)
+	m2.OnAdmit(txid(1), 0, time.Second)
+	m2.Finalize(time.Hour)
+	if len(m2.Violations()) != 0 {
+		t.Fatal("disarmed inclusion monitor still reported")
+	}
+}
+
+// TestSnapshotDigestTracksState requires the monitor snapshot to be
+// deterministic for equal observation sequences and different for
+// different ones — map iteration order must not leak into the digest.
+func TestSnapshotDigestTracksState(t *testing.T) {
+	observe := func() *Monitor {
+		m := NewMonitor(time.Minute)
+		for i := byte(0); i < 20; i++ {
+			m.OnAdmit(txid(i), int(i%4), time.Duration(i)*time.Second)
+		}
+		for i := byte(0); i < 10; i++ {
+			m.OnInclude(txid(i), uint64(i/2+1), 30*time.Second)
+		}
+		m.OnCommit(0, 1, txid(100), 31*time.Second)
+		m.OnCommit(1, 1, txid(101), 32*time.Second)
+		return m
+	}
+	capture := func(m *Monitor) []byte {
+		e := snapshot.NewEncoder()
+		m.SnapshotState(e)
+		return e.Payload()
+	}
+	a, b := capture(observe()), capture(observe())
+	if string(a) != string(b) {
+		t.Fatal("equal observation sequences produced different snapshot payloads")
+	}
+	m := observe()
+	m.OnAdmit(txid(200), 0, 40*time.Second)
+	if string(capture(m)) == string(a) {
+		t.Fatal("extra admission did not change the snapshot payload")
+	}
+}

@@ -57,6 +57,8 @@ func DefaultDeterministic(modPath string) []string {
 		modPath + "/internal/chains",
 		modPath + "/internal/consensus",
 		modPath + "/internal/chaos",
+		modPath + "/internal/adversary",
+		modPath + "/internal/invariant",
 		modPath + "/internal/mempool",
 		modPath + "/internal/snapshot",
 		modPath + "/internal/core",

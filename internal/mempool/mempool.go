@@ -137,6 +137,10 @@ type TakeSpec struct {
 	// Solana invalidates transactions whose recent blockhash is more than
 	// ~120 seconds old (§5.2).
 	MaxAge time.Duration
+	// Skip, when set, excludes (but keeps pooled) entries the proposer
+	// refuses to pack — a censoring Byzantine proposer. Skipped entries
+	// stay visible to honest proposers.
+	Skip func(tx *types.Transaction, origin int) bool
 }
 
 // Take removes and returns up to maxTxs transactions visible to the viewer
@@ -170,6 +174,11 @@ func (p *Pool) TakeWith(spec TakeSpec) []*types.Transaction {
 			continue
 		}
 		if p.visible != nil && e.Seen+p.visible(e.Origin, spec.Viewer) > spec.Now {
+			kept = append(kept, e)
+			continue
+		}
+		if spec.Skip != nil && spec.Skip(e.Tx, e.Origin) {
+			// Censored by this proposer: stays pooled for honest ones.
 			kept = append(kept, e)
 			continue
 		}

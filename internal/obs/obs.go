@@ -37,6 +37,9 @@ const (
 	KindBlock   = "block"   // a block was assembled and entered the chain
 	KindFault   = "fault"   // a chaos fault was applied or cleared
 	KindSample  = "sample"  // one registry sampling tick (vals match meta's metrics)
+
+	KindByzantine = "byzantine" // a byzantine behavior window applied/cleared/fired
+	KindViolation = "violation" // an invariant monitor detected a violation
 )
 
 // Tracer emits lifecycle events as JSONL. All methods are safe on a nil
@@ -297,6 +300,38 @@ func (t *Tracer) Fault(at time.Duration, phase, note string) {
 	t.head(at, KindFault)
 	t.strField("phase", phase)
 	t.strField("note", note)
+	t.end()
+}
+
+// Byzantine records an adversary transition; phase is "apply", "clear",
+// "equivocate" or "defended".
+func (t *Tracer) Byzantine(at time.Duration, phase, note string) {
+	if t == nil {
+		return
+	}
+	t.head(at, KindByzantine)
+	t.strField("phase", phase)
+	t.strField("note", note)
+	t.end()
+}
+
+// Violation records an invariant monitor detecting a breach.
+func (t *Tracer) Violation(at time.Duration, invariant string, height uint64, nodes []int, detail string) {
+	if t == nil {
+		return
+	}
+	t.head(at, KindViolation)
+	t.strField("invariant", invariant)
+	t.uintField("height", height)
+	t.buf = append(t.buf, `,"nodes":[`...)
+	for i, n := range nodes {
+		if i > 0 {
+			t.buf = append(t.buf, ',')
+		}
+		t.buf = strconv.AppendInt(t.buf, int64(n), 10)
+	}
+	t.buf = append(t.buf, ']')
+	t.strField("detail", detail)
 	t.end()
 }
 

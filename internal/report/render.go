@@ -64,6 +64,49 @@ func RenderRecovery(w io.Writer, rec *collect.Recovery) {
 	}
 }
 
+// RenderInvariants prints the invariant monitors' verdict: the checked
+// set and every violation with its virtual time, height and nodes.
+func RenderInvariants(w io.Writer, inv *collect.InvariantReport) {
+	if inv == nil {
+		return
+	}
+	if len(inv.Violations) == 0 {
+		fmt.Fprintf(w, "invariants: %s — all hold\n", strings.Join(inv.Checked, ", "))
+		return
+	}
+	fmt.Fprintf(w, "invariants: %s — %d violation(s)\n",
+		strings.Join(inv.Checked, ", "), len(inv.Violations))
+	for _, v := range inv.Violations {
+		fmt.Fprintf(w, "  %s at %.3f s", v.Invariant, v.VTimeS)
+		if v.Height > 0 {
+			fmt.Fprintf(w, " height %d", v.Height)
+		}
+		if len(v.Nodes) > 0 {
+			nums := make([]string, len(v.Nodes))
+			for i, n := range v.Nodes {
+				nums[i] = fmt.Sprint(n)
+			}
+			fmt.Fprintf(w, " nodes %s", strings.Join(nums, ","))
+		}
+		if v.Tx != "" {
+			fmt.Fprintf(w, " tx %s", v.Tx)
+		}
+		fmt.Fprintf(w, ": %s\n", v.Detail)
+	}
+}
+
+// RenderAdversary prints the Byzantine engine's counters for a run that
+// carried a scripted adversary.
+func RenderAdversary(w io.Writer, adv *collect.AdversarySummary) {
+	if adv == nil {
+		return
+	}
+	fmt.Fprintf(w, "adversary: %d windows; equivocations %d (defended %d), votes withheld %d, "+
+		"corrupted %d (discarded %d), censored %d, replayed %d\n",
+		adv.Windows, adv.Equivocations, adv.Defended, adv.Withheld,
+		adv.Corrupted, adv.Discarded, adv.Censored, adv.Replayed)
+}
+
 // WriteCellsCSV emits the raw cells.
 func WriteCellsCSV(w io.Writer, cells []Cell) {
 	fmt.Fprintln(w, "chain,config,workload,load_tps,throughput_tps,avg_latency_s,commit_ratio,dropped,aborted,crashed,deploy_err")

@@ -16,11 +16,19 @@ import (
 //
 //	"DSNP" magic · u16 big-endian version · gzip(body)
 //
-// body:
+// body (version 1):
 //
 //	meta payload (length-prefixed labeled fields)
 //	u16 section count
 //	per section: name · payload length · payload · fnv64 digest
+//
+// Version 2 adds delta encoding: a flag byte follows each section name;
+// flag 1 marks an elided section whose payload byte-for-byte equals the
+// same section of the base checkpoint named by the meta's delta_base
+// virtual time — only the digest is stored, and the payload is resolved
+// from the base file on read. Encode emits version 2 only when at least
+// one section is elided, so full checkpoints stay byte-identical to the
+// version-1 format.
 //
 // The gzip writer is created with a zero ModTime (the zero value of
 // gzip.Header, same trick as internal/obs), so a checkpoint's bytes are a
@@ -28,6 +36,9 @@ import (
 const (
 	magic   = "DSNP"
 	Version = 1
+	// VersionDelta is the delta-encoded format: unchanged sections are
+	// stored as digests only, resolved against the delta_base checkpoint.
+	VersionDelta = 2
 )
 
 // Meta describes the run a checkpoint belongs to. SpecHash ties a
@@ -39,13 +50,20 @@ type Meta struct {
 	SpecHash uint64        // FNV-1a over raw setup+workload spec bytes
 	Interval time.Duration // checkpoint cadence of the recording run
 	Chain    string
+	// DeltaBase is the virtual time of the checkpoint this file's elided
+	// sections resolve against (version 2 only; zero = no base).
+	DeltaBase time.Duration
 }
 
-// Section is one subsystem's serialized state.
+// Section is one subsystem's serialized state. An Elided section carries
+// no payload of its own: its bytes equal the same-named section of the
+// delta-base checkpoint (the digest still describes the full payload, so
+// resolution is verified).
 type Section struct {
 	Name    string
 	Payload []byte
 	Digest  uint64
+	Elided  bool
 }
 
 // File is a decoded checkpoint.
@@ -71,6 +89,11 @@ func (m Meta) encode() []byte {
 	e.U64("spec_hash", m.SpecHash)
 	e.Dur("interval", m.Interval)
 	e.Str("chain", m.Chain)
+	// delta_base rides only in version-2 files, keeping the version-1
+	// byte format pinned.
+	if m.DeltaBase > 0 {
+		e.Dur("delta_base", m.DeltaBase)
+	}
 	return e.Payload()
 }
 
@@ -94,6 +117,9 @@ func decodeMeta(payload []byte) (Meta, error) {
 	}
 	if f, ok := d.Lookup("chain"); ok {
 		m.Chain = f.S
+	}
+	if f, ok := d.Lookup("delta_base"); ok {
+		m.DeltaBase = time.Duration(f.I)
 	}
 	return m, nil
 }
@@ -124,6 +150,13 @@ func (f *File) Encode() ([]byte, error) {
 	if len(f.Sections) > 0xffff {
 		return nil, fmt.Errorf("snapshot: %d sections exceed format limit", len(f.Sections))
 	}
+	version := uint16(Version)
+	for _, s := range f.Sections {
+		if s.Elided {
+			version = VersionDelta
+			break
+		}
+	}
 	writeU16(uint16(len(f.Sections)))
 	for _, s := range f.Sections {
 		if len(s.Name) > 0xff {
@@ -131,6 +164,14 @@ func (f *File) Encode() ([]byte, error) {
 		}
 		body.WriteByte(byte(len(s.Name)))
 		body.WriteString(s.Name)
+		if version == VersionDelta {
+			if s.Elided {
+				body.WriteByte(1)
+				writeU64(s.Digest)
+				continue
+			}
+			body.WriteByte(0)
+		}
 		writeU32(uint32(len(s.Payload)))
 		body.Write(s.Payload)
 		writeU64(s.Digest)
@@ -139,7 +180,7 @@ func (f *File) Encode() ([]byte, error) {
 	var out bytes.Buffer
 	out.WriteString(magic)
 	var ver [2]byte
-	binary.BigEndian.PutUint16(ver[:], Version)
+	binary.BigEndian.PutUint16(ver[:], version)
 	out.Write(ver[:])
 	zw := gzip.NewWriter(&out) // zero Header => zero ModTime => deterministic
 	if _, err := zw.Write(body.Bytes()); err != nil {
@@ -161,8 +202,8 @@ func Decode(b []byte) (*File, error) {
 		return nil, fmt.Errorf("snapshot: bad magic %q", b[:len(magic)])
 	}
 	ver := binary.BigEndian.Uint16(b[len(magic):])
-	if ver != Version {
-		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", ver, Version)
+	if ver != Version && ver != VersionDelta {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d or %d)", ver, Version, VersionDelta)
 	}
 	zr, err := gzip.NewReader(bytes.NewReader(b[len(magic)+2:]))
 	if err != nil {
@@ -212,6 +253,24 @@ func Decode(b []byte) (*File, error) {
 		nameRaw, err := r.take(uint64(nameLen))
 		if err != nil {
 			return nil, err
+		}
+		if ver == VersionDelta {
+			flag, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			if flag == 1 {
+				digRaw, err := r.take(8)
+				if err != nil {
+					return nil, err
+				}
+				f.Sections = append(f.Sections, Section{
+					Name:   string(nameRaw),
+					Digest: binary.BigEndian.Uint64(digRaw),
+					Elided: true,
+				})
+				continue
+			}
 		}
 		payLen, err := u32()
 		if err != nil {
@@ -264,7 +323,9 @@ func (f *File) WriteFile(dir string) (string, error) {
 	return path, nil
 }
 
-// ReadFile loads and decodes one checkpoint.
+// ReadFile loads and decodes one checkpoint. Elided sections of a
+// delta-encoded file are returned as-is (digest only, no payload); use
+// ReadResolved when the payloads are needed.
 func ReadFile(path string) (*File, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -277,13 +338,68 @@ func ReadFile(path string) (*File, error) {
 	return f, nil
 }
 
-// LoadDir loads every *.snap checkpoint in dir, sorted by virtual time.
+// resolveAgainst fills f's elided sections from base, verifying each
+// resolved payload against the stored digest. Delta encoding only elides
+// a section when the previous checkpoint carried it in full, so the
+// immediate base file always has the payload.
+func (f *File) resolveAgainst(base *File) error {
+	for i := range f.Sections {
+		s := &f.Sections[i]
+		if !s.Elided {
+			continue
+		}
+		bs := base.Section(s.Name)
+		if bs == nil || bs.Elided {
+			return fmt.Errorf("snapshot: elided section %q has no full copy in base checkpoint %s", s.Name, base.Meta.VTime)
+		}
+		if got := Digest(bs.Payload); got != s.Digest {
+			return fmt.Errorf("snapshot: section %q resolved from base checkpoint %s has digest %016x, want %016x",
+				s.Name, base.Meta.VTime, got, s.Digest)
+		}
+		s.Payload = append([]byte(nil), bs.Payload...)
+		s.Elided = false
+	}
+	return nil
+}
+
+// ReadResolved loads one checkpoint and, when it is delta-encoded,
+// resolves its elided sections from the delta-base checkpoint in the same
+// directory.
+func ReadResolved(path string) (*File, error) {
+	f, err := ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	elided := false
+	for _, s := range f.Sections {
+		if s.Elided {
+			elided = true
+			break
+		}
+	}
+	if !elided {
+		return f, nil
+	}
+	basePath := filepath.Join(filepath.Dir(path), FileName(f.Meta.DeltaBase))
+	base, err := ReadFile(basePath)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading delta base of %s: %w", path, err)
+	}
+	if err := f.resolveAgainst(base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// LoadDir loads every *.snap checkpoint in dir, sorted by virtual time,
+// resolving delta-encoded files against their base checkpoints.
 func LoadDir(dir string) ([]*File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var files []*File
+	byVTime := map[time.Duration]*File{}
 	for _, e := range entries {
 		if e.IsDir() || filepath.Ext(e.Name()) != ".snap" {
 			continue
@@ -293,7 +409,28 @@ func LoadDir(dir string) ([]*File, error) {
 			return nil, err
 		}
 		files = append(files, f)
+		byVTime[f.Meta.VTime] = f
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].Meta.VTime < files[j].Meta.VTime })
+	for _, f := range files {
+		needs := false
+		for _, s := range f.Sections {
+			if s.Elided {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			continue
+		}
+		base := byVTime[f.Meta.DeltaBase]
+		if base == nil {
+			return nil, fmt.Errorf("snapshot: checkpoint %s in %s needs delta base %s, which is not in the directory",
+				f.Meta.VTime, dir, f.Meta.DeltaBase)
+		}
+		if err := f.resolveAgainst(base); err != nil {
+			return nil, err
+		}
+	}
 	return files, nil
 }

@@ -1,0 +1,225 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// deltaRecorder returns a two-section recorder whose "hot" section
+// changes every capture and whose "cold" section never does — the shape
+// delta encoding exists for.
+func deltaRecorder(t *testing.T, dir string) (*Recorder, *counter) {
+	t.Helper()
+	hot := &counter{n: 0, name: "hot"}
+	rec := NewRecorder(Meta{Seed: 7, SpecHash: 11, Interval: 25 * time.Second, Chain: "quorum"}, dir)
+	rec.Delta = true
+	rec.Register("hot", hot)
+	rec.Register("cold", &counter{n: 99, name: "cold"})
+	return rec, hot
+}
+
+// TestDeltaAlternatesFullAndElided locks in the file-level alternation:
+// the first checkpoint is always full, the second elides the unchanged
+// section against it, and the third — whose predecessor was a delta —
+// is full again, so every delta file resolves from exactly its
+// immediate predecessor.
+func TestDeltaAlternatesFullAndElided(t *testing.T) {
+	dir := t.TempDir()
+	rec, hot := deltaRecorder(t, dir)
+	for i, vt := range []time.Duration{25 * time.Second, 50 * time.Second, 75 * time.Second} {
+		hot.n = uint64(i)
+		if _, err := rec.WriteCheckpoint(vt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wantElided := []bool{false, true, false}
+	for i, path := range rec.Written {
+		f, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold := f.Section("cold")
+		if cold.Elided != wantElided[i] {
+			t.Errorf("checkpoint %d: cold elided = %v, want %v", i, cold.Elided, wantElided[i])
+		}
+		if f.Section("hot").Elided {
+			t.Errorf("checkpoint %d: the always-changing hot section was elided", i)
+		}
+	}
+
+	// The delta file names its base and is smaller than the full one.
+	f1, err := ReadFile(rec.Written[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Meta.DeltaBase != 25*time.Second {
+		t.Fatalf("DeltaBase = %s, want 25s", f1.Meta.DeltaBase)
+	}
+
+	// ReadResolved restores the elided payload, verified by digest, and
+	// the resolved file verifies against matching live state.
+	rf, err := ReadResolved(rec.Written[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := rf.Section("cold")
+	if cold.Elided || len(cold.Payload) == 0 {
+		t.Fatal("ReadResolved left the cold section elided")
+	}
+	if Digest(cold.Payload) != cold.Digest {
+		t.Fatal("resolved payload does not match the stored digest")
+	}
+	hot.n = 1
+	if err := rec.Verify(rf); err != nil {
+		t.Fatalf("resolved checkpoint failed verification: %v", err)
+	}
+}
+
+func TestVerifyRejectsUnresolvedDelta(t *testing.T) {
+	dir := t.TempDir()
+	rec, _ := deltaRecorder(t, dir)
+	for _, vt := range []time.Duration{25 * time.Second, 50 * time.Second} {
+		if _, err := rec.WriteCheckpoint(vt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := ReadFile(rec.Written[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rec.Verify(f)
+	if err == nil || !strings.Contains(err.Error(), "ReadResolved") {
+		t.Fatalf("Verify on an unresolved delta = %v, want ReadResolved hint", err)
+	}
+}
+
+func TestDeltaRoundTripBytes(t *testing.T) {
+	// A hand-built delta file must encode/decode losslessly, and the
+	// elided section must carry no payload bytes.
+	f := &File{
+		Meta: Meta{VTime: 50 * time.Second, Seed: 1, Chain: "quorum", DeltaBase: 25 * time.Second},
+		Sections: []Section{
+			{Name: "hot", Payload: []byte{1, 2, 3}, Digest: Digest([]byte{1, 2, 3})},
+			{Name: "cold", Digest: 0xdeadbeef, Elided: true},
+		},
+	}
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[4] != 0 || b[5] != VersionDelta {
+		t.Fatalf("version bytes = %d %d, want 0 %d", b[4], b[5], VersionDelta)
+	}
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Meta.DeltaBase != 25*time.Second {
+		t.Fatalf("DeltaBase round-trip = %s", g.Meta.DeltaBase)
+	}
+	cold := g.Section("cold")
+	if !cold.Elided || cold.Digest != 0xdeadbeef || len(cold.Payload) != 0 {
+		t.Fatalf("elided section round-trip = %+v", cold)
+	}
+	// A file with no elided sections still encodes as version 1.
+	full := &File{
+		Meta:     Meta{VTime: 25 * time.Second, Seed: 1, Chain: "quorum"},
+		Sections: []Section{{Name: "hot", Payload: []byte{1}, Digest: Digest([]byte{1})}},
+	}
+	fb, err := full.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb[5] != Version {
+		t.Fatalf("full file encoded as version %d, want %d", fb[5], Version)
+	}
+}
+
+func TestResolveDetectsWrongBase(t *testing.T) {
+	delta := &File{
+		Meta: Meta{VTime: 50 * time.Second, DeltaBase: 25 * time.Second},
+		Sections: []Section{
+			{Name: "cold", Digest: Digest([]byte("expected")), Elided: true},
+		},
+	}
+	base := &File{
+		Meta: Meta{VTime: 25 * time.Second},
+		Sections: []Section{
+			{Name: "cold", Payload: []byte("tampered"), Digest: Digest([]byte("tampered"))},
+		},
+	}
+	err := delta.resolveAgainst(base)
+	if err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("wrong-base resolution = %v, want digest error", err)
+	}
+	missing := &File{Meta: Meta{VTime: 25 * time.Second}}
+	err = delta.resolveAgainst(missing)
+	if err == nil || !strings.Contains(err.Error(), "no full copy") {
+		t.Fatalf("missing-section resolution = %v, want no-full-copy error", err)
+	}
+}
+
+func TestPruneKeepsDeltaBase(t *testing.T) {
+	dir := t.TempDir()
+	rec, hot := deltaRecorder(t, dir)
+	for i, vt := range []time.Duration{25 * time.Second, 50 * time.Second, 75 * time.Second, 100 * time.Second} {
+		hot.n = uint64(i)
+		if _, err := rec.WriteCheckpoint(vt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Files: 25s full, 50s delta(25s), 75s full, 100s delta(75s).
+	// keep=2 would cut at 75s, which is full: 25s and 50s go.
+	if err := rec.Prune(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Written) != 2 || filepath.Base(rec.Written[0]) != FileName(75*time.Second) {
+		t.Fatalf("Written after prune = %v", rec.Written)
+	}
+	// Everything left must still load and resolve.
+	files, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("LoadDir found %d files, want 2", len(files))
+	}
+
+	// Now keep=1: the oldest survivor would be the 100s delta, so its
+	// 75s base must survive too.
+	if err := rec.Prune(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Written) != 2 {
+		t.Fatalf("prune dropped the delta base: %v", rec.Written)
+	}
+	if _, err := ReadResolved(rec.Written[1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDirMissingBaseErrors(t *testing.T) {
+	dir := t.TempDir()
+	rec, hot := deltaRecorder(t, dir)
+	for i, vt := range []time.Duration{25 * time.Second, 50 * time.Second} {
+		hot.n = uint64(i)
+		if _, err := rec.WriteCheckpoint(vt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(rec.Written[0]); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDir(dir)
+	if err == nil || !strings.Contains(err.Error(), "needs delta base") {
+		t.Fatalf("LoadDir with missing base = %v, want needs-delta-base error", err)
+	}
+	_, err = ReadResolved(rec.Written[1])
+	if err == nil || !strings.Contains(err.Error(), "reading delta base") {
+		t.Fatalf("ReadResolved with missing base = %v", err)
+	}
+}

@@ -65,8 +65,25 @@ type Recorder struct {
 	names   []string
 	staters []Stater
 
-	// Written accumulates the paths of checkpoints written so far.
-	Written []string
+	// Delta enables delta encoding: a section whose payload is
+	// byte-identical to the previous checkpoint's is stored as a digest
+	// only (format version 2). Delta files alternate with full files —
+	// a section is elided only when the previous checkpoint carried every
+	// section in full — so any delta file resolves against exactly its
+	// immediate predecessor.
+	Delta bool
+
+	// prevDigests remembers the last written checkpoint's section digests
+	// (delta encoding); prevVTime is its virtual time, prevWasDelta
+	// whether it elided anything.
+	prevDigests  map[string]uint64
+	prevVTime    time.Duration
+	prevWasDelta bool
+
+	// Written accumulates the paths of checkpoints written so far;
+	// writtenDelta marks which of them are delta-encoded.
+	Written      []string
+	writtenDelta []bool
 }
 
 // NewRecorder returns a recorder that writes checkpoints for the described
@@ -103,31 +120,68 @@ func (r *Recorder) Capture(vt time.Duration) *File {
 	return f
 }
 
-// WriteCheckpoint captures and persists one checkpoint.
+// WriteCheckpoint captures and persists one checkpoint, delta-encoding
+// unchanged sections against the previous checkpoint when Delta is on.
 func (r *Recorder) WriteCheckpoint(vt time.Duration) (string, error) {
-	path, err := r.Capture(vt).WriteFile(r.dir)
+	f := r.Capture(vt)
+	delta := false
+	if r.Delta && r.prevDigests != nil && !r.prevWasDelta {
+		for i := range f.Sections {
+			s := &f.Sections[i]
+			if prev, ok := r.prevDigests[s.Name]; ok && prev == s.Digest {
+				s.Payload = nil
+				s.Elided = true
+				delta = true
+			}
+		}
+		if delta {
+			f.Meta.DeltaBase = r.prevVTime
+		}
+	}
+	if r.Delta {
+		digests := make(map[string]uint64, len(f.Sections))
+		for _, s := range f.Sections {
+			digests[s.Name] = s.Digest
+		}
+		r.prevDigests = digests
+		r.prevVTime = vt
+		r.prevWasDelta = delta
+	}
+	path, err := f.WriteFile(r.dir)
 	if err != nil {
 		return "", err
 	}
 	r.Written = append(r.Written, path)
+	r.writtenDelta = append(r.writtenDelta, delta)
 	return path, nil
 }
 
 // Prune deletes the oldest written checkpoints until at most keep remain,
-// so multi-hour runs do not accumulate unbounded .snap files. Written is
-// trimmed to the surviving files (it is appended in virtual-time order, so
-// the head is always the oldest). keep <= 0 retains everything.
+// so multi-hour runs do not accumulate unbounded .snap files. When the
+// oldest survivor is delta-encoded, its base (the file just before it)
+// survives too, so every remaining checkpoint stays resolvable. Written
+// is trimmed to the surviving files (it is appended in virtual-time
+// order, so the head is always the oldest). keep <= 0 retains everything.
 func (r *Recorder) Prune(keep int) error {
 	if keep <= 0 || len(r.Written) <= keep {
 		return nil
 	}
-	drop := r.Written[:len(r.Written)-keep]
-	for _, path := range drop {
+	cut := len(r.Written) - keep
+	if len(r.writtenDelta) == len(r.Written) && r.writtenDelta[cut] {
+		cut--
+	}
+	if cut <= 0 {
+		return nil
+	}
+	for _, path := range r.Written[:cut] {
 		if err := os.Remove(path); err != nil {
 			return fmt.Errorf("snapshot: pruning checkpoint: %w", err)
 		}
 	}
-	r.Written = append(r.Written[:0:0], r.Written[len(r.Written)-keep:]...)
+	r.Written = append(r.Written[:0:0], r.Written[cut:]...)
+	if len(r.writtenDelta) >= cut {
+		r.writtenDelta = append(r.writtenDelta[:0:0], r.writtenDelta[cut:]...)
+	}
 	return nil
 }
 
@@ -136,6 +190,9 @@ func (r *Recorder) Prune(keep int) error {
 // f.Meta.VTime when this is called.
 func (r *Recorder) Verify(f *File) error {
 	for _, sec := range f.Sections {
+		if sec.Elided {
+			return fmt.Errorf("snapshot: section %q is delta-encoded; resolve the checkpoint (ReadResolved) before verifying", sec.Name)
+		}
 		idx := -1
 		for i, n := range r.names {
 			if n == sec.Name {

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"diablo/internal/adversary"
 	"diablo/internal/chains/chain"
 	"diablo/internal/chaos"
 	"diablo/internal/configs"
@@ -337,6 +338,14 @@ type Setup struct {
 	NodeScale int
 	// Faults is the chaos schedule from the `faults:` section (nil = none).
 	Faults *chaos.Schedule
+	// Byzantine is the adversary schedule from the `byzantine:` section
+	// (nil = none).
+	Byzantine *adversary.Schedule
+	// Invariants reports whether the spec armed the invariant monitors
+	// (an `invariants:` section is present); InclusionHorizon is its
+	// optional eventual-inclusion bound (zero = the run's tail).
+	Invariants       bool
+	InclusionHorizon time.Duration
 	// Retry is the client resubmission policy from the `retry:` section
 	// (zero = disabled).
 	Retry chain.RetryPolicy
@@ -393,19 +402,41 @@ func ParseSetup(src string) (*Setup, error) {
 		}
 		out.Retry = policy
 	}
+	nodes := cfg.Nodes
+	if out.NodeScale > 1 {
+		nodes = cfg.Scaled(out.NodeScale).Nodes
+	}
 	if f, ok := root.Get("faults"); ok {
 		sch, err := chaos.ParseEvents(f)
 		if err != nil {
 			return nil, fmt.Errorf("spec: %w", err)
 		}
-		nodes := cfg.Nodes
-		if out.NodeScale > 1 {
-			nodes = cfg.Scaled(out.NodeScale).Nodes
-		}
 		if err := sch.Validate(nodes); err != nil {
 			return nil, fmt.Errorf("spec: %w", err)
 		}
 		out.Faults = sch
+	}
+	if b, ok := root.Get("byzantine"); ok {
+		sch, err := adversary.ParseEvents(b)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		if err := sch.Validate(nodes); err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		out.Byzantine = sch
+	}
+	if inv, ok := root.Get("invariants"); ok {
+		out.Invariants = true
+		if inv != nil && inv.Kind == yamlite.Map {
+			if h, ok := inv.Get("horizon"); ok && h != nil && h.Kind == yamlite.Scalar {
+				d, err := time.ParseDuration(h.Value)
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("spec: invariants: bad horizon %q", h.Value)
+				}
+				out.InclusionHorizon = d
+			}
+		}
 	}
 	return out, nil
 }
