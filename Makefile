@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint lint-audit race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke adversary-smoke clean
+.PHONY: build test test-short vet lint lint-audit race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke adversary-smoke pexec-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,27 +21,29 @@ lint:
 lint-audit:
 	$(GO) run ./cmd/diablo-lint -audit ./...
 
-test: vet lint adversary-smoke
+test: vet lint adversary-smoke pexec-smoke
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
 
-# Race-detector pass over the packages the chaos engine and the parallel
-# sweep runner touch.
+# Race-detector pass over the packages the chaos engine, the parallel
+# sweep runner and the parallel block executor touch.
 race:
 	$(GO) test -race ./internal/sim ./internal/chaos ./internal/simnet \
 		./internal/chains/... ./internal/bench ./internal/core \
 		./internal/obs ./internal/collect ./internal/snapshot \
 		./internal/report ./internal/perfharness \
-		./internal/adversary ./internal/invariant
+		./internal/adversary ./internal/invariant ./internal/pexec
 
 # Tracked perf harness: scheduler events/sec, simnet msgs/sec, end-to-end
-# cell runtime and parallel-sweep speedup. Gates against the recorded
-# BENCH_PR4.json (fails on a >20% scheduler-throughput drop or a hot path
-# that allocates again), then re-records it.
+# cell runtime, parallel-sweep speedup and intra-block execution speedup.
+# Gates against the recorded BENCH_PR7.json (fails on a >20%
+# scheduler-throughput drop, a hot path that allocates again, or a
+# nondeterministic parallel pass — throughput ratios only gate when the
+# baseline ran at the same GOMAXPROCS), then re-records it.
 bench:
-	$(GO) run ./cmd/diablo bench --out=BENCH_PR4.json --baseline=BENCH_PR4.json
+	$(GO) run ./cmd/diablo bench --out=BENCH_PR7.json --baseline=BENCH_PR7.json
 
 # One Go benchmark per table/figure, reduced scale.
 bench-exhibits:
@@ -100,6 +102,28 @@ adversary-smoke:
 		specs/setup-quorum-byzantine-unsafe.yaml specs/workload-native-10.yaml
 	rm -f adv-a.json adv-b.json adv-a.norm.json adv-b.norm.json
 
+# Parallel-execution smoke test: the chaos spec and the contract workload
+# must produce byte-identical results (after wall_ms normalization) with
+# serial and 4-worker intra-block execution — the DESIGN.md §14 guarantee,
+# end to end through the CLI.
+pexec-smoke:
+	rm -f px-*.json
+	$(GO) run ./cmd/diablo run --exec-workers=1 --output=px-s1.json \
+		specs/setup-quorum-chaos.yaml specs/workload-native-10.yaml
+	$(GO) run ./cmd/diablo run --exec-workers=4 --output=px-s4.json \
+		specs/setup-quorum-chaos.yaml specs/workload-native-10.yaml
+	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-s1.json > px-s1.norm.json
+	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-s4.json > px-s4.norm.json
+	cmp px-s1.norm.json px-s4.norm.json
+	$(GO) run ./cmd/diablo run --exec-workers=1 --output=px-c1.json \
+		specs/setup-quorum.yaml specs/workload-contract-10.yaml
+	$(GO) run ./cmd/diablo run --exec-workers=4 --output=px-c4.json \
+		specs/setup-quorum.yaml specs/workload-contract-10.yaml
+	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-c1.json > px-c1.norm.json
+	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-c4.json > px-c4.norm.json
+	cmp px-c1.norm.json px-c4.norm.json
+	rm -f px-*.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/custom-blockchain
@@ -111,3 +135,4 @@ clean:
 	rm -f diablo test_output.txt bench_output.txt trace-smoke.jsonl.gz
 	rm -rf ck-a ck-b ck-a.json ck-b.json ck-a.norm.json ck-b.norm.json checkpoints
 	rm -f adv-a.json adv-b.json adv-a.norm.json adv-b.norm.json
+	rm -f px-s1.json px-s4.json px-c1.json px-c4.json px-s1.norm.json px-s4.norm.json px-c1.norm.json px-c4.norm.json

@@ -94,6 +94,10 @@ run flags:
                             with --repeat, each seed gets DIR/seed-<N>/
   --checkpoint-dir=DIR      where checkpoints go (default: checkpoints)
   --checkpoint-keep=N       retain only the newest N checkpoints (0 = all)
+  --checkpoint-from=T       only write checkpoints inside [from, until]; used
+  --checkpoint-until=T      to re-run a diablo-report bisect window with a
+                            finer --checkpoint-every (observer-only, cannot
+                            change the run's trajectory)
   --resume=FILE|DIR         fast-forward deterministically and verify every
                             subsystem against the checkpoint at its virtual
                             time, then continue to completion; a directory
@@ -101,9 +105,12 @@ run flags:
   --invariants              arm the agreement/validity/integrity/inclusion
                             monitors; any violation is printed and the run
                             exits non-zero
+  --exec-workers=N          parallel intra-block execution workers; results
+                            are byte-identical at any count (-1 = take the
+                            spec's parallel-execution setting, 0/1 = serial)
 
 bench flags:
-  --out=BENCH_PR2.json      write the machine-readable perf record
+  --out=BENCH_PR7.json      write the machine-readable perf record
   --baseline=FILE           gate against a recorded baseline (default: --out
                             if it exists)
   --tolerance=0.2           allowed throughput drop before failing
@@ -230,8 +237,11 @@ func runLocal(args []string) error {
 	ckEvery := fs.String("checkpoint-every", "", "write a state checkpoint every N sim-seconds (plain number or duration)")
 	ckDir := fs.String("checkpoint-dir", "checkpoints", "directory for checkpoint files")
 	ckKeep := fs.Int("checkpoint-keep", 0, "retain only the newest N checkpoints, pruning older .snap files after each capture (0 = keep all)")
+	ckFrom := fs.String("checkpoint-from", "", "only write checkpoints at or after this virtual time (bisect refinement; plain number or duration)")
+	ckUntil := fs.String("checkpoint-until", "", "only write checkpoints at or before this virtual time (bisect refinement; plain number or duration)")
 	resume := fs.String("resume", "", "resume from a checkpoint file or directory: fast-forward deterministically and verify every subsystem at its virtual time")
 	invariants := fs.Bool("invariants", false, "arm the safety/liveness invariant monitors and exit non-zero on any violation")
+	execWorkers := fs.Int("exec-workers", -1, "parallel intra-block execution workers (results are byte-identical at any count; -1 = take the spec's parallel-execution setting, 0/1 = serial)")
 	if err := fs.Parse(mergeStatValue(args)); err != nil {
 		return err
 	}
@@ -246,6 +256,17 @@ func runLocal(args []string) error {
 	ckInterval, err := parseSimSeconds(*ckEvery)
 	if err != nil {
 		return fmt.Errorf("--checkpoint-every: %w", err)
+	}
+	ckWindowFrom, err := parseSimSeconds(*ckFrom)
+	if err != nil {
+		return fmt.Errorf("--checkpoint-from: %w", err)
+	}
+	ckWindowUntil, err := parseSimSeconds(*ckUntil)
+	if err != nil {
+		return fmt.Errorf("--checkpoint-until: %w", err)
+	}
+	if ckWindowUntil > 0 && ckWindowFrom > ckWindowUntil {
+		return fmt.Errorf("--checkpoint-from %s is after --checkpoint-until %s", ckWindowFrom, ckWindowUntil)
 	}
 	traces, err := benchmark.Traces()
 	if err != nil {
@@ -281,6 +302,13 @@ func runLocal(args []string) error {
 		logger(level)("byzantine schedule: %d behavior windows", len(setup.Byzantine.Events))
 	}
 	gate := *invariants || setup.Invariants
+	execW := setup.ExecWorkers
+	if *execWorkers >= 0 {
+		execW = *execWorkers
+	}
+	if execW > 1 {
+		logger(level)("parallel execution: %d workers", execW)
+	}
 	exps := make([]bench.Experiment, *repeat)
 	var sinks []io.Closer
 	closeSinks := func() error {
@@ -310,6 +338,7 @@ func runLocal(args []string) error {
 			Retry:            setup.Retry,
 			Metrics:          *metrics,
 			SpecHash:         specHash,
+			ExecWorkers:      execW,
 		}
 		// A resumed run re-records checkpoints at the recorded cadence so
 		// the original and resumed runs can be bisected against each other.
@@ -317,6 +346,8 @@ func runLocal(args []string) error {
 			exps[i].CheckpointEvery = ckInterval
 			exps[i].CheckpointDir = seedDir(*ckDir, *repeat, exps[i].Seed)
 			exps[i].CheckpointKeep = *ckKeep
+			exps[i].CheckpointFrom = ckWindowFrom
+			exps[i].CheckpointUntil = ckWindowUntil
 		}
 		switch {
 		case *resume == "":
@@ -547,11 +578,12 @@ func lastDot(s string) int {
 }
 
 // runBench executes the tracked perf harness (scheduler throughput, simnet
-// message rate, end-to-end cell runtime, sweep speedup), gates it against
-// a recorded baseline and records the new measurement.
+// message rate, end-to-end cell runtime, sweep speedup, intra-block
+// execution speedup), gates it against a recorded baseline and records the
+// new measurement.
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_PR4.json", "machine-readable output path (empty = don't write)")
+	out := fs.String("out", "BENCH_PR7.json", "machine-readable output path (empty = don't write)")
 	baseline := fs.String("baseline", "", "baseline to gate against (default: --out if it exists)")
 	tolerance := fs.Float64("tolerance", 0.2, "allowed relative throughput drop")
 	workers := fs.Int("workers", 0, "parallel-sweep pool size (0 = GOMAXPROCS)")

@@ -1,0 +1,49 @@
+package avm
+
+// KVRecorder receives every app-state touch an AVM execution makes; the
+// parallel block executor records them into per-transaction read/write
+// sets (see vm.SlotRecorder for the EVM-side twin).
+type KVRecorder interface {
+	// OnGet is a read of a key (app_global_get, and the read-before-write
+	// that app_global_put's journal makes).
+	OnGet(key uint64)
+	// OnPut is a write of a key (app_global_put, and rollback restores).
+	OnPut(key uint64)
+	// OnDelete removes a key (rolling back a write that created it).
+	OnDelete(key uint64)
+	// OnLen is a read of the store's entry count (the AVM's bounded state
+	// checks it before admitting a new key).
+	OnLen()
+}
+
+// RecordingKV wraps a KVStore, reporting every access to a KVRecorder
+// before forwarding it. A Put the inner store rejects is still recorded
+// as a write: over-approximation is safe for conflict detection.
+type RecordingKV struct {
+	Inner KVStore
+	Rec   KVRecorder
+}
+
+// Get implements KVStore.
+func (r RecordingKV) Get(key uint64) (uint64, bool) {
+	r.Rec.OnGet(key)
+	return r.Inner.Get(key)
+}
+
+// Put implements KVStore.
+func (r RecordingKV) Put(key, value uint64) error {
+	r.Rec.OnPut(key)
+	return r.Inner.Put(key, value)
+}
+
+// Delete implements KVStore.
+func (r RecordingKV) Delete(key uint64) {
+	r.Rec.OnDelete(key)
+	r.Inner.Delete(key)
+}
+
+// Len implements KVStore.
+func (r RecordingKV) Len() int {
+	r.Rec.OnLen()
+	return r.Inner.Len()
+}

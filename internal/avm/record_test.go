@@ -1,0 +1,105 @@
+package avm
+
+import "testing"
+
+// kvTouch is one recorded app-state access.
+type kvTouch struct {
+	op  string // "get", "put", "delete", "len"
+	key uint64
+}
+
+type kvTouchRecorder struct {
+	events []kvTouch
+}
+
+func (r *kvTouchRecorder) OnGet(key uint64)    { r.events = append(r.events, kvTouch{"get", key}) }
+func (r *kvTouchRecorder) OnPut(key uint64)    { r.events = append(r.events, kvTouch{"put", key}) }
+func (r *kvTouchRecorder) OnDelete(key uint64) { r.events = append(r.events, kvTouch{"delete", key}) }
+func (r *kvTouchRecorder) OnLen()              { r.events = append(r.events, kvTouch{"len", 0}) }
+
+func (r *kvTouchRecorder) count(op string, key uint64) int {
+	n := 0
+	for _, e := range r.events {
+		if e.op == op && e.key == key {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRecordingKVCoversOpcodes pins that every AVM opcode touching app
+// global state reports the key through the KVRecorder — including the
+// read-before-write app_global_put performs for its journal, and the
+// rollback repairs of a rejected run. The parallel executor's conflict
+// detection depends on this coverage.
+func TestRecordingKVCoversOpcodes(t *testing.T) {
+	t.Run("app_global_get records a read", func(t *testing.T) {
+		rec := &kvTouchRecorder{}
+		state := RecordingKV{Inner: NewMapKV(0), Rec: rec}
+		p := NewAssembler().PushInt(7).Op(OpAppGlobalGet).Op(OpPop).PushInt(1).Op(OpReturn).MustBuild()
+		if res := Execute(p, &Context{State: state}); res.Outcome != Approved {
+			t.Fatalf("outcome = %v (%v)", res.Outcome, res.Err)
+		}
+		if rec.count("get", 7) == 0 {
+			t.Fatalf("get of key 7 not recorded: %v", rec.events)
+		}
+	})
+
+	t.Run("app_global_put records the journal read and the write", func(t *testing.T) {
+		rec := &kvTouchRecorder{}
+		state := RecordingKV{Inner: NewMapKV(0), Rec: rec}
+		p := NewAssembler().PushInt(3).PushInt(42).Op(OpAppGlobalPut).PushInt(1).Op(OpReturn).MustBuild()
+		if res := Execute(p, &Context{State: state}); res.Outcome != Approved {
+			t.Fatalf("outcome = %v (%v)", res.Outcome, res.Err)
+		}
+		if rec.count("get", 3) == 0 {
+			t.Fatalf("journal read of key 3 not recorded: %v", rec.events)
+		}
+		if rec.count("put", 3) == 0 {
+			t.Fatalf("write of key 3 not recorded: %v", rec.events)
+		}
+	})
+
+	t.Run("rollback of a created key records the delete", func(t *testing.T) {
+		rec := &kvTouchRecorder{}
+		state := RecordingKV{Inner: NewMapKV(0), Rec: rec}
+		p := NewAssembler().PushInt(5).PushInt(1).Op(OpAppGlobalPut).Op(OpErr).MustBuild()
+		if res := Execute(p, &Context{State: state}); res.Outcome == Approved {
+			t.Fatal("erroring program approved")
+		}
+		if rec.count("delete", 5) == 0 {
+			t.Fatalf("rollback delete of key 5 not recorded: %v", rec.events)
+		}
+	})
+
+	t.Run("rollback of an updated key records the restore put", func(t *testing.T) {
+		inner := NewMapKV(0)
+		if err := inner.Put(5, 11); err != nil {
+			t.Fatal(err)
+		}
+		rec := &kvTouchRecorder{}
+		state := RecordingKV{Inner: inner, Rec: rec}
+		p := NewAssembler().PushInt(5).PushInt(1).Op(OpAppGlobalPut).Op(OpErr).MustBuild()
+		if res := Execute(p, &Context{State: state}); res.Outcome == Approved {
+			t.Fatal("erroring program approved")
+		}
+		// One put from the opcode, one from the rollback restore.
+		if rec.count("put", 5) < 2 {
+			t.Fatalf("rollback restore of key 5 not recorded: %v", rec.events)
+		}
+		if v, _ := inner.Get(5); v != 11 {
+			t.Fatalf("rollback lost the previous value: %d", v)
+		}
+	})
+
+	t.Run("Len records a length read", func(t *testing.T) {
+		rec := &kvTouchRecorder{}
+		state := RecordingKV{Inner: NewMapKV(4), Rec: rec}
+		if state.Len() != 0 {
+			t.Fatal("unexpected length")
+		}
+		if rec.count("len", 0) == 0 {
+			t.Fatalf("length read not recorded: %v", rec.events)
+		}
+	})
+}

@@ -102,6 +102,17 @@ type Experiment struct {
 	// SpecHash ties checkpoints to the raw setup+workload spec bytes;
 	// resume refuses a checkpoint recorded for a different spec.
 	SpecHash uint64
+	// ExecWorkers sets the intra-block parallel execution worker count
+	// (DESIGN.md §14). 0 or 1 executes serially; any value yields
+	// byte-identical results — only wall-clock time changes.
+	ExecWorkers int
+	// CheckpointFrom/CheckpointUntil bound checkpoint capture to a virtual
+	// time window (zero = unbounded on that side). Used by bisect
+	// refinement to re-run with a fine CheckpointEvery over just a
+	// divergent window; the periodic tick is an observer event, so
+	// narrowing the window cannot alter the run's trajectory.
+	CheckpointFrom  time.Duration
+	CheckpointUntil time.Duration
 }
 
 // Progress is one periodic liveness report during a run.
@@ -294,6 +305,7 @@ func Run(e Experiment) (*Outcome, error) {
 	default:
 		net.Exec.CacheAfter = 0 // full fidelity
 	}
+	net.Exec.Workers = e.ExecWorkers
 
 	accounts := cfg.AccountsFor(e.Chain)
 	w := wallet.New(scheme, fmt.Sprintf("%s-%s-%d", e.Chain, cfg.Name, e.Seed), accounts)

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"diablo/internal/snapshot"
+)
+
+// RefineBisect narrows a divergence window found by snapshot.Bisect: both
+// experiments are re-run with a finer checkpoint cadence restricted to
+// just the divergent window, and the fresh checkpoints are bisected
+// again. The capture ticker is an observer event and window bounds gate
+// only the file writes, so neither the finer cadence nor the window can
+// alter either run's trajectory — the refined report localizes the same
+// divergence, just to a smaller virtual-time window (down to a single
+// event batch at every=1ns).
+//
+// expA and expB must be the experiment configurations that produced the
+// coarse report's checkpoint directories; dirA and dirB are fresh scratch
+// directories for the refined checkpoints.
+func RefineBisect(expA, expB Experiment, coarse *snapshot.BisectReport, every time.Duration, dirA, dirB string) (*snapshot.BisectReport, error) {
+	if coarse.Identical {
+		return nil, fmt.Errorf("bench: refine: runs are identical, no window to narrow")
+	}
+	if every <= 0 {
+		return nil, fmt.Errorf("bench: refine: checkpoint interval must be positive, got %s", every)
+	}
+	from := coarse.WindowStart
+	if from < 0 {
+		from = 0
+	}
+	runs := []struct {
+		name string
+		exp  *Experiment
+		dir  string
+	}{
+		{"run-a", &expA, dirA},
+		{"run-b", &expB, dirB},
+	}
+	for _, r := range runs {
+		r.exp.CheckpointEvery = every
+		r.exp.CheckpointFrom = from
+		r.exp.CheckpointUntil = coarse.WindowEnd
+		r.exp.CheckpointKeep = 0
+		r.exp.Resume = ""
+		r.exp.CheckpointDir = r.dir
+		if _, err := Run(*r.exp); err != nil {
+			return nil, fmt.Errorf("bench: refine: %s: %w", r.name, err)
+		}
+	}
+	rep, err := snapshot.Bisect(dirA, dirB)
+	if err != nil {
+		return nil, fmt.Errorf("bench: refine: %w", err)
+	}
+	return rep, nil
+}

@@ -131,6 +131,8 @@ func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, cha
 	// The capture ticker is an observer event: it runs deterministically
 	// like any other event, but stays invisible to the sched.* gauges the
 	// metrics registry samples, so arming it cannot change the trace.
+	// Window bounds gate only the file writes below, never the tick
+	// itself, so narrowing the window cannot change the trajectory either.
 	writeDir := e.CheckpointDir != ""
 	sched.EveryObserver(interval, func() {
 		if c.failure != nil {
@@ -144,6 +146,9 @@ func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, cha
 				return
 			}
 			c.verified = now
+		}
+		if now < e.CheckpointFrom || (e.CheckpointUntil > 0 && now > e.CheckpointUntil) {
+			return
 		}
 		if writeDir {
 			if _, err := rec.WriteCheckpoint(now); err != nil {

@@ -300,3 +300,86 @@ func TestBisectPinpointsInjectedDivergence(t *testing.T) {
 		t.Fatalf("simnet not among divergent subsystems %v", names)
 	}
 }
+
+// divergenceExperiment is the injected-divergence scenario of
+// TestBisectPinpointsInjectedDivergence as a reusable Experiment value:
+// the two runs differ only in the slowdown factor of the Slow fault
+// firing at t=100s.
+func divergenceExperiment(slowFactor float64, dir string) bench.Experiment {
+	return bench.Experiment{
+		Chain:      "quorum",
+		Config:     configs.Devnet,
+		Traces:     []*workloads.Trace{workloads.NativeConstant(20, 60*time.Second)},
+		Seed:       7,
+		Tail:       90 * time.Second,
+		ScaleNodes: 2,
+		Faults: chaos.NewSchedule(
+			chaos.Event{At: 20 * time.Second, Kind: chaos.Loss, AllLinks: true, Rate: 0.05, For: 20 * time.Second},
+			chaos.Event{At: 100 * time.Second, Kind: chaos.Slow, Node: 1, Factor: slowFactor, For: 20 * time.Second},
+		),
+		CheckpointEvery: ckInterval,
+		CheckpointDir:   dir,
+	}
+}
+
+// TestRefineBisectNarrowsWindow drives the full refinement loop: a coarse
+// bisect localizes the injected divergence to a 25s window, then
+// RefineBisect re-runs both experiments with a 5s cadence restricted to
+// that window and narrows it to (95s..100s] — the event batch in which
+// the altered fault actually fires. It also pins the window gating:
+// refined runs write checkpoints only inside the coarse window.
+func TestRefineBisectNarrowsWindow(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if _, err := bench.Run(divergenceExperiment(3, dirA)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.Run(divergenceExperiment(4, dirB)); err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := snapshot.Bisect(dirA, dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Identical {
+		t.Fatal("runs with different slow factors reported identical")
+	}
+	if coarse.WindowStart != 75*time.Second || coarse.WindowEnd != 100*time.Second {
+		t.Fatalf("coarse window (%s .. %s], want (1m15s .. 1m40s]", coarse.WindowStart, coarse.WindowEnd)
+	}
+	if coarse.Interval != ckInterval {
+		t.Fatalf("coarse interval %s, want %s", coarse.Interval, ckInterval)
+	}
+
+	fineA, fineB := t.TempDir(), t.TempDir()
+	fine, err := bench.RefineBisect(divergenceExperiment(3, ""), divergenceExperiment(4, ""),
+		coarse, 5*time.Second, fineA, fineB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Identical {
+		t.Fatal("refined runs reported identical")
+	}
+	if fine.WindowStart != 95*time.Second || fine.WindowEnd != 100*time.Second {
+		t.Fatalf("refined window (%s .. %s], want (1m35s .. 1m40s]", fine.WindowStart, fine.WindowEnd)
+	}
+	for _, dir := range []string{fineA, fineB} {
+		files, err := snapshot.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) != 6 {
+			t.Fatalf("%d checkpoints in window, want 6 (75s..100s at 5s cadence)", len(files))
+		}
+		for _, f := range files {
+			if f.Meta.VTime < 75*time.Second || f.Meta.VTime > 100*time.Second {
+				t.Fatalf("checkpoint at %s outside the refinement window", f.Meta.VTime)
+			}
+		}
+	}
+
+	// Refining an identical pair is an error, not a silent no-op.
+	if _, err := bench.RefineBisect(divergenceExperiment(3, ""), divergenceExperiment(3, ""),
+		&snapshot.BisectReport{Identical: true}, 5*time.Second, t.TempDir(), t.TempDir()); err == nil {
+		t.Fatal("refine of identical runs did not error")
+	}
+}

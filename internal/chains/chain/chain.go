@@ -513,13 +513,16 @@ func (n *Network) AssembleBlockBudgeted(proposer int, allowEmpty bool, maxTxs in
 	var gasUsed uint64
 	invokes := 0
 	groups := &blockGroups{byOrigin: make(map[int][]decidedTx)}
-	for _, tx := range txs {
+	// ApplyBlock executes serially or on the parallel worker pool
+	// (Exec.Workers, DESIGN.md §14); receipts are identical either way.
+	receipts := n.Exec.ApplyBlock(txs, blk, n.Params)
+	for i, tx := range txs {
 		id := tx.ID()
 		if tx.Kind == types.KindInvoke {
 			invokes++
 		}
 		n.monitor.OnInclude(id, blk.Number, now)
-		r := n.Exec.Apply(tx, blk, n.Params)
+		r := receipts[i]
 		n.receipts[id] = r
 		gasUsed += r.GasUsed
 		if origin, ok := n.txOrigin[id]; ok {

@@ -64,6 +64,22 @@ type Executor struct {
 	// trie over account balances, Solana a flat running accumulator.
 	commitTrie *trie.Trie
 	commitFlat *trie.FlatAccumulator
+
+	// Workers enables parallel intra-block execution (DESIGN.md §14):
+	// blocks with at least minParallelTxs transactions speculate on a
+	// pool of this many workers and commit in canonical order, with
+	// results byte-identical to serial execution. <= 1 executes serially.
+	Workers int
+	// interps are the per-worker interpreters of the parallel pass (the
+	// shared e.interp is not safe for concurrent use). Grown lazily.
+	interps []*vm.Interpreter
+
+	// Parallel-execution diagnostics. They depend on the worker count, so
+	// they are deliberately excluded from SnapshotState and the result
+	// JSON: checkpoints and outputs stay identical across worker counts.
+	ParallelBlocks uint64 // blocks that took the parallel path
+	SpecCommitted  uint64 // transactions committed from speculation
+	Fallbacks      uint64 // transactions re-executed sequentially
 }
 
 type cacheKey struct {
@@ -287,32 +303,99 @@ func EncodeInvokeData(calldata []uint64, extraBytes int) []byte {
 	return out
 }
 
+// execState abstracts the replicated state one transaction executes
+// against, so the same transition function (applyOn) drives both the
+// canonical serial path (the Executor's own maps) and the parallel
+// executor's speculative lanes (buffered overlays with read/write-set
+// recording, see exec_parallel.go). Any behavioral divergence between the
+// two would break the parallel == serial byte-identity guarantee, which is
+// why there is exactly one transition function.
+type execState interface {
+	vmProfile() *vmprofiles.Profile
+	vmInterp() *vm.Interpreter
+	getBalance(a types.Address) uint64
+	putBalance(a types.Address, v uint64)
+	getNonce(a types.Address) uint64
+	putNonce(a types.Address, v uint64)
+	getContract(a types.Address) (*Contract, bool)
+	putContract(a types.Address, c *Contract)
+	contractStorage(c *Contract) vm.Storage
+	contractAppState(c *Contract) avm.KVStore
+	cacheThreshold() int
+	getCache(k cacheKey) (cacheEntry, bool)
+	putCache(k cacheKey, e cacheEntry)
+	noteExecuted()
+	noteReplayed()
+}
+
+// The Executor itself is the canonical execState.
+
+func (e *Executor) vmProfile() *vmprofiles.Profile { return e.profile }
+func (e *Executor) vmInterp() *vm.Interpreter      { return e.interp }
+func (e *Executor) getBalance(a types.Address) uint64 {
+	return e.Balance(a)
+}
+func (e *Executor) putBalance(a types.Address, v uint64) {
+	e.balances[a] = v
+	e.commitBalance(a, v)
+}
+func (e *Executor) getNonce(a types.Address) uint64    { return e.nonces[a] }
+func (e *Executor) putNonce(a types.Address, v uint64) { e.nonces[a] = v }
+func (e *Executor) getContract(a types.Address) (*Contract, bool) {
+	c, ok := e.contracts[a]
+	return c, ok
+}
+func (e *Executor) putContract(a types.Address, c *Contract) { e.contracts[a] = c }
+func (e *Executor) contractStorage(c *Contract) vm.Storage   { return c.Storage }
+func (e *Executor) contractAppState(c *Contract) avm.KVStore { return c.AppState }
+func (e *Executor) cacheThreshold() int                      { return e.CacheAfter }
+func (e *Executor) getCache(k cacheKey) (cacheEntry, bool) {
+	if p := e.cache[k]; p != nil {
+		return *p, true
+	}
+	return cacheEntry{}, false
+}
+func (e *Executor) putCache(k cacheKey, ce cacheEntry) {
+	if p := e.cache[k]; p != nil {
+		*p = ce
+	} else {
+		v := ce
+		e.cache[k] = &v
+	}
+}
+func (e *Executor) noteExecuted() { e.Executed++ }
+func (e *Executor) noteReplayed() { e.Replayed++ }
+
 // Apply executes one transaction in a block's context, returning the
 // receipt. The caller (block assembly) is responsible for gas-limit
 // admission; Apply never rejects for block-level reasons.
 func (e *Executor) Apply(tx *types.Transaction, blk *types.Block, p Params) *types.Receipt {
+	return applyOn(e, tx, blk, p)
+}
+
+// applyOn is the single transaction transition function, parameterized
+// over the state it executes against.
+func applyOn(st execState, tx *types.Transaction, blk *types.Block, p Params) *types.Receipt {
 	r := &types.Receipt{TxID: tx.ID(), Block: blk.Number}
 	switch tx.Kind {
 	case types.KindTransfer:
-		from, to := e.Balance(tx.From), e.Balance(tx.To)
+		from, to := st.getBalance(tx.From), st.getBalance(tx.To)
 		if from < tx.Value {
 			r.Status = types.StatusInvalid
 			r.Error = "insufficient balance"
 			r.GasUsed = vm.GasTxBase
 			return r
 		}
-		e.balances[tx.From] = from - tx.Value
-		e.balances[tx.To] = to + tx.Value
-		e.commitBalance(tx.From, from-tx.Value)
-		e.commitBalance(tx.To, to+tx.Value)
-		e.nonces[tx.From]++
+		st.putBalance(tx.From, from-tx.Value)
+		st.putBalance(tx.To, to+tx.Value)
+		st.putNonce(tx.From, st.getNonce(tx.From)+1)
 		r.Status = types.StatusOK
 		r.GasUsed = vm.GasTxBase
-		e.Executed++
+		st.noteExecuted()
 		return r
 
 	case types.KindInvoke:
-		c, ok := e.contracts[tx.To]
+		c, ok := st.getContract(tx.To)
 		if !ok {
 			r.Status = types.StatusInvalid
 			r.Error = "no contract at address"
@@ -335,18 +418,14 @@ func (e *Executor) Apply(tx *types.Transaction, blk *types.Block, p Params) *typ
 		if len(tx.Data) >= 8 {
 			key.selector = binary.BigEndian.Uint64(tx.Data[:8])
 		}
-		entry := e.cache[key]
-		if entry == nil {
-			entry = &cacheEntry{}
-			e.cache[key] = entry
-		}
-		if e.CacheAfter > 0 && entry.runs >= e.CacheAfter {
+		entry, _ := st.getCache(key)
+		if st.cacheThreshold() > 0 && entry.runs >= st.cacheThreshold() {
 			// Replay the measured outcome without interpreting.
 			r.Status = entry.status
 			r.GasUsed = intrinsic + entry.gasSum/uint64(entry.runs)
 			r.Error = entry.errText
-			e.Replayed++
-			e.nonces[tx.From]++
+			st.noteReplayed()
+			st.putNonce(tx.From, st.getNonce(tx.From)+1)
 			return r
 		}
 
@@ -357,7 +436,7 @@ func (e *Executor) Apply(tx *types.Transaction, blk *types.Block, p Params) *typ
 				Args:   decodeCalldata(tx.Data),
 				Round:  blk.Number,
 				Time:   uint64(blk.Timestamp / time.Second),
-				State:  c.AppState,
+				State:  st.contractAppState(c),
 			})
 			switch res.Outcome {
 			case avm.Approved:
@@ -377,12 +456,13 @@ func (e *Executor) Apply(tx *types.Transaction, blk *types.Block, p Params) *typ
 			entry.status = r.Status
 			entry.gasSum += res.OpsUsed * avmOpGas
 			entry.errText = r.Error
-			e.Executed++
-			e.nonces[tx.From]++
+			st.putCache(key, entry)
+			st.noteExecuted()
+			st.putNonce(tx.From, st.getNonce(tx.From)+1)
 			return r
 		}
 
-		res := e.profile.Execute(e.interp, c.Code, &vm.Context{
+		res := st.vmProfile().Execute(st.vmInterp(), c.Code, &vm.Context{
 			Contract:  c.Address,
 			Caller:    vm.CallerWord(tx.From),
 			Value:     tx.Value,
@@ -390,7 +470,7 @@ func (e *Executor) Apply(tx *types.Transaction, blk *types.Block, p Params) *typ
 			BlockNum:  blk.Number,
 			BlockTime: uint64(blk.Timestamp / time.Second),
 			GasLimit:  limit - intrinsic,
-			Storage:   c.Storage,
+			Storage:   st.contractStorage(c),
 		})
 		r.Status = res.Status
 		r.GasUsed = intrinsic + res.GasUsed
@@ -402,25 +482,27 @@ func (e *Executor) Apply(tx *types.Transaction, blk *types.Block, p Params) *typ
 		entry.status = res.Status
 		entry.gasSum += res.GasUsed
 		entry.errText = r.Error
-		e.Executed++
-		e.nonces[tx.From]++
+		st.putCache(key, entry)
+		st.noteExecuted()
+		st.putNonce(tx.From, st.getNonce(tx.From)+1)
 		return r
 
 	case types.KindDeploy:
 		// In-band deployment: install bytecode carried in Data. The DApp
 		// suite deploys out of band via DeployContract; this path supports
 		// the extensibility example.
-		addr := types.ContractAddress(tx.From, e.nonces[tx.From])
-		e.nonces[tx.From]++
-		e.contracts[addr] = &Contract{
+		nonce := st.getNonce(tx.From)
+		addr := types.ContractAddress(tx.From, nonce)
+		st.putNonce(tx.From, nonce+1)
+		st.putContract(addr, &Contract{
 			Address: addr,
 			Code:    append([]byte(nil), tx.Data...),
 			Storage: vmprofiles.NewCountingStorage(),
-		}
+		})
 		r.Status = types.StatusOK
 		r.GasUsed = vm.ChargeIntrinsic(len(tx.Data)) + 32000
 		r.Contract = addr
-		e.Executed++
+		st.noteExecuted()
 		return r
 
 	default:

@@ -1,0 +1,234 @@
+package chain
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"diablo/internal/dapps"
+	"diablo/internal/snapshot"
+	"diablo/internal/types"
+	"diablo/internal/vm"
+	"diablo/internal/vmprofiles"
+)
+
+// execSnapshot captures the executor's externally visible state exactly as
+// checkpoints do, so any divergence the checkpoint machinery could ever
+// observe fails the equivalence tests.
+func execSnapshot(e *Executor) []byte {
+	enc := snapshot.NewEncoder()
+	e.SnapshotState(enc)
+	return enc.Payload()
+}
+
+// worldTxs builds the blocks of the standard EVM scenario: disjoint
+// transfers, conflicting transfer chains, invokes on disjoint and shared
+// contracts, an insufficient-balance transfer, an invoke of a missing
+// contract, an under-provisioned gas limit, an in-band deploy and an
+// invoke of the freshly deployed address.
+func worldTxs(contracts []*Contract, addData []byte) [][]*types.Transaction {
+	a := func(b byte) types.Address { return types.Address{b} }
+	deployed := types.ContractAddress(a(5), 1) // a5's deploy lands at nonce 1
+	blocks := [][]*types.Transaction{
+		{
+			{Kind: types.KindTransfer, From: a(0), To: a(1), Value: 100},
+			{Kind: types.KindTransfer, From: a(2), To: a(3), Value: 50},
+			{Kind: types.KindTransfer, From: a(1), To: a(4), Value: 30},
+			{Kind: types.KindInvoke, From: a(5), To: contracts[0].Address, Data: addData},
+			{Kind: types.KindInvoke, From: a(6), To: contracts[1].Address, Data: addData},
+			{Kind: types.KindInvoke, From: a(7), To: contracts[2].Address, Data: addData},
+			{Kind: types.KindInvoke, From: a(8), To: contracts[0].Address, Data: addData, Nonce: 1},
+			{Kind: types.KindTransfer, From: a(9), To: a(0), Value: 1 << 63},
+			{Kind: types.KindInvoke, From: a(0), To: types.Address{0x42}, Data: addData, Nonce: 1},
+			{Kind: types.KindInvoke, From: a(4), To: contracts[1].Address, Data: addData, GasLimit: 100},
+			{Kind: types.KindDeploy, From: a(5), Data: []byte{byte(vm.STOP)}, Nonce: 1},
+			{Kind: types.KindInvoke, From: a(6), To: deployed, Data: addData, Nonce: 1},
+		},
+		{
+			{Kind: types.KindInvoke, From: a(0), To: contracts[0].Address, Data: addData, Nonce: 2},
+			{Kind: types.KindInvoke, From: a(1), To: contracts[1].Address, Data: addData, Nonce: 1},
+			{Kind: types.KindInvoke, From: a(2), To: contracts[2].Address, Data: addData, Nonce: 1},
+			{Kind: types.KindTransfer, From: a(3), To: a(8), Value: 7},
+			{Kind: types.KindTransfer, From: a(8), To: a(9), Value: 3, Nonce: 1},
+			{Kind: types.KindInvoke, From: a(4), To: contracts[0].Address, Data: addData, Nonce: 1},
+		},
+		{
+			// The gas cache is warm here (CacheAfter=2): these replay.
+			{Kind: types.KindInvoke, From: a(5), To: contracts[0].Address, Data: addData, Nonce: 2},
+			{Kind: types.KindInvoke, From: a(6), To: contracts[1].Address, Data: addData, Nonce: 2},
+			{Kind: types.KindInvoke, From: a(7), To: contracts[2].Address, Data: addData, Nonce: 1},
+			{Kind: types.KindInvoke, From: a(9), To: contracts[0].Address, Data: addData, Nonce: 1},
+			{Kind: types.KindTransfer, From: a(0), To: a(2), Value: 11, Nonce: 3},
+		},
+	}
+	return blocks
+}
+
+// runEVMWorld executes the standard scenario and returns all receipts plus
+// the final state snapshot.
+func runEVMWorld(t *testing.T, profile *vmprofiles.Profile, commitment string, workers int) ([]*types.Receipt, []byte, *Executor) {
+	t.Helper()
+	e := NewExecutor(profile)
+	e.SetCommitment(commitment)
+	e.Workers = workers
+	e.CacheAfter = 2
+	d, _ := dapps.Get("fifa")
+	compiled, err := d.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var contracts []*Contract
+	for _, owner := range []byte{0xA1, 0xA2, 0xA3} {
+		c, err := e.DeployContract(types.Address{owner}, compiled, d.InitFunc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contracts = append(contracts, c)
+	}
+	calldata, err := compiled.Calldata("add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addData := EncodeInvokeData(calldata, 0)
+	p := Params{DefaultGasLimit: 1_000_000}
+	var receipts []*types.Receipt
+	for i, txs := range worldTxs(contracts, addData) {
+		blk := &types.Block{Number: uint64(i + 1), Timestamp: time.Duration(i+1) * time.Second, Txs: txs}
+		receipts = append(receipts, e.ApplyBlock(txs, blk, p)...)
+	}
+	return receipts, execSnapshot(e), e
+}
+
+// runAVMWorld is the Algorand-side scenario: bounded key-value app state
+// executing on the real AVM.
+func runAVMWorld(t *testing.T, workers int) ([]*types.Receipt, []byte, *Executor) {
+	t.Helper()
+	e := NewExecutor(vmprofiles.AVM)
+	e.SetCommitment("flat")
+	e.Workers = workers
+	e.CacheAfter = 2
+	d, _ := dapps.Get("fifa")
+	var contracts []*Contract
+	for _, owner := range []byte{0xB1, 0xB2} {
+		c, err := e.DeployDApp(types.Address{owner}, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contracts = append(contracts, c)
+	}
+	compiled, err := d.CompileAVM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args, err := compiled.AppArgs("add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addData := EncodeInvokeData(args, 0)
+	p := Params{DefaultGasLimit: 1_000_000}
+	a := func(b byte) types.Address { return types.Address{b} }
+	blocks := [][]*types.Transaction{
+		{
+			{Kind: types.KindInvoke, From: a(1), To: contracts[0].Address, Data: addData},
+			{Kind: types.KindInvoke, From: a(2), To: contracts[1].Address, Data: addData},
+			{Kind: types.KindInvoke, From: a(3), To: contracts[0].Address, Data: addData, Nonce: 1},
+			{Kind: types.KindTransfer, From: a(4), To: a(5), Value: 9},
+		},
+		{
+			{Kind: types.KindInvoke, From: a(1), To: contracts[1].Address, Data: addData, Nonce: 1},
+			{Kind: types.KindInvoke, From: a(2), To: contracts[0].Address, Data: addData, Nonce: 1},
+			{Kind: types.KindInvoke, From: a(5), To: contracts[1].Address, Data: addData, Nonce: 1},
+			{Kind: types.KindInvoke, From: a(6), To: contracts[0].Address, Data: addData},
+		},
+	}
+	var receipts []*types.Receipt
+	for i, txs := range blocks {
+		blk := &types.Block{Number: uint64(i + 1), Timestamp: time.Duration(i+1) * time.Second, Txs: txs}
+		receipts = append(receipts, e.ApplyBlock(txs, blk, p)...)
+	}
+	return receipts, execSnapshot(e), e
+}
+
+// TestParallelBlockMatchesSerial is the byte-identity guarantee behind
+// DESIGN.md §14: for every commitment scheme, VM family and worker count,
+// the parallel executor produces exactly the serial receipts, state
+// digests and state roots.
+func TestParallelBlockMatchesSerial(t *testing.T) {
+	bounded := *vmprofiles.Geth
+	bounded.Name = "geth" // keep the EVM branch
+	bounded.MaxStateEntries = 8
+	cases := []struct {
+		name       string
+		profile    *vmprofiles.Profile
+		commitment string
+	}{
+		{"geth-trie", vmprofiles.Geth, "trie"},
+		{"geth-flat", vmprofiles.Geth, "flat"},
+		{"geth-none", vmprofiles.Geth, ""},
+		{"bounded-trie", &bounded, "trie"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serialR, serialSnap, _ := runEVMWorld(t, tc.profile, tc.commitment, 1)
+			for _, workers := range []int{2, 4, 8} {
+				parR, parSnap, pe := runEVMWorld(t, tc.profile, tc.commitment, workers)
+				if !reflect.DeepEqual(serialR, parR) {
+					for i := range serialR {
+						if !reflect.DeepEqual(serialR[i], parR[i]) {
+							t.Fatalf("workers=%d: receipt %d differs:\nserial   %+v\nparallel %+v", workers, i, serialR[i], parR[i])
+						}
+					}
+					t.Fatalf("workers=%d: receipts differ", workers)
+				}
+				if string(serialSnap) != string(parSnap) {
+					t.Fatalf("workers=%d: state snapshot differs", workers)
+				}
+				if pe.ParallelBlocks == 0 {
+					t.Fatalf("workers=%d: parallel path never engaged", workers)
+				}
+				if pe.SpecCommitted == 0 || pe.Fallbacks == 0 {
+					t.Fatalf("workers=%d: scenario did not exercise both commit kinds (spec=%d fallback=%d)",
+						workers, pe.SpecCommitted, pe.Fallbacks)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBlockMatchesSerialAVM is the AVM twin: the bounded
+// key-value app state goes through laneKV overlays instead of slot
+// storage.
+func TestParallelBlockMatchesSerialAVM(t *testing.T) {
+	serialR, serialSnap, _ := runAVMWorld(t, 1)
+	for _, workers := range []int{2, 4} {
+		parR, parSnap, pe := runAVMWorld(t, workers)
+		if !reflect.DeepEqual(serialR, parR) {
+			t.Fatalf("workers=%d: receipts differ", workers)
+		}
+		if string(serialSnap) != string(parSnap) {
+			t.Fatalf("workers=%d: state snapshot differs", workers)
+		}
+		if pe.ParallelBlocks == 0 {
+			t.Fatalf("workers=%d: parallel path never engaged", workers)
+		}
+	}
+}
+
+// TestParallelSmallBlockStaysSerial pins the minParallelTxs cutoff: tiny
+// blocks never pay for coordination.
+func TestParallelSmallBlockStaysSerial(t *testing.T) {
+	e := NewExecutor(vmprofiles.Geth)
+	e.Workers = 4
+	txs := []*types.Transaction{
+		{Kind: types.KindTransfer, From: types.Address{1}, To: types.Address{2}, Value: 5},
+		{Kind: types.KindTransfer, From: types.Address{3}, To: types.Address{4}, Value: 5},
+	}
+	blk := &types.Block{Number: 1, Txs: txs}
+	rs := e.ApplyBlock(txs, blk, Params{})
+	if len(rs) != 2 || rs[0].Status != types.StatusOK || rs[1].Status != types.StatusOK {
+		t.Fatalf("receipts = %+v", rs)
+	}
+	if e.ParallelBlocks != 0 {
+		t.Fatal("small block took the parallel path")
+	}
+}

@@ -62,6 +62,7 @@ func DefaultDeterministic(modPath string) []string {
 		modPath + "/internal/mempool",
 		modPath + "/internal/snapshot",
 		modPath + "/internal/core",
+		modPath + "/internal/pexec",
 	}
 }
 

@@ -1,25 +1,35 @@
 // Package perfharness measures the suite's performance trajectory: raw
 // scheduler throughput (events/sec), simnet message rate (msgs/sec), the
-// end-to-end runtime of one experiment cell, and the wall-clock speedup of
-// the parallel sweep runner over a serial sweep. Results serialize to a
-// machine-readable JSON file (BENCH_PR2.json at the repository root) so
-// future changes can be gated against a recorded baseline: `make bench`
-// fails when scheduler throughput drops more than the tolerance below the
-// baseline, or when the hot paths start allocating again.
+// end-to-end runtime of one experiment cell, the wall-clock speedup of
+// the parallel sweep runner over a serial sweep, and the intra-block
+// parallel-execution speedup over serial block application. Results
+// serialize to a machine-readable JSON file (BENCH_PR7.json at the
+// repository root) so future changes can be gated against a recorded
+// baseline: `make bench` fails when scheduler throughput drops more than
+// the tolerance below the baseline (like-for-like, same GOMAXPROCS only),
+// when the hot paths start allocating again, or when either parallel pass
+// stops being bit-identical to its serial twin.
 package perfharness
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 
 	"diablo/internal/bench"
+	"diablo/internal/chains/chain"
 	"diablo/internal/configs"
+	"diablo/internal/dapps"
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
+	"diablo/internal/snapshot"
+	"diablo/internal/types"
+	"diablo/internal/vmprofiles"
 	"diablo/internal/workloads"
 )
 
@@ -51,6 +61,20 @@ type Result struct {
 	// SweepDeterministic records that the parallel sweep's summaries were
 	// bit-identical to the serial sweep's.
 	SweepDeterministic bool `json:"sweep_deterministic"`
+
+	// Intra-block parallel execution (DESIGN.md §14): the same
+	// conflict-light block sequence executed serially and on the worker
+	// pool. NumCPU records the machine's core count — on a single-core
+	// host the parallel pass cannot beat serial wall-clock, so speedup
+	// gates only bind when NumCPU >= ExecWorkers (see Compare).
+	NumCPU              int     `json:"num_cpu"`
+	ExecWorkers         int     `json:"exec_workers"`
+	ExecSerialSeconds   float64 `json:"exec_serial_seconds"`
+	ExecParallelSeconds float64 `json:"exec_parallel_seconds"`
+	ExecSpeedup         float64 `json:"exec_speedup"`
+	// ExecDeterministic records that the parallel pass produced the exact
+	// serial receipts and state snapshot.
+	ExecDeterministic bool `json:"exec_deterministic"`
 }
 
 // Options scales the harness; zero values pick defaults sized for a
@@ -166,6 +190,93 @@ func sweepGrid(quick bool) []bench.Experiment {
 	return exps
 }
 
+// benchExecRun executes the conflict-light block sequence of the
+// intra-block execution benchmark on one executor: nContracts distinct
+// contracts, each invoked once per block by its own sender, over nBlocks
+// blocks. Distinct contracts keep the storage, gas-cache and nonce key
+// spaces disjoint across the block's transactions, so every transaction
+// spec-commits and the measurement isolates the worker pool's scaling
+// rather than the fallback lane. The gas cache stays disabled
+// (CacheAfter=0) so every invoke pays full interpretation.
+func benchExecRun(workers, nContracts, nBlocks int) ([]*types.Receipt, []byte, float64, error) {
+	e := chain.NewExecutor(vmprofiles.Geth)
+	e.SetCommitment("flat")
+	e.Workers = workers
+	d, err := dapps.Get("fifa")
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	compiled, err := d.Compile()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	contracts := make([]*chain.Contract, nContracts)
+	for i := range contracts {
+		c, err := e.DeployContract(types.Address{0xE0, byte(i)}, compiled, d.InitFunc)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		contracts[i] = c
+	}
+	calldata, err := compiled.Calldata("add")
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	addData := chain.EncodeInvokeData(calldata, 0)
+	p := chain.Params{DefaultGasLimit: 1_000_000}
+
+	blocks := make([]*types.Block, nBlocks)
+	for b := range blocks {
+		txs := make([]*types.Transaction, nContracts)
+		for i := range txs {
+			txs[i] = &types.Transaction{
+				Kind:  types.KindInvoke,
+				From:  types.Address{0xC0, byte(i)},
+				To:    contracts[i].Address,
+				Data:  addData,
+				Nonce: uint64(b),
+			}
+		}
+		blocks[b] = &types.Block{Number: uint64(b + 1), Timestamp: time.Duration(b+1) * time.Second, Txs: txs}
+	}
+
+	var receipts []*types.Receipt
+	start := time.Now()
+	for _, blk := range blocks {
+		receipts = append(receipts, e.ApplyBlock(blk.Txs, blk, p)...)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	enc := snapshot.NewEncoder()
+	e.SnapshotState(enc)
+	return receipts, enc.Payload(), elapsed, nil
+}
+
+// benchExec runs the intra-block execution benchmark serially and on the
+// worker pool, filling in the Exec* fields of r.
+func benchExec(r *Result, workers int, quick bool) error {
+	nContracts, nBlocks := 32, 120
+	if quick {
+		nContracts, nBlocks = 8, 4
+	}
+	r.NumCPU = runtime.NumCPU()
+	r.ExecWorkers = workers
+	serialR, serialSnap, serialSec, err := benchExecRun(1, nContracts, nBlocks)
+	if err != nil {
+		return err
+	}
+	parR, parSnap, parSec, err := benchExecRun(workers, nContracts, nBlocks)
+	if err != nil {
+		return err
+	}
+	r.ExecSerialSeconds, r.ExecParallelSeconds = serialSec, parSec
+	if parSec > 0 {
+		r.ExecSpeedup = serialSec / parSec
+	}
+	r.ExecDeterministic = bytes.Equal(serialSnap, parSnap) && reflect.DeepEqual(serialR, parR)
+	return nil
+}
+
 // Run executes the full harness.
 func Run(o Options) (*Result, error) {
 	schedCycles := o.SchedulerEvents
@@ -226,22 +337,35 @@ func Run(o Options) (*Result, error) {
 			r.SweepDeterministic = false
 		}
 	}
+
+	if err := benchExec(r, 4, o.Quick); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
 // Compare gates a run against a recorded baseline: throughput metrics may
 // not drop more than tol (0.2 = 20%) below it, hot paths must stay
-// allocation-free if the baseline had them allocation-free, and the sweep
-// must stay deterministic.
+// allocation-free if the baseline had them allocation-free, and both
+// parallel passes (sweep and intra-block execution) must stay
+// deterministic.
+//
+// Throughput ratios only gate like-for-like: a baseline recorded at a
+// different GOMAXPROCS came from different hardware or a different CPU
+// budget, so comparing absolute rates against it measures the machine,
+// not the code. Allocation budgets and determinism are machine-independent
+// and gate unconditionally.
 func Compare(cur, base *Result, tol float64) error {
-	floor := 1 - tol
-	if cur.SchedulerEventsPerSec < base.SchedulerEventsPerSec*floor {
-		return fmt.Errorf("perfharness: scheduler throughput regressed: %.0f events/sec vs baseline %.0f (tolerance %.0f%%)",
-			cur.SchedulerEventsPerSec, base.SchedulerEventsPerSec, tol*100)
-	}
-	if cur.SimnetMsgsPerSec < base.SimnetMsgsPerSec*floor {
-		return fmt.Errorf("perfharness: simnet message rate regressed: %.0f msgs/sec vs baseline %.0f (tolerance %.0f%%)",
-			cur.SimnetMsgsPerSec, base.SimnetMsgsPerSec, tol*100)
+	if cur.GOMAXPROCS == base.GOMAXPROCS {
+		floor := 1 - tol
+		if cur.SchedulerEventsPerSec < base.SchedulerEventsPerSec*floor {
+			return fmt.Errorf("perfharness: scheduler throughput regressed: %.0f events/sec vs baseline %.0f (tolerance %.0f%%)",
+				cur.SchedulerEventsPerSec, base.SchedulerEventsPerSec, tol*100)
+		}
+		if cur.SimnetMsgsPerSec < base.SimnetMsgsPerSec*floor {
+			return fmt.Errorf("perfharness: simnet message rate regressed: %.0f msgs/sec vs baseline %.0f (tolerance %.0f%%)",
+				cur.SimnetMsgsPerSec, base.SimnetMsgsPerSec, tol*100)
+		}
 	}
 	// Allocation regressions compound across hundreds of millions of
 	// events, so gate them on an absolute budget rather than a ratio.
@@ -256,6 +380,16 @@ func Compare(cur, base *Result, tol float64) error {
 	}
 	if !cur.SweepDeterministic {
 		return fmt.Errorf("perfharness: parallel sweep diverged from serial results")
+	}
+	if !cur.ExecDeterministic {
+		return fmt.Errorf("perfharness: parallel block execution diverged from serial results")
+	}
+	// The worker pool must actually pay for itself, but only on a machine
+	// with enough cores to run the workers concurrently: on fewer cores
+	// the pool degenerates to time-slicing and the honest speedup is ~1x.
+	if cur.ExecWorkers > 1 && cur.NumCPU >= cur.ExecWorkers && cur.ExecSpeedup < 2 {
+		return fmt.Errorf("perfharness: parallel execution speedup %.2fx below the 2x gate (workers=%d, cpus=%d)",
+			cur.ExecSpeedup, cur.ExecWorkers, cur.NumCPU)
 	}
 	return nil
 }
@@ -290,4 +424,6 @@ func Render(w io.Writer, r *Result) {
 	fmt.Fprintf(w, "  cell         %12.2f s end-to-end\n", r.CellSeconds)
 	fmt.Fprintf(w, "  sweep        %d cells: serial %.2f s, parallel(%d) %.2f s -> %.2fx speedup (deterministic: %v)\n",
 		r.SweepCells, r.SweepSerialSeconds, r.SweepWorkers, r.SweepParallelSeconds, r.SweepSpeedup, r.SweepDeterministic)
+	fmt.Fprintf(w, "  exec         serial %.3f s, parallel(%d) %.3f s -> %.2fx speedup (deterministic: %v, cpus: %d)\n",
+		r.ExecSerialSeconds, r.ExecWorkers, r.ExecParallelSeconds, r.ExecSpeedup, r.ExecDeterministic, r.NumCPU)
 }

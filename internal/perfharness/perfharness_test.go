@@ -17,6 +17,12 @@ func TestHarnessQuickRun(t *testing.T) {
 	if !r.SweepDeterministic {
 		t.Fatal("parallel sweep diverged from serial results")
 	}
+	if !r.ExecDeterministic {
+		t.Fatal("parallel block execution diverged from serial results")
+	}
+	if r.ExecWorkers < 2 || r.ExecSerialSeconds <= 0 || r.ExecParallelSeconds <= 0 || r.NumCPU < 1 {
+		t.Fatalf("exec benchmark produced empty metrics: %+v", r)
+	}
 	// The optimized hot paths must be allocation-lean: the slab and
 	// envelope pools amortize to well under one allocation per operation.
 	if r.SchedulerAllocsPerOp > 0.5 {
@@ -52,5 +58,34 @@ func TestHarnessQuickRun(t *testing.T) {
 	leaky.SimnetAllocsPerOp = 3
 	if err := Compare(&leaky, back, 0.2); err == nil {
 		t.Fatal("allocation regression not detected")
+	}
+	// A baseline recorded at a different GOMAXPROCS must NOT gate on
+	// throughput ratios (like-for-like comparison only), but must still
+	// gate on allocations and determinism.
+	foreign := inflated
+	foreign.GOMAXPROCS = r.GOMAXPROCS + 7
+	if err := Compare(r, &foreign, 0.2); err != nil {
+		t.Fatalf("cross-GOMAXPROCS baseline gated on throughput: %v", err)
+	}
+	if err := Compare(&leaky, &foreign, 0.2); err == nil {
+		t.Fatal("allocation regression not detected against cross-GOMAXPROCS baseline")
+	}
+	// A nondeterministic parallel execution pass must always trip the gate.
+	diverged := *r
+	diverged.ExecDeterministic = false
+	err = Compare(&diverged, back, 0.2)
+	if err == nil || !strings.Contains(err.Error(), "parallel block execution diverged") {
+		t.Fatalf("exec divergence not detected: %v", err)
+	}
+	// The 2x speedup gate binds only with enough cores for the pool.
+	slow := *r
+	slow.NumCPU = slow.ExecWorkers
+	slow.ExecSpeedup = 1.1
+	if err := Compare(&slow, back, 0.2); err == nil {
+		t.Fatal("sub-2x speedup on a capable machine not detected")
+	}
+	slow.NumCPU = 1
+	if err := Compare(&slow, back, 0.2); err != nil {
+		t.Fatalf("speedup gate bound on a single-core machine: %v", err)
 	}
 }

@@ -1,0 +1,49 @@
+package pexec
+
+// Graph is a block's conflict graph, built from the speculative RWSets of
+// phase one. There is an edge i -> j (i < j) when transaction i
+// speculatively wrote a key transaction j read: j's speculative result saw
+// pre-block state for that key, so if i's write commits (or even might
+// have happened — an aborted i re-executes with unknown writes covered
+// separately by the commit scan), j's result is stale and j must
+// re-execute. Only read-after-write edges invalidate: write-after-write is
+// resolved by canonical-order replay of the write logs, and
+// write-after-read needs nothing because every speculation reads pre-block
+// state.
+type Graph struct {
+	hazard []bool
+	edges  int
+}
+
+// BuildGraph computes the conflict graph. sets[i] may be nil for a
+// transaction that did not speculate (e.g. an in-band deploy); it is
+// marked hazardous itself and contributes no speculative writes — its
+// actual writes surface during the commit scan's fallback bookkeeping.
+func BuildGraph(sets []*RWSet) *Graph {
+	g := &Graph{hazard: make([]bool, len(sets))}
+	written := make(map[Key]struct{})
+	for j, set := range sets {
+		if set == nil {
+			g.hazard[j] = true
+			continue
+		}
+		for _, k := range set.reads {
+			if _, ok := written[k]; ok {
+				g.hazard[j] = true
+				g.edges++
+			}
+		}
+		for _, k := range set.writes {
+			written[k] = struct{}{}
+		}
+	}
+	return g
+}
+
+// Hazard reports whether transaction j has an incoming read-after-write
+// edge from any earlier transaction (j must not commit its speculation).
+func (g *Graph) Hazard(j int) bool { return g.hazard[j] }
+
+// Edges returns the number of read-after-write conflicts found
+// (diagnostics: 0 means the whole block committed speculatively).
+func (g *Graph) Edges() int { return g.edges }

@@ -1,0 +1,67 @@
+package pexec
+
+// version is one committed write in a key's version chain.
+type version[V any] struct {
+	tx  int // canonical index of the writer
+	val V
+	del bool // tombstone: the writer deleted the key
+}
+
+// Store is a multi-version state store: per key, a chain of committed
+// versions ordered by the writer's canonical transaction index. The commit
+// scan publishes versions in canonical order, so chains are append-only
+// and nondecreasing in tx index; reads resolve against the highest
+// committed version below the reader's own index and fall through to the
+// pre-block base state when no such version exists.
+type Store[V any] struct {
+	chains map[Key][]version[V]
+}
+
+// NewStore returns an empty store.
+func NewStore[V any]() *Store[V] {
+	return &Store[V]{chains: make(map[Key][]version[V])}
+}
+
+// Publish appends tx's committed write of k. Within one transaction later
+// publishes shadow earlier ones (the chain keeps both; Read takes the
+// newest), reproducing the transaction's final effect on k.
+func (s *Store[V]) Publish(k Key, tx int, v V, del bool) {
+	s.chains[k] = append(s.chains[k], version[V]{tx: tx, val: v, del: del})
+}
+
+// Read resolves k for a reader at canonical index `below`: the value of
+// the highest committed version with tx < below. ok reports whether such a
+// version exists (false = fall through to the base state); del reports a
+// tombstone (the key is deleted, do not fall through).
+func (s *Store[V]) Read(k Key, below int) (v V, del, ok bool) {
+	chain := s.chains[k]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].tx < below {
+			return chain[i].val, chain[i].del, true
+		}
+	}
+	return v, false, false
+}
+
+// SumBelow sums, as signed deltas, the values of every version of k with
+// tx < below. Entry-count sentinels are published as per-transaction
+// deltas, so a bounded store's visible length is base length plus this
+// sum — correct regardless of which earlier writers were commits and
+// which were fallback re-executions.
+func (s *Store[V]) SumBelow(k Key, below int, asDelta func(V) int) int {
+	sum := 0
+	for _, ver := range s.chains[k] {
+		if ver.tx < below {
+			sum += asDelta(ver.val)
+		}
+	}
+	return sum
+}
+
+// HasWriter reports whether any version of k has been published.
+func (s *Store[V]) HasWriter(k Key) bool {
+	return len(s.chains[k]) > 0
+}
+
+// Versions returns the length of k's version chain (diagnostics/tests).
+func (s *Store[V]) Versions(k Key) int { return len(s.chains[k]) }

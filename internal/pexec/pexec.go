@@ -1,0 +1,105 @@
+// Package pexec provides the building blocks for parallel intra-block
+// transaction execution (Octopus-style, see DESIGN.md §14): state keys,
+// per-transaction read/write sets, a per-block conflict graph, a
+// multi-version state store and a worker pool.
+//
+// The executor in internal/chains/chain uses them in two phases. Phase one
+// speculates every transaction of a block concurrently against the
+// immutable pre-block state, recording each transaction's reads and writes
+// into an RWSet. Phase two is a serial commit scan in canonical order: a
+// transaction whose reads were untouched by any earlier writer commits its
+// speculative result as-is; everything else re-executes sequentially
+// against the multi-version store, which resolves each read to the highest
+// committed version below the reader's canonical index. Because the scan
+// order, the conflict test and the speculative results are all independent
+// of worker scheduling, the committed receipts and state are byte-identical
+// to serial execution.
+package pexec
+
+// Space partitions the key universe so different kinds of state never
+// collide: an account's balance, its nonce, a contract storage slot, an
+// AVM app-state key, the contract registry itself, a gas-cache entry, and
+// the entry-count sentinels of bounded stores.
+type Space uint8
+
+// The key spaces.
+const (
+	SpaceBalance Space = iota
+	SpaceNonce
+	SpaceStorage
+	SpaceAppState
+	SpaceContract
+	SpaceCache
+	// SpaceLen and SpaceAppLen are per-contract entry-count sentinels.
+	// Bounded stores read them on every admission check and write them on
+	// every slot creation or deletion, so two transactions racing a
+	// capacity bound always conflict.
+	SpaceLen
+	SpaceAppLen
+)
+
+// AddrSize matches types.AddressSize without importing it (pexec stays
+// dependency-free below the chain layer).
+const AddrSize = 20
+
+// Key identifies one unit of replicated state.
+type Key struct {
+	Space Space
+	Addr  [AddrSize]byte
+	Slot  uint64
+}
+
+// RWSet records the state a transaction touched: a deduplicated read set
+// and a deduplicated write set. Conflict detection between transactions i
+// and j (i earlier) only needs Writes(i) ∩ Reads(j), but both sets are kept
+// because a fallback re-execution's writes feed later validity checks.
+type RWSet struct {
+	reads     []Key
+	writes    []Key
+	readSeen  map[Key]struct{}
+	writeSeen map[Key]struct{}
+}
+
+// NewRWSet returns an empty set.
+func NewRWSet() *RWSet {
+	return &RWSet{
+		readSeen:  make(map[Key]struct{}),
+		writeSeen: make(map[Key]struct{}),
+	}
+}
+
+// Read records a read of k.
+func (s *RWSet) Read(k Key) {
+	if _, ok := s.readSeen[k]; ok {
+		return
+	}
+	s.readSeen[k] = struct{}{}
+	s.reads = append(s.reads, k)
+}
+
+// Write records a write of k.
+func (s *RWSet) Write(k Key) {
+	if _, ok := s.writeSeen[k]; ok {
+		return
+	}
+	s.writeSeen[k] = struct{}{}
+	s.writes = append(s.writes, k)
+}
+
+// Reads returns the read keys in first-touch order.
+func (s *RWSet) Reads() []Key { return s.reads }
+
+// Writes returns the written keys in first-touch order.
+func (s *RWSet) Writes() []Key { return s.writes }
+
+// DidRead reports whether k is in the read set.
+func (s *RWSet) DidRead(k Key) bool {
+	_, ok := s.readSeen[k]
+	return ok
+}
+
+// DidWrite reports whether k is in the write set.
+func (s *RWSet) DidWrite(k Key) bool {
+	_, ok := s.writeSeen[k]
+	return ok
+}

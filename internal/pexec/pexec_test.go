@@ -1,0 +1,192 @@
+package pexec
+
+import (
+	"testing"
+)
+
+func k(space Space, b byte, slot uint64) Key {
+	return Key{Space: space, Addr: [AddrSize]byte{b}, Slot: slot}
+}
+
+func TestRWSetDedupAndOrder(t *testing.T) {
+	s := NewRWSet()
+	s.Read(k(SpaceBalance, 1, 0))
+	s.Read(k(SpaceBalance, 2, 0))
+	s.Read(k(SpaceBalance, 1, 0)) // duplicate
+	s.Write(k(SpaceStorage, 1, 7))
+	s.Write(k(SpaceStorage, 1, 7)) // duplicate
+	if len(s.Reads()) != 2 || len(s.Writes()) != 1 {
+		t.Fatalf("reads=%d writes=%d", len(s.Reads()), len(s.Writes()))
+	}
+	if s.Reads()[0] != k(SpaceBalance, 1, 0) || s.Reads()[1] != k(SpaceBalance, 2, 0) {
+		t.Fatal("first-touch order lost")
+	}
+	if !s.DidRead(k(SpaceBalance, 2, 0)) || s.DidRead(k(SpaceBalance, 3, 0)) {
+		t.Fatal("DidRead wrong")
+	}
+	if !s.DidWrite(k(SpaceStorage, 1, 7)) || s.DidWrite(k(SpaceStorage, 1, 8)) {
+		t.Fatal("DidWrite wrong")
+	}
+}
+
+func TestKeySpacesDisjoint(t *testing.T) {
+	// The same address and slot in different spaces are different keys.
+	a := k(SpaceBalance, 1, 0)
+	b := k(SpaceNonce, 1, 0)
+	if a == b {
+		t.Fatal("spaces collide")
+	}
+	s := NewRWSet()
+	s.Read(a)
+	if s.DidRead(b) {
+		t.Fatal("cross-space read leaked")
+	}
+}
+
+func TestStoreReadResolvesHighestBelow(t *testing.T) {
+	st := NewStore[uint64]()
+	key := k(SpaceStorage, 1, 5)
+	st.Publish(key, 2, 20, false)
+	st.Publish(key, 4, 40, false)
+	st.Publish(key, 7, 70, false)
+
+	if _, _, ok := st.Read(key, 2); ok {
+		t.Fatal("reader below every writer should miss")
+	}
+	if v, _, ok := st.Read(key, 3); !ok || v != 20 {
+		t.Fatalf("reader at 3 got %d", v)
+	}
+	if v, _, ok := st.Read(key, 7); !ok || v != 40 {
+		t.Fatalf("reader at 7 got %d", v)
+	}
+	if v, _, ok := st.Read(key, 100); !ok || v != 70 {
+		t.Fatalf("reader at 100 got %d", v)
+	}
+	if st.Versions(key) != 3 || !st.HasWriter(key) {
+		t.Fatal("version accounting wrong")
+	}
+}
+
+func TestStoreTombstones(t *testing.T) {
+	st := NewStore[uint64]()
+	key := k(SpaceAppState, 2, 9)
+	st.Publish(key, 1, 10, false)
+	st.Publish(key, 3, 0, true) // tx 3 deleted the key
+	if _, del, ok := st.Read(key, 4); !ok || !del {
+		t.Fatal("tombstone not visible")
+	}
+	if v, del, ok := st.Read(key, 2); !ok || del || v != 10 {
+		t.Fatal("pre-delete version lost")
+	}
+}
+
+func TestStoreIntraTxShadowing(t *testing.T) {
+	// Within one transaction, later publishes shadow earlier ones.
+	st := NewStore[uint64]()
+	key := k(SpaceStorage, 1, 1)
+	st.Publish(key, 2, 5, false)
+	st.Publish(key, 2, 6, false)
+	if v, _, ok := st.Read(key, 3); !ok || v != 6 {
+		t.Fatalf("got %d, want the transaction's final write", v)
+	}
+}
+
+func TestStoreSumBelow(t *testing.T) {
+	st := NewStore[uint64]()
+	key := k(SpaceLen, 1, 0)
+	asDelta := func(v uint64) int { return int(int64(v)) }
+	minusOne := int64(-1)
+	st.Publish(key, 1, uint64(int64(2)), false) // tx1 created 2 entries
+	st.Publish(key, 3, uint64(minusOne), false) // tx3 deleted one
+	if got := st.SumBelow(key, 2, asDelta); got != 2 {
+		t.Fatalf("sum below 2 = %d", got)
+	}
+	if got := st.SumBelow(key, 4, asDelta); got != 1 {
+		t.Fatalf("sum below 4 = %d", got)
+	}
+	if got := st.SumBelow(key, 1, asDelta); got != 0 {
+		t.Fatalf("sum below 1 = %d", got)
+	}
+}
+
+func TestGraphReadAfterWriteHazards(t *testing.T) {
+	mk := func(reads, writes []Key) *RWSet {
+		s := NewRWSet()
+		for _, r := range reads {
+			s.Read(r)
+		}
+		for _, w := range writes {
+			s.Write(w)
+		}
+		return s
+	}
+	bal := func(b byte) Key { return k(SpaceBalance, b, 0) }
+
+	sets := []*RWSet{
+		mk([]Key{bal(1)}, []Key{bal(1), bal(2)}), // tx0 writes 1,2
+		mk([]Key{bal(3)}, []Key{bal(3)}),         // tx1 disjoint
+		mk([]Key{bal(2)}, []Key{bal(4)}),         // tx2 reads tx0's write
+		nil,                                      // tx3 did not speculate
+		mk([]Key{bal(4)}, nil),                   // tx4 reads tx2's write
+	}
+	g := BuildGraph(sets)
+	if g.Hazard(0) || g.Hazard(1) {
+		t.Fatal("independent transactions flagged")
+	}
+	if !g.Hazard(2) {
+		t.Fatal("read-after-write missed")
+	}
+	if !g.Hazard(3) {
+		t.Fatal("non-speculated transaction must be hazardous")
+	}
+	if !g.Hazard(4) {
+		t.Fatal("transitive read of a speculative write missed")
+	}
+	if g.Edges() != 2 {
+		t.Fatalf("edges = %d", g.Edges())
+	}
+}
+
+func TestGraphWriteAfterWriteIsNoHazard(t *testing.T) {
+	// Two writers of the same key with no read overlap: canonical-order
+	// replay resolves the order, no re-execution needed.
+	key := k(SpaceStorage, 1, 1)
+	w := func() *RWSet { s := NewRWSet(); s.Write(key); return s }
+	g := BuildGraph([]*RWSet{w(), w()})
+	if g.Hazard(0) || g.Hazard(1) {
+		t.Fatal("write-after-write flagged as hazard")
+	}
+}
+
+func TestFanCoversAllJobsOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		counts := make([]int, n)
+		Fan(workers, n, func(worker, i int) {
+			counts[i]++ // per-index slot: no synchronization needed
+			if worker < 0 || worker >= workers {
+				t.Errorf("worker index %d out of range", worker)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	// Degenerate shapes.
+	ran := 0
+	Fan(4, 0, func(int, int) { ran++ })
+	if ran != 0 {
+		t.Fatal("n=0 ran jobs")
+	}
+	Fan(0, 1, func(worker, i int) {
+		if worker != 0 {
+			t.Fatal("serial path must report worker 0")
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatal("n=1 did not run")
+	}
+}

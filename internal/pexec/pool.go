@@ -1,0 +1,49 @@
+package pexec
+
+//lint:allowfile concurrency parallel block lanes speculate against an immutable pre-block snapshot with fully lane-local scratch state; the serial commit scan orders and validates results canonically, and TestParallelBlockMatchesSerial proves byte-identical receipts and state roots vs the serial path
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Fan runs n independent jobs across a pool of `workers` goroutines and
+// waits for all of them, mirroring core.ForEach (the audited sweep pool).
+// Each job receives the worker index (for per-worker scratch such as VM
+// interpreters, which are reused but never shared) and the job index.
+//
+// Jobs must be fully isolated: results go into per-index slots and every
+// mutable structure is lane-local, so output is bit-identical whichever
+// worker runs a job and in whatever order jobs interleave. workers <= 1
+// (or n == 1) degenerates to a plain serial loop on the caller's
+// goroutine — no goroutines are ever spawned on the serial path.
+func Fan(workers, n int, job func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -20,7 +20,8 @@ type SectionDiff struct {
 // BisectReport is the result of comparing two checkpointed runs.
 type BisectReport struct {
 	Identical bool
-	Compared  int // checkpoints compared pairwise
+	Compared  int           // checkpoints compared pairwise
+	Interval  time.Duration // cadence the compared checkpoints were recorded at
 
 	// Divergence window: state was identical at WindowStart (exclusive
 	// lower bound; -1 if the very first checkpoint already differs) and
@@ -100,7 +101,7 @@ func Bisect(dirA, dirB string) (*BisectReport, error) {
 			len(filesA), len(filesB))
 	}
 
-	rep := &BisectReport{Identical: true, WindowStart: -1, WindowEnd: -1}
+	rep := &BisectReport{Identical: true, WindowStart: -1, WindowEnd: -1, Interval: filesA[0].Meta.Interval}
 	if a, b := filesA[0].Meta, filesB[0].Meta; a.SpecHash != b.SpecHash {
 		rep.Warnings = append(rep.Warnings,
 			fmt.Sprintf("spec hash differs (%016x vs %016x): runs were not built from the same spec files", a.SpecHash, b.SpecHash))
@@ -173,6 +174,10 @@ func (r *BisectReport) Format() string {
 			fmt.Fprintf(&sb, "  %s vs %s", d.ValueA, d.ValueB)
 		}
 		sb.WriteByte('\n')
+	}
+	if finer := r.Interval / 10; finer > 0 && r.WindowStart >= 0 {
+		fmt.Fprintf(&sb, "narrow it: re-run both runs with --checkpoint-every=%s --checkpoint-from=%s --checkpoint-until=%s\n",
+			finer, r.WindowStart, r.WindowEnd)
 	}
 	return sb.String()
 }

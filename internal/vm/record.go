@@ -1,0 +1,68 @@
+package vm
+
+// SlotRecorder receives every storage touch a contract execution makes.
+// The parallel block executor (internal/pexec, DESIGN.md §14) records
+// them into per-transaction read/write sets; conflict detection is only
+// sound if every opcode that can observe or mutate a slot reports here,
+// which TestRecordingStorageCoversOpcodes pins down opcode by opcode.
+type SlotRecorder interface {
+	// OnLoad is an SLOAD (or journal bookkeeping) read of a slot value.
+	OnLoad(key uint64)
+	// OnStore is an SSTORE (or revert restore) write of a slot.
+	OnStore(key uint64)
+	// OnExists is an existence probe: SSTORE gas pricing and bounded-store
+	// admission both branch on it, so it is a read.
+	OnExists(key uint64)
+	// OnDelete removes a slot (reverting a write that created it).
+	OnDelete(key uint64)
+	// OnLen is a read of the store's entry count (bounded profiles check
+	// it before admitting a new slot).
+	OnLen()
+}
+
+// RecordingStorage wraps a Storage, reporting every access to a
+// SlotRecorder before forwarding it. A Store that the inner storage
+// rejects is still recorded as a write — over-approximation only forces a
+// serial re-execution, never a wrong result.
+type RecordingStorage struct {
+	Inner Storage
+	Rec   SlotRecorder
+}
+
+// Load implements Storage.
+func (r RecordingStorage) Load(key uint64) uint64 {
+	r.Rec.OnLoad(key)
+	return r.Inner.Load(key)
+}
+
+// Store implements Storage.
+func (r RecordingStorage) Store(key, value uint64) error {
+	r.Rec.OnStore(key)
+	return r.Inner.Store(key, value)
+}
+
+// Exists implements Storage.
+func (r RecordingStorage) Exists(key uint64) bool {
+	r.Rec.OnExists(key)
+	return r.Inner.Exists(key)
+}
+
+// Delete implements Storage.
+func (r RecordingStorage) Delete(key uint64) {
+	r.Rec.OnDelete(key)
+	r.Inner.Delete(key)
+}
+
+// Len exposes the inner store's entry count so bounded profiles keep
+// working through the wrapper (vmprofiles asserts for it).
+func (r RecordingStorage) Len() int {
+	r.Rec.OnLen()
+	if c, ok := r.Inner.(interface{ Len() int }); ok {
+		return c.Len()
+	}
+	return 0
+}
+
+// MapKeyOf exposes the MAPKEY slot derivation (slot[key] mixing) so tests
+// and tooling can predict which storage key a mapping access touches.
+func MapKeyOf(slot, key uint64) uint64 { return mapKey(slot, key) }

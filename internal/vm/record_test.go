@@ -1,0 +1,211 @@
+package vm
+
+import (
+	"testing"
+
+	"diablo/internal/types"
+)
+
+// touch is one recorded storage access.
+type touch struct {
+	op  string // "load", "store", "exists", "delete", "len"
+	key uint64
+}
+
+// touchRecorder collects the full access sequence.
+type touchRecorder struct {
+	events []touch
+}
+
+func (r *touchRecorder) OnLoad(key uint64)   { r.events = append(r.events, touch{"load", key}) }
+func (r *touchRecorder) OnStore(key uint64)  { r.events = append(r.events, touch{"store", key}) }
+func (r *touchRecorder) OnExists(key uint64) { r.events = append(r.events, touch{"exists", key}) }
+func (r *touchRecorder) OnDelete(key uint64) { r.events = append(r.events, touch{"delete", key}) }
+func (r *touchRecorder) OnLen()              { r.events = append(r.events, touch{"len", 0}) }
+
+func (r *touchRecorder) has(op string, key uint64) bool {
+	for _, e := range r.events {
+		if e.op == op && e.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// reads/writes classify events the way the parallel executor's RWSet
+// does: loads, existence probes and length checks are reads; stores and
+// deletes are writes.
+func (r *touchRecorder) reads() map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, e := range r.events {
+		if e.op == "load" || e.op == "exists" {
+			out[e.key] = true
+		}
+	}
+	return out
+}
+
+func (r *touchRecorder) writes() map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, e := range r.events {
+		if e.op == "store" || e.op == "delete" {
+			out[e.key] = true
+		}
+	}
+	return out
+}
+
+// TestRecordingStorageCoversOpcodes pins, opcode by opcode, that every VM
+// instruction able to observe or mutate contract storage reports the
+// touched slot through the SlotRecorder — including slots derived with
+// MAPKEY and the journal's revert restores. The parallel executor's
+// conflict detection (internal/pexec) is only sound if this holds.
+func TestRecordingStorageCoversOpcodes(t *testing.T) {
+	mk := MapKeyOf(3, 5)
+	cases := []struct {
+		name       string
+		src        string
+		pre        map[uint64]uint64 // pre-populated slots
+		wantStatus types.ExecStatus
+		wantReads  []uint64
+		wantWrites []uint64
+	}{
+		{
+			name:       "SLOAD reads the slot",
+			src:        "PUSH 7\nSLOAD\nRETURN",
+			wantStatus: types.StatusOK,
+			wantReads:  []uint64{7},
+		},
+		{
+			name:       "SSTORE reads (gas-pricing Exists, journal Load) and writes the slot",
+			src:        "PUSH 9\nPUSH 42\nSSTORE\nPUSH 0\nRETURN",
+			wantStatus: types.StatusOK,
+			wantReads:  []uint64{9},
+			wantWrites: []uint64{9},
+		},
+		{
+			name:       "MAPKEY-derived SLOAD reads the mixed slot",
+			src:        "PUSH 3\nPUSH 5\nMAPKEY\nSLOAD\nRETURN",
+			wantStatus: types.StatusOK,
+			wantReads:  []uint64{mk},
+		},
+		{
+			name:       "MAPKEY-derived SSTORE writes the mixed slot",
+			src:        "PUSH 3\nPUSH 5\nMAPKEY\nPUSH 1\nSSTORE\nPUSH 0\nRETURN",
+			wantStatus: types.StatusOK,
+			wantReads:  []uint64{mk},
+			wantWrites: []uint64{mk},
+		},
+		{
+			name:       "revert of a created slot deletes (writes) it",
+			src:        "PUSH 9\nPUSH 1\nSSTORE\nREVERT",
+			wantStatus: types.StatusReverted,
+			wantReads:  []uint64{9},
+			wantWrites: []uint64{9},
+		},
+		{
+			name:       "revert of an updated slot restores (writes) it",
+			src:        "PUSH 9\nPUSH 7\nSSTORE\nREVERT",
+			pre:        map[uint64]uint64{9: 5},
+			wantStatus: types.StatusReverted,
+			wantReads:  []uint64{9},
+			wantWrites: []uint64{9},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, err := Assemble(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inner := MapStorage{}
+			for k, v := range tc.pre {
+				_ = inner.Store(k, v)
+			}
+			rec := &touchRecorder{}
+			res := New().Execute(code, &Context{
+				GasLimit: 1_000_000,
+				Storage:  RecordingStorage{Inner: inner, Rec: rec},
+			})
+			if res.Status != tc.wantStatus {
+				t.Fatalf("status = %v, want %v (err %v)", res.Status, tc.wantStatus, res.Err)
+			}
+			reads, writes := rec.reads(), rec.writes()
+			for _, k := range tc.wantReads {
+				if !reads[k] {
+					t.Errorf("slot %d missing from the read set (events %v)", k, rec.events)
+				}
+			}
+			for _, k := range tc.wantWrites {
+				if !writes[k] {
+					t.Errorf("slot %d missing from the write set (events %v)", k, rec.events)
+				}
+			}
+		})
+	}
+}
+
+// TestRecordingStorageRevertEvents distinguishes the two revert repair
+// paths: Delete for slots the transaction created, Store(prev) for slots
+// it updated.
+func TestRecordingStorageRevertEvents(t *testing.T) {
+	// Created slot: the unwind must Delete.
+	code, _ := Assemble("PUSH 9\nPUSH 1\nSSTORE\nREVERT")
+	rec := &touchRecorder{}
+	New().Execute(code, &Context{GasLimit: 1_000_000, Storage: RecordingStorage{Inner: MapStorage{}, Rec: rec}})
+	if !rec.has("delete", 9) {
+		t.Fatalf("revert of a created slot did not record a delete: %v", rec.events)
+	}
+
+	// Updated slot: the unwind must Store the previous value back.
+	inner := MapStorage{}
+	_ = inner.Store(9, 5)
+	rec = &touchRecorder{}
+	New().Execute(code, &Context{GasLimit: 1_000_000, Storage: RecordingStorage{Inner: inner, Rec: rec}})
+	stores := 0
+	for _, e := range rec.events {
+		if e.op == "store" && e.key == 9 {
+			stores++
+		}
+	}
+	if stores < 2 {
+		t.Fatalf("revert of an updated slot did not record the restore store: %v", rec.events)
+	}
+	if inner.Load(9) != 5 {
+		t.Fatalf("restore lost the previous value: %d", inner.Load(9))
+	}
+}
+
+// TestRecordingStorageLen pins the length path: bounded profiles probe the
+// entry count before admitting a slot, and that probe must surface as a
+// recorded read through the wrapper.
+func TestRecordingStorageLen(t *testing.T) {
+	inner := counted{MapStorage{}}
+	_ = inner.Store(1, 1)
+	rec := &touchRecorder{}
+	rs := RecordingStorage{Inner: inner, Rec: rec}
+	if got := rs.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	if !rec.has("len", 0) {
+		t.Fatalf("Len not recorded: %v", rec.events)
+	}
+	// A Len-less inner store reports zero instead of panicking.
+	rec = &touchRecorder{}
+	if got := (RecordingStorage{Inner: lenless{}, Rec: rec}).Len(); got != 0 {
+		t.Fatalf("len-less Len = %d", got)
+	}
+}
+
+// counted adds the Len method bounded profiles rely on.
+type counted struct{ MapStorage }
+
+func (c counted) Len() int { return len(c.MapStorage) }
+
+// lenless is a Storage without a Len method.
+type lenless struct{}
+
+func (lenless) Load(uint64) uint64         { return 0 }
+func (lenless) Store(uint64, uint64) error { return nil }
+func (lenless) Exists(uint64) bool         { return false }
+func (lenless) Delete(uint64)              {}
