@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint lint-audit race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke adversary-smoke pexec-smoke clean
+.PHONY: build test test-short vet lint lint-audit race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke adversary-smoke pexec-smoke spans-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ lint:
 lint-audit:
 	$(GO) run ./cmd/diablo-lint -audit ./...
 
-test: vet lint adversary-smoke pexec-smoke
+test: vet lint adversary-smoke pexec-smoke spans-smoke
 	$(GO) test ./...
 
 test-short:
@@ -34,7 +34,8 @@ race:
 		./internal/chains/... ./internal/bench ./internal/core \
 		./internal/obs ./internal/collect ./internal/snapshot \
 		./internal/report ./internal/perfharness \
-		./internal/adversary ./internal/invariant ./internal/pexec
+		./internal/adversary ./internal/invariant ./internal/pexec \
+		./internal/span
 
 # Tracked perf harness: scheduler events/sec, simnet msgs/sec, end-to-end
 # cell runtime, parallel-sweep speedup and intra-block execution speedup.
@@ -103,7 +104,8 @@ adversary-smoke:
 	rm -f adv-a.json adv-b.json adv-a.norm.json adv-b.norm.json
 
 # Parallel-execution smoke test: the chaos spec and the contract workload
-# must produce byte-identical results (after wall_ms normalization) with
+# must produce byte-identical results (after wall_ms normalization and
+# dropping the "pexec" counter block, which only worker>1 runs emit) with
 # serial and 4-worker intra-block execution — the DESIGN.md §14 guarantee,
 # end to end through the CLI.
 pexec-smoke:
@@ -112,17 +114,39 @@ pexec-smoke:
 		specs/setup-quorum-chaos.yaml specs/workload-native-10.yaml
 	$(GO) run ./cmd/diablo run --exec-workers=4 --output=px-s4.json \
 		specs/setup-quorum-chaos.yaml specs/workload-native-10.yaml
-	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-s1.json > px-s1.norm.json
-	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-s4.json > px-s4.norm.json
+	sed -e '/^  "pexec": {$$/,/^  },$$/d' -e 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-s1.json > px-s1.norm.json
+	sed -e '/^  "pexec": {$$/,/^  },$$/d' -e 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-s4.json > px-s4.norm.json
 	cmp px-s1.norm.json px-s4.norm.json
 	$(GO) run ./cmd/diablo run --exec-workers=1 --output=px-c1.json \
 		specs/setup-quorum.yaml specs/workload-contract-10.yaml
 	$(GO) run ./cmd/diablo run --exec-workers=4 --output=px-c4.json \
 		specs/setup-quorum.yaml specs/workload-contract-10.yaml
-	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-c1.json > px-c1.norm.json
-	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-c4.json > px-c4.norm.json
+	sed -e '/^  "pexec": {$$/,/^  },$$/d' -e 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-c1.json > px-c1.norm.json
+	sed -e '/^  "pexec": {$$/,/^  },$$/d' -e 's/"wall_ms": [0-9]*/"wall_ms": 0/' px-c4.json > px-c4.norm.json
 	cmp px-c1.norm.json px-c4.norm.json
 	rm -f px-*.json
+
+# Causal-span smoke test (DESIGN.md §15): recording spans must be pure
+# observation — the result JSON with --spans on is byte-identical (after
+# wall_ms normalization) to a run without — and same-seed span files must
+# be byte-identical; then the digest and flamegraph renderers must accept
+# the file.
+spans-smoke:
+	rm -f sp-*.json sp-*.jsonl.gz sp-*.folded
+	$(GO) run ./cmd/diablo run --output=sp-off.json \
+		specs/setup-quorum-chaos.yaml specs/workload-native-10.yaml
+	$(GO) run ./cmd/diablo run --spans=sp-a.jsonl.gz --output=sp-on.json \
+		specs/setup-quorum-chaos.yaml specs/workload-native-10.yaml
+	$(GO) run ./cmd/diablo run --spans=sp-b.jsonl.gz \
+		specs/setup-quorum-chaos.yaml specs/workload-native-10.yaml
+	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' sp-off.json > sp-off.norm.json
+	sed 's/"wall_ms": [0-9]*/"wall_ms": 0/' sp-on.json > sp-on.norm.json
+	cmp sp-off.norm.json sp-on.norm.json
+	cmp sp-a.jsonl.gz sp-b.jsonl.gz
+	$(GO) run ./cmd/diablo-report spans sp-a.jsonl.gz
+	$(GO) run ./cmd/diablo-report spans --flame sp-a.jsonl.gz > sp-a.folded
+	test -s sp-a.folded
+	rm -f sp-*.json sp-*.jsonl.gz sp-*.folded
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -136,3 +160,4 @@ clean:
 	rm -rf ck-a ck-b ck-a.json ck-b.json ck-a.norm.json ck-b.norm.json checkpoints
 	rm -f adv-a.json adv-b.json adv-a.norm.json adv-b.norm.json
 	rm -f px-s1.json px-s4.json px-c1.json px-c4.json px-s1.norm.json px-s4.norm.json px-c1.norm.json px-c4.norm.json
+	rm -f sp-off.json sp-on.json sp-off.norm.json sp-on.norm.json sp-a.jsonl.gz sp-b.jsonl.gz sp-a.folded

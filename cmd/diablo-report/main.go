@@ -6,6 +6,8 @@
 //	diablo-report --summary results.json.gz
 //	diablo-report trace out.jsonl.gz          ("where time goes" report)
 //	diablo-report trace --check out.jsonl.gz  (schema validation only)
+//	diablo-report spans spans.jsonl.gz        (critical-path digest)
+//	diablo-report spans --flame spans.jsonl.gz > out.folded
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"diablo/internal/obs"
 	"diablo/internal/report"
 	"diablo/internal/snapshot"
+	"diablo/internal/span"
 )
 
 // writeJSON pretty-prints a value.
@@ -37,6 +40,12 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "spans" {
+		if err := runSpans(os.Args[2:]); err != nil {
+			log.Fatalf("diablo-report: %v", err)
+		}
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "bisect" {
 		if err := runBisect(os.Args[2:]); err != nil {
 			log.Fatalf("diablo-report: %v", err)
@@ -48,6 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, `usage:
   diablo-report [--summary] <results.json>...
   diablo-report trace [--check] [--json] <trace.jsonl[.gz]>...
+  diablo-report spans [--critical-path|--flame|--json] <spans.jsonl[.gz]>...
   diablo-report bisect [--json] <run-a-dir> <run-b-dir>`)
 		flag.PrintDefaults()
 	}
@@ -118,6 +128,48 @@ func runTrace(args []string) error {
 			continue
 		}
 		report.RenderTrace(os.Stdout, tr, att)
+	}
+	return nil
+}
+
+// runSpans parses causal span files (`diablo run --spans=FILE`) and renders
+// the critical-path digest, the per-transaction paths, the folded
+// flamegraph stacks, or the analysis JSON.
+func runSpans(args []string) error {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	crit := fs.Bool("critical-path", false, "print every committed transaction's critical path")
+	flame := fs.Bool("flame", false, "print folded flamegraph stacks in virtual time (flamegraph.pl / speedscope input)")
+	asJSON := fs.Bool("json", false, "print the analysis as JSON instead of text")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: diablo-report spans [--critical-path|--flame|--json] <spans.jsonl[.gz]>...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	for _, path := range fs.Args() {
+		f, err := span.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		switch {
+		case *flame:
+			if err := f.WriteFolded(os.Stdout); err != nil {
+				return err
+			}
+		case *crit:
+			report.RenderTxPaths(os.Stdout, f)
+		case *asJSON:
+			if err := writeJSON(os.Stdout, span.Analyze(f)); err != nil {
+				return err
+			}
+		default:
+			report.RenderSpans(os.Stdout, span.Analyze(f))
+		}
 	}
 	return nil
 }

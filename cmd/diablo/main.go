@@ -87,6 +87,11 @@ run flags:
   --stat[=N]          print statistics; with N, also a progress line every
                       N sim-seconds (mempool depth, block rate, commit lag)
   --trace=FILE        write a JSONL transaction lifecycle trace (.gz = gzip)
+  --spans=FILE        write the causal span stream (.gz = gzip): every event,
+                      delivery, consensus phase and conflict as one causal
+                      tree per transaction; feed to "diablo-report spans"
+  --spans-wall=FILE   write the wall-clock folded-stack self-profile (which
+                      span labels burn real CPU; not deterministic)
   --metrics           sample the metrics registry every sim-second and embed
                       the timelines in the output JSON
   --repeat=N --workers=M    run N seeds (seed..seed+N-1), M cells at a time
@@ -233,6 +238,8 @@ func runLocal(args []string) error {
 	repeat := fs.Int("repeat", 1, "run this many seeds (seed..seed+N-1)")
 	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS, 1 = serial)")
 	tracePath := fs.String("trace", "", "write a JSONL transaction lifecycle trace (a .gz path is gzip-compressed)")
+	spansPath := fs.String("spans", "", "write the causal span stream (a .gz path is gzip-compressed)")
+	spansWallPath := fs.String("spans-wall", "", "write the wall-clock folded-stack self-profile (non-deterministic)")
 	metrics := fs.Bool("metrics", false, "sample the metrics registry every sim-second and embed the timelines in the output")
 	ckEvery := fs.String("checkpoint-every", "", "write a state checkpoint every N sim-seconds (plain number or duration)")
 	ckDir := fs.String("checkpoint-dir", "checkpoints", "directory for checkpoint files")
@@ -376,14 +383,54 @@ func runLocal(args []string) error {
 			exps[i].Trace = w
 			logger(level)("tracing to %s", path)
 		}
+		if *spansPath != "" {
+			path := *spansPath
+			if *repeat > 1 {
+				path = seedSuffixed(path, exps[i].Seed)
+			}
+			w, err := obs.OpenSink(path)
+			if err != nil {
+				return err
+			}
+			sinks = append(sinks, w)
+			exps[i].Spans = w
+			logger(level)("spans to %s", path)
+		}
+		if *spansWallPath != "" {
+			path := *spansWallPath
+			if *repeat > 1 {
+				path = seedSuffixed(path, exps[i].Seed)
+			}
+			w, err := obs.OpenSink(path)
+			if err != nil {
+				return err
+			}
+			sinks = append(sinks, w)
+			exps[i].SpansWall = w
+			logger(level)("wall profile to %s", path)
+		}
 	}
 	// The periodic progress line only makes sense for a single serial run.
 	if stat.every > 0 && *repeat == 1 {
 		exps[0].ProgressEvery = stat.every
+		// Wall-clock pacing rides along: events/s of real time and how much
+		// faster than real time the simulation advances. Both live only in
+		// this progress line — the deterministic outputs never see them.
+		var lastEvents uint64
+		var lastVT time.Duration
+		lastWall := time.Now()
 		exps[0].Progress = func(p bench.Progress) {
 			lag := int64(p.Submitted) - int64(p.Decided) - int64(p.TimedOut)
-			fmt.Printf("[t=%4.0fs] submitted %d, committed %d (lag %d), mempool %d, blocks %d (%.1f/s)\n",
-				p.At.Seconds(), p.Submitted, p.Decided, lag, p.Mempool, p.Blocks, p.BlockRate)
+			wall := time.Now()
+			dw := wall.Sub(lastWall).Seconds()
+			evRate, speedup := 0.0, 0.0
+			if dw > 0 {
+				evRate = float64(p.Events-lastEvents) / dw
+				speedup = (p.At - lastVT).Seconds() / dw
+			}
+			fmt.Printf("[t=%4.0fs] submitted %d, committed %d (lag %d), mempool %d, blocks %d (%.1f/s), %.0f events/s wall, %.0fx real time\n",
+				p.At.Seconds(), p.Submitted, p.Decided, lag, p.Mempool, p.Blocks, p.BlockRate, evRate, speedup)
+			lastEvents, lastVT, lastWall = p.Events, p.At, wall
 		}
 	}
 	// Independent seeds sweep concurrently; outcomes come back in seed

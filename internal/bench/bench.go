@@ -20,6 +20,7 @@ import (
 	"diablo/internal/obs"
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
+	"diablo/internal/span"
 	"diablo/internal/wallet"
 	"diablo/internal/workloads"
 )
@@ -77,6 +78,18 @@ type Experiment struct {
 	// second, embedded in Outcome.Metrics (and, when tracing, as "sample"
 	// events in the trace).
 	Metrics bool
+	// Spans, when non-nil, receives the causal span JSONL stream (see
+	// internal/span and DESIGN.md §15): every scheduled event, delivery,
+	// consensus round, mempool admission and parallel-execution conflict
+	// as one causal tree per committed transaction, in virtual time.
+	// Recording only observes, so the run's result, trace and checkpoints
+	// are byte-identical whether spans are on or off.
+	Spans io.Writer
+	// SpansWall, when non-nil, receives wall-clock self-profiling folded
+	// stacks (which span labels burn real CPU in the simulator). This is
+	// the suite's only non-deterministic artifact; it never mixes into
+	// deterministic outputs.
+	SpansWall io.Writer
 	// Progress, when set together with ProgressEvery, is called on periodic
 	// sim-time ticks with live run statistics (`diablo run --stat N`).
 	Progress func(Progress)
@@ -131,6 +144,9 @@ type Progress struct {
 	// virtual second since the previous tick.
 	Blocks    uint64
 	BlockRate float64
+	// Events counts scheduler events executed so far; the CLI derives the
+	// wall-clock event rate and sim-time speedup from it.
+	Events uint64
 }
 
 // Outcome bundles the engine result with run-level diagnostics.
@@ -176,6 +192,15 @@ type Outcome struct {
 	// Adversary summarizes the Byzantine engine's counters
 	// (Experiment.Byzantine).
 	Adversary *AdversaryStats
+	// SpanRecords counts emitted span records (Experiment.Spans).
+	SpanRecords uint64
+	// Parallel-execution diagnostics (ExecWorkers > 1): blocks that took
+	// the parallel path, speculative commits, sequential fallbacks and
+	// read-after-write conflict edges.
+	ParallelBlocks uint64
+	SpecCommitted  uint64
+	Fallbacks      uint64
+	HazardEdges    uint64
 }
 
 // AdversaryStats summarizes what a scripted Byzantine adversary did.
@@ -228,14 +253,31 @@ func Run(e Experiment) (*Outcome, error) {
 
 	start := time.Now()
 	sched := sim.NewScheduler(e.Seed)
+	// Span recording is armed before anything is scheduled so deployment
+	// events are already attributed. The recorder only observes — it draws
+	// no randomness and schedules nothing — so the run's result, trace and
+	// checkpoints are byte-identical with or without it.
+	var spans *span.Recorder
+	if e.Spans != nil || e.SpansWall != nil {
+		spans = span.NewRecorder(e.Spans)
+		spans.EnableWall(e.SpansWall)
+		spans.Meta(e.Chain, e.Seed, cfg.Nodes)
+		sched.SetProfiler(spans)
+	}
 	wan := simnet.New(sched)
 	wan.SeedFaults(e.Seed)
+	if spans != nil {
+		wan.SetSpans(spans)
+	}
 	net := chain.Deploy(sched, wan, params, chain.Deployment{
 		Nodes:   cfg.Nodes,
 		VCPUs:   cfg.VCPUs,
 		Regions: cfg.Regions,
 	})
 	net.DefaultRetry = e.Retry
+	if spans != nil {
+		net.SetSpans(spans)
+	}
 
 	// Observability: the tracer and registry are wired before anything is
 	// scheduled so the sampled column order and the event stream are
@@ -348,6 +390,7 @@ func Run(e Experiment) (*Outcome, error) {
 				Mempool:   net.Pool.Len(),
 				Blocks:    blocks,
 				BlockRate: rate,
+				Events:    sched.Executed(),
 			})
 			lastBlocks, lastAt = blocks, now
 		})
@@ -358,7 +401,7 @@ func Run(e Experiment) (*Outcome, error) {
 	// observes the settled state. Capture only reads state — no RNG draws,
 	// no scheduling besides its own ticker — so the run's outputs are
 	// byte-identical with or without it.
-	ck, err := armCheckpoints(e, sched, wan, chaosEng, advEng, mon, net, reg)
+	ck, err := armCheckpoints(e, sched, wan, chaosEng, advEng, mon, net, reg, spans)
 	if err != nil {
 		return nil, err
 	}
@@ -387,6 +430,15 @@ func Run(e Experiment) (*Outcome, error) {
 			return nil, fmt.Errorf("bench: writing trace: %w", err)
 		}
 	}
+	if spans != nil {
+		spans.Finish()
+		if err := spans.Flush(); err != nil {
+			return nil, fmt.Errorf("bench: writing spans: %w", err)
+		}
+		if err := spans.FlushWall(); err != nil {
+			return nil, fmt.Errorf("bench: writing wall profile: %w", err)
+		}
+	}
 
 	out := &Outcome{
 		Result:      result,
@@ -406,7 +458,12 @@ func Run(e Experiment) (*Outcome, error) {
 		TraceEvents: tracer.Events(),
 		Checkpoints: ck.written(),
 		Verified:    ck.verifiedAt(),
+		SpanRecords: spans.Emitted(),
 	}
+	out.ParallelBlocks = net.Exec.ParallelBlocks
+	out.SpecCommitted = net.Exec.SpecCommitted
+	out.Fallbacks = net.Exec.Fallbacks
+	out.HazardEdges = net.Exec.HazardEdges
 	out.InvariantsChecked = mon.Checked()
 	out.Violations = mon.Violations()
 	if advEng != nil {

@@ -12,6 +12,7 @@ import (
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
 	"diablo/internal/snapshot"
+	"diablo/internal/span"
 )
 
 // ckState tracks a run's checkpoint recorder. All methods are safe on the
@@ -53,11 +54,11 @@ func (c *ckState) verifiedAt() time.Duration {
 
 // armCheckpoints wires the snapshot recorder into a run: section
 // registration in a fixed order (sched, simnet, chaos, adversary, chain,
-// pool, exec, clients, engine, obs, invariant — the order bisect reports
-// subsystems in), a capture ticker, and — when resuming — reconciliation
+// pool, exec, clients, engine, obs, invariant, spans — the order bisect
+// reports subsystems in), a capture ticker, and — when resuming — reconciliation
 // of the stored checkpoint against the fast-forwarded state at its
 // virtual time. Returns nil state when checkpointing is disabled.
-func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, chaosEng *chaos.Engine, advEng *adversary.Engine, mon *invariant.Monitor, net *chain.Network, reg *obs.Registry) (*ckState, error) {
+func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, chaosEng *chaos.Engine, advEng *adversary.Engine, mon *invariant.Monitor, net *chain.Network, reg *obs.Registry, spans *span.Recorder) (*ckState, error) {
 	interval := e.CheckpointEvery
 	var resume *snapshot.File
 	if e.Resume != "" {
@@ -122,6 +123,9 @@ func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, cha
 	}
 	if mon != nil {
 		rec.Register("invariant", mon)
+	}
+	if spans != nil {
+		rec.Register("spans", spans)
 	}
 
 	c := &ckState{recorder: rec, verified: -1, resuming: resume != nil}

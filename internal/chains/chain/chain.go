@@ -26,6 +26,7 @@ import (
 	"diablo/internal/obs"
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
+	"diablo/internal/span"
 	"diablo/internal/types"
 	"diablo/internal/vmprofiles"
 )
@@ -182,9 +183,11 @@ type Network struct {
 
 	// tracer emits lifecycle events; nil (the default) disables tracing
 	// at zero cost. Obs holds the registry counters, nil-disabled the same
-	// way. Both are set by Instrument.
+	// way. Both are set by Instrument. spans, when attached, records the
+	// causal span tree (DESIGN.md §15); nil-disabled like the tracer.
 	tracer *obs.Tracer
 	Obs    Metrics
+	spans  *span.Recorder
 
 	// Stats
 	TotalCommittedTxs uint64
@@ -368,6 +371,51 @@ func (nd *Node) Send(to int, size int, payload any) {
 	nd.Sim.Send(n.Nodes[to].Sim.ID, size, payload)
 }
 
+// SetSpans attaches a causal span recorder. Engines and clients reach it
+// through the nil-safe helpers below, so a network without spans pays
+// nothing. The mempool's admission hook is wired here so every admitted
+// transaction gets its "mempool.admit" anchor span.
+func (n *Network) SetSpans(r *span.Recorder) {
+	n.spans = r
+	n.Exec.spans = r
+	if r != nil {
+		n.Pool.SetAdmitHook(func(tx *types.Transaction, origin int, now time.Duration) {
+			r.PointTx(now, span.LabelAdmit, int32(origin), tx.ID())
+		})
+	}
+}
+
+// Spans returns the attached span recorder (nil when disabled); every
+// recorder method is safe on nil, so callers use it unconditionally.
+func (n *Network) Spans() *span.Recorder { return n.spans }
+
+// RoundBegin opens a consensus-round interval span led by leader at the
+// given view/height. Returns the span id for RoundPhase/RoundEnd; 0 when
+// spans are disabled.
+func (n *Network) RoundBegin(view uint64, leader int) uint64 {
+	if n.spans == nil {
+		return 0
+	}
+	return n.spans.Begin(n.Sched.Now(), "consensus.round", int32(leader), view)
+}
+
+// RoundPhase marks a protocol phase ("propose", "vote", "commit") inside
+// an open round span.
+func (n *Network) RoundPhase(id uint64, phase string, node int) {
+	if n.spans == nil || id == 0 {
+		return
+	}
+	n.spans.Annotate(id, n.Sched.Now(), "consensus."+phase, int32(node))
+}
+
+// RoundEnd closes a round span opened by RoundBegin.
+func (n *Network) RoundEnd(id uint64) {
+	if n.spans == nil || id == 0 {
+		return
+	}
+	n.spans.End(id, n.Sched.Now())
+}
+
 // ExecTime converts gas into execution wall time on this network's
 // hardware.
 func (n *Network) ExecTime(gas uint64) time.Duration {
@@ -515,13 +563,17 @@ func (n *Network) AssembleBlockBudgeted(proposer int, allowEmpty bool, maxTxs in
 	groups := &blockGroups{byOrigin: make(map[int][]decidedTx)}
 	// ApplyBlock executes serially or on the parallel worker pool
 	// (Exec.Workers, DESIGN.md §14); receipts are identical either way.
+	specBefore, fbBefore, hzBefore := n.Exec.SpecCommitted, n.Exec.Fallbacks, n.Exec.HazardEdges
+	n.spans.FrameEnter("exec.apply")
 	receipts := n.Exec.ApplyBlock(txs, blk, n.Params)
+	n.spans.FrameExit()
 	for i, tx := range txs {
 		id := tx.ID()
 		if tx.Kind == types.KindInvoke {
 			invokes++
 		}
 		n.monitor.OnInclude(id, blk.Number, now)
+		n.spans.PointTx(now, "chain.include", int32(proposer), id)
 		r := receipts[i]
 		n.receipts[id] = r
 		gasUsed += r.GasUsed
@@ -543,6 +595,7 @@ func (n *Network) AssembleBlockBudgeted(proposer int, allowEmpty bool, maxTxs in
 	n.TotalCommittedTxs += uint64(len(txs))
 	validate := n.BlockExecTime(gasUsed, len(txs))
 	assemble := validate + time.Duration(invokes)*n.Params.SerialInvokePerTx
+	n.spans.PointBlock(now, span.LabelBlock, int32(proposer), blk.Number)
 	n.Obs.Blocks.Inc()
 	n.Obs.Included.Add(uint64(len(txs)))
 	if n.Obs.BlockFill != nil || n.tracer != nil {
@@ -553,6 +606,10 @@ func (n *Network) AssembleBlockBudgeted(proposer int, allowEmpty bool, maxTxs in
 			n.tracer.Block(now, blk.Number, len(txs), gasUsed, n.Params.BlockGasLimit, fill, assemble, validate, proposer)
 			for _, tx := range txs {
 				n.tracer.Include(now, tx.ID(), blk.Number)
+			}
+			if n.Exec.Workers > 1 {
+				n.tracer.Pexec(now, blk.Number, n.Exec.SpecCommitted-specBefore,
+					n.Exec.Fallbacks-fbBefore, n.Exec.HazardEdges-hzBefore)
 			}
 		}
 	}

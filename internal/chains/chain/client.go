@@ -6,6 +6,7 @@ import (
 
 	"diablo/internal/mempool"
 	"diablo/internal/sim"
+	"diablo/internal/span"
 	"diablo/internal/types"
 )
 
@@ -136,12 +137,14 @@ func (c *Client) Submit(tx *types.Transaction) {
 	c.pending[id] = p
 	c.net.Obs.Submitted.Inc()
 	c.net.tracer.Submit(c.net.Sched.Now(), id, c.node.Index)
+	c.net.spans.PointTx(c.net.Sched.Now(), span.LabelSubmit, int32(c.node.Index), id)
 	c.send(id, p)
 }
 
 // send performs one submission attempt for a tracked transaction.
 func (c *Client) send(id types.Hash, p *pendingTx) {
 	delay := rpcLatency + c.net.Params.SubmitOverhead
+	c.net.spans.Hint("client.rpc", int32(c.node.Index))
 	c.net.Sched.AfterKind(sim.KindClient, delay, func() {
 		if c.pending[id] != p {
 			return // decided while the attempt was in flight
@@ -161,6 +164,7 @@ func (c *Client) send(id types.Hash, p *pendingTx) {
 				c.settle(id, p)
 				c.net.Obs.Decided.Inc()
 				c.net.tracer.Commit(c.net.Sched.Now(), id, c.node.Index)
+				c.net.spans.PointTx(c.net.Sched.Now(), span.LabelCommit, int32(c.node.Index), id)
 				if c.OnDecided != nil {
 					c.OnDecided(id, r.Status, c.net.Sched.Now())
 				}
@@ -186,6 +190,7 @@ func (c *Client) arm(id types.Hash, p *pendingTx) {
 	if !c.retry.Enabled() {
 		return
 	}
+	c.net.spans.Hint("client.retry", int32(c.node.Index))
 	p.timer = c.net.Sched.AfterKind(sim.KindClient, c.retry.wait(p.attempts), func() { c.expire(id, p) })
 	p.hasTimer = true
 }
@@ -255,6 +260,7 @@ func (c *Client) onBlock(blk *types.Block, mine []decidedTx) {
 			c.settle(d.id, p)
 			c.net.Obs.Decided.Inc()
 			c.net.tracer.Commit(c.net.Sched.Now(), d.id, c.node.Index)
+			c.net.spans.PointTx(c.net.Sched.Now(), span.LabelCommit, int32(c.node.Index), d.id)
 			if c.OnDecided != nil {
 				c.OnDecided(d.id, d.status, c.net.Sched.Now())
 			}

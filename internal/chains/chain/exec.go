@@ -8,6 +8,7 @@ import (
 	"diablo/internal/avm"
 	"diablo/internal/dapps"
 	"diablo/internal/minisol"
+	"diablo/internal/span"
 	"diablo/internal/trie"
 	"diablo/internal/types"
 	"diablo/internal/vm"
@@ -75,11 +76,18 @@ type Executor struct {
 	interps []*vm.Interpreter
 
 	// Parallel-execution diagnostics. They depend on the worker count, so
-	// they are deliberately excluded from SnapshotState and the result
-	// JSON: checkpoints and outputs stay identical across worker counts.
+	// they are deliberately excluded from SnapshotState and the default
+	// result JSON: checkpoints and outputs stay identical across worker
+	// counts. (`diablo run` surfaces them, as omitempty summary fields,
+	// only when --exec-workers > 1.)
 	ParallelBlocks uint64 // blocks that took the parallel path
 	SpecCommitted  uint64 // transactions committed from speculation
 	Fallbacks      uint64 // transactions re-executed sequentially
+	HazardEdges    uint64 // read-after-write edges in the conflict graphs
+
+	// spans, when attached (Network.SetSpans), receives per-key conflict
+	// attributions from the parallel commit scan; nil-disabled.
+	spans *span.Recorder
 }
 
 type cacheKey struct {

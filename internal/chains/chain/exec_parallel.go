@@ -598,7 +598,12 @@ func (e *Executor) ApplyBlock(txs []*types.Transaction, blk *types.Block, p Para
 			sets[i] = l.set
 		}
 	}
-	graph := pexec.BuildGraph(sets)
+	var onEdge func(int, pexec.Key)
+	if e.spans != nil {
+		onEdge = func(_ int, k pexec.Key) { e.spans.Conflict(k.String()) }
+	}
+	graph := pexec.BuildGraphObserved(sets, onEdge)
+	e.HazardEdges += uint64(graph.Edges())
 
 	// Phase two: serial commit scan in canonical order.
 	mv := newBlockMV()
@@ -610,6 +615,7 @@ func (e *Executor) ApplyBlock(txs []*types.Transaction, blk *types.Block, p Para
 			for _, k := range l.set.Reads() {
 				if _, hit := fallbackWritten[k]; hit {
 					commit = false
+					e.spans.Conflict(k.String())
 					break
 				}
 			}

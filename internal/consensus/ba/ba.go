@@ -53,6 +53,13 @@ type roundState struct {
 	certCount  []int
 	delivered  []bool
 	nDelivered int
+
+	// span is the open consensus-round span; phaseVote/ended mark its
+	// one-shot phase and close annotations (first node reaching each
+	// threshold, a deterministic event).
+	span      uint64
+	phaseVote bool
+	ended     bool
 }
 
 // Engine runs BA* rounds for the deployment.
@@ -138,7 +145,7 @@ func (e *Engine) propose() {
 	e.net.MaybeEquivocate(proposer, blk, e.threshold())
 	round := e.round
 	size := len(e.net.Nodes)
-	e.rounds[round] = &roundState{
+	st := &roundState{
 		block:     blk,
 		cost:      cost,
 		blockSeen: make([]bool, size),
@@ -148,11 +155,14 @@ func (e *Engine) propose() {
 		certCount: make([]int, size),
 		delivered: make([]bool, size),
 	}
+	st.span = e.net.RoundBegin(round, proposer)
+	e.rounds[round] = st
 	r := e.net.OverloadRatio()
 	e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Assemble)*r), func() {
 		if e.stopped {
 			return
 		}
+		e.net.RoundPhase(st.span, "propose", proposer)
 		e.net.Gossip(proposer, blk.Size()+64, chain.DefaultFanout, func(idx int, _ time.Duration) {
 			e.onBlock(idx, round)
 		})
@@ -204,6 +214,10 @@ func (e *Engine) deliverVote(idx int, payload any) {
 		// the soft threshold is reached at them.
 		if st.softCount[idx] >= e.threshold() && e.committee(v.round, 1)[idx] && !st.certSent[idx] {
 			st.certSent[idx] = true
+			if !st.phaseVote {
+				st.phaseVote = true
+				e.net.RoundPhase(st.span, "vote", idx)
+			}
 			round := v.round
 			e.net.Sched.AfterKind(sim.KindConsensus, processing, func() {
 				if e.stopped || e.net.VoteWithheld(idx) {
@@ -221,6 +235,12 @@ func (e *Engine) deliverVote(idx int, payload any) {
 		if st.certCount[idx] >= e.threshold() && !st.delivered[idx] {
 			st.delivered[idx] = true
 			st.nDelivered++
+			if !st.ended {
+				st.ended = true
+				e.net.RoundPhase(st.span, "commit", idx)
+				e.net.RoundEnd(st.span)
+				st.span = 0
+			}
 			e.net.DeliverBlock(idx, st.block)
 			if st.nDelivered == len(e.net.Nodes) {
 				delete(e.rounds, v.round)

@@ -58,18 +58,23 @@ func (e *Engine) seal() {
 		return
 	}
 	blk, cost := e.net.AssembleBlock(sealer, true)
+	round := e.net.RoundBegin(blk.Number, sealer)
 	r := e.net.OverloadRatio()
 	assembly := time.Duration(float64(cost.Assemble) * r)
 	e.net.Sched.AfterKind(sim.KindConsensus, assembly, func() {
 		if e.stopped {
 			return
 		}
+		e.net.RoundPhase(round, "propose", sealer)
 		e.net.Gossip(sealer, blk.Size(), chain.DefaultFanout, func(idx int, _ time.Duration) {
 			// Import: validate (re-execute) then expose to clients.
 			e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Validate)*e.net.OverloadRatio()), func() {
 				e.net.DeliverBlock(idx, blk)
 			})
 		})
+		// No votes in proof-of-authority: the round is over once the
+		// sealed block is handed to gossip.
+		e.net.RoundEnd(round)
 	})
 	e.net.Sched.AfterKind(sim.KindConsensus, e.period, e.seal)
 }

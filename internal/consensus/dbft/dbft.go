@@ -48,6 +48,13 @@ type roundState struct {
 	readC []int
 	deliv []bool
 	nDel  int
+
+	// span is the open consensus-round span; phaseVote/ended mark its
+	// one-shot phase and close annotations (first node reaching each
+	// quorum, a deterministic event).
+	span      uint64
+	phaseVote bool
+	ended     bool
 }
 
 // Engine runs leaderless DBFT rounds for the deployment.
@@ -111,6 +118,7 @@ func (e *Engine) propose() {
 		readC: make([]int, size),
 		deliv: make([]bool, size),
 	}
+	st.span = e.net.RoundBegin(round, coordinator)
 	e.rounds[round] = st
 
 	// Parallel dissemination: k proposers each spread a 1/k fragment of
@@ -127,6 +135,7 @@ func (e *Engine) propose() {
 	arrivals := make([]int, size)
 	for p := 0; p < k; p++ {
 		root := (coordinator + p) % size
+		first := p == 0
 		// Leaderless resilience: a down proposer's fragment is taken over
 		// by the next live node.
 		for probe := 0; probe < size && e.net.Nodes[root].Sim.Crashed(); probe++ {
@@ -135,6 +144,9 @@ func (e *Engine) propose() {
 		e.net.Sched.AfterKind(sim.KindConsensus, perProposer, func() {
 			if e.stopped {
 				return
+			}
+			if first {
+				e.net.RoundPhase(st.span, "propose", root)
 			}
 			e.net.Gossip(root, fragment, chain.DefaultFanout, func(idx int, _ time.Duration) {
 				arrivals[idx]++
@@ -197,6 +209,10 @@ func (e *Engine) deliverVote(idx int, v vote) {
 	case 0:
 		st.echoC[idx]++
 		if st.echoC[idx] >= e.quorum() {
+			if !st.phaseVote {
+				st.phaseVote = true
+				e.net.RoundPhase(st.span, "vote", idx)
+			}
 			e.castVote(idx, vote{round: v.round, phase: 1}, st, &st.readS[idx])
 		}
 	case 1:
@@ -204,6 +220,12 @@ func (e *Engine) deliverVote(idx int, v vote) {
 		if st.readC[idx] >= e.quorum() && !st.deliv[idx] {
 			st.deliv[idx] = true
 			st.nDel++
+			if !st.ended {
+				st.ended = true
+				e.net.RoundPhase(st.span, "commit", idx)
+				e.net.RoundEnd(st.span)
+				st.span = 0
+			}
 			e.net.DeliverBlock(idx, st.blk)
 			if st.nDel == len(e.net.Nodes) {
 				delete(e.rounds, v.round)

@@ -60,6 +60,7 @@ type Engine struct {
 	voted        []bool
 	timeoutEv    sim.EventID
 	curTimeout   time.Duration
+	roundSpan    uint64 // open consensus-round span for the current view
 
 	// Views counts started views.
 	Views uint64
@@ -130,6 +131,7 @@ func (e *Engine) propose() {
 	view := e.view
 	e.blocks[view] = blk
 	e.costs[view] = cost
+	e.roundSpan = e.net.RoundBegin(view, leader)
 	e.net.MaybeEquivocate(leader, blk, e.quorum())
 	e.anyProposed = true
 	if len(blk.Txs) > 0 {
@@ -147,6 +149,7 @@ func (e *Engine) propose() {
 		if e.stopped || e.view != view {
 			return
 		}
+		e.net.RoundPhase(e.roundSpan, "propose", leader)
 		e.net.Gossip(leader, blk.Size()+64, chain.DefaultFanout, func(idx int, _ time.Duration) {
 			e.onProposal(idx, proposal{view: view})
 		})
@@ -222,6 +225,9 @@ func (e *Engine) onVote(at int, v voteMsg) {
 	e.votes++
 	if e.votes >= e.quorum() {
 		e.timeoutEv.Cancel()
+		e.net.RoundPhase(e.roundSpan, "vote", at)
+		e.net.RoundEnd(e.roundSpan)
+		e.roundSpan = 0
 		e.view++
 		wait := e.net.Params.MinBlockInterval
 		e.net.Sched.AfterKind(sim.KindConsensus, wait, e.propose)

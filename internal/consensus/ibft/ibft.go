@@ -48,6 +48,13 @@ type seqState struct {
 	commitCount  []int
 	delivered    []bool
 	nDelivered   int
+
+	// span is the open consensus-round span for this proposer round;
+	// phasePrep/phaseCommit mark its phase annotations emitted (first
+	// node reaching each quorum, a deterministic event).
+	span        uint64
+	phasePrep   bool
+	phaseCommit bool
 }
 
 // Engine is the IBFT state machine for the whole deployed network. One
@@ -125,12 +132,14 @@ func (e *Engine) propose() {
 		nd.blk, nd.cost, nd.round = st.blk, st.cost, st.round
 		copy(nd.delivered, st.delivered)
 		nd.nDelivered = st.nDelivered
+		e.net.RoundEnd(st.span) // the failed round is over
 		e.states[e.seq] = nd
 		st = nd
 	}
 	e.Rounds++
 	seq, round := e.seq, st.round
 	leader := int(seq+uint64(round)) % len(e.net.Nodes)
+	st.span = e.net.RoundBegin(seq, leader)
 	blk := st.blk
 	r := e.net.OverloadRatio()
 	e.timeoutEv.Cancel()
@@ -141,6 +150,7 @@ func (e *Engine) propose() {
 		if e.stopped {
 			return
 		}
+		e.net.RoundPhase(st.span, "propose", leader)
 		e.net.Gossip(leader, blk.Size()+64, chain.DefaultFanout, func(idx int, _ time.Duration) {
 			e.onPrePrepare(idx, seq, round)
 		})
@@ -197,6 +207,10 @@ func (e *Engine) onVote(at int, v vote) {
 		st.prepareCount[at]++
 		if st.prepareCount[at] >= e.quorum() && !st.committedOut[at] {
 			st.committedOut[at] = true
+			if !st.phasePrep {
+				st.phasePrep = true
+				e.net.RoundPhase(st.span, "prepare", at)
+			}
 			e.broadcastVote(at, vote{seq: v.seq, round: v.round, phase: 1})
 		}
 	case 1:
@@ -204,6 +218,12 @@ func (e *Engine) onVote(at int, v vote) {
 		if st.commitCount[at] >= e.quorum() && !st.delivered[at] {
 			st.delivered[at] = true
 			st.nDelivered++
+			if !st.phaseCommit {
+				st.phaseCommit = true
+				e.net.RoundPhase(st.span, "commit", at)
+				e.net.RoundEnd(st.span)
+				st.span = 0
+			}
 			e.net.DeliverBlock(at, st.blk)
 			if st.nDelivered == len(e.net.Nodes) {
 				delete(e.states, v.seq)

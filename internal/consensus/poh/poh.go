@@ -110,8 +110,16 @@ func (e *Engine) tick() {
 		return
 	}
 	// The slot's PoH stream is already being transmitted as it is built;
-	// dissemination starts immediately.
+	// dissemination starts immediately. The round span closes at the
+	// first (deterministic) delivery: there is no quorum to wait for.
+	round := e.net.RoundBegin(slot, leader)
+	e.net.RoundPhase(round, "propose", leader)
+	ended := false
 	e.net.Gossip(leader, blk.Size()+64, chain.DefaultFanout, func(idx int, _ time.Duration) {
+		if !ended {
+			ended = true
+			e.net.RoundEnd(round)
+		}
 		// Optimistic confirmation at arrival; the client layer enforces
 		// the 30-block confirmation depth before reporting finality.
 		e.net.DeliverBlock(idx, blk)

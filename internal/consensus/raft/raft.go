@@ -56,6 +56,7 @@ type blockState struct {
 	acks  int
 	done  bool
 	seenB []bool
+	span  uint64 // open consensus-round span for this block
 }
 
 // Engine is the Raft state machine for the deployed network. One engine
@@ -216,6 +217,7 @@ func (e *Engine) produce() {
 		return
 	}
 	st := &blockState{blk: blk, cost: cost, acks: 1, seenB: make([]bool, len(e.net.Nodes))}
+	st.span = e.net.RoundBegin(blk.Number, e.leader)
 	e.blocks[blk.Number] = st
 	e.delivered[blk.Number] = make([]bool, len(e.net.Nodes))
 	r := e.net.OverloadRatio()
@@ -226,6 +228,7 @@ func (e *Engine) produce() {
 		}
 		// Replicate the block body to every follower (gossip tree keeps
 		// the leader's uplink sane, as Quorum's devp2p layer does).
+		e.net.RoundPhase(st.span, "propose", leader)
 		e.net.Gossip(leader, blk.Size()+64, chain.DefaultFanout, func(idx int, _ time.Duration) {
 			if idx != leader {
 				e.onAppend(idx, appendEntries{term: e.term, leader: leader, seq: blk.Number, commit: e.commitIdx})
@@ -266,6 +269,11 @@ func (e *Engine) onAck(m appendAck) {
 	st.acks++
 	if st.acks >= e.majority() {
 		st.done = true
+		if e.leader >= 0 {
+			e.net.RoundPhase(st.span, "vote", e.leader)
+		}
+		e.net.RoundEnd(st.span)
+		st.span = 0
 		if m.seq > e.commitIdx {
 			e.commitIdx = m.seq
 		}

@@ -55,6 +55,11 @@ type roundState struct {
 	confidence []int
 	accepted   []bool
 	nAccepted  int
+
+	// span is the open consensus-round span; ended marks its one-shot
+	// close at the first acceptance (a deterministic event).
+	span  uint64
+	ended bool
 }
 
 // Engine runs the snowball sampling loop for the deployment.
@@ -118,6 +123,7 @@ func (e *Engine) propose() {
 		confidence: make([]int, len(e.net.Nodes)),
 		accepted:   make([]bool, len(e.net.Nodes)),
 	}
+	st.span = e.net.RoundBegin(round, proposer)
 	e.rounds[round] = st
 	e.startedAt = e.net.Sched.Now()
 	r := e.net.OverloadRatio()
@@ -132,6 +138,7 @@ func (e *Engine) propose() {
 		if e.stopped {
 			return
 		}
+		e.net.RoundPhase(st.span, "propose", proposer)
 		e.net.Gossip(proposer, blk.Size()+64, chain.DefaultFanout, func(idx int, _ time.Duration) {
 			e.startSampling(idx, round)
 		})
@@ -209,6 +216,12 @@ func (e *Engine) onChit(idx int, c chit) {
 	if st.confidence[idx] >= beta {
 		st.accepted[idx] = true
 		st.nAccepted++
+		if !st.ended {
+			st.ended = true
+			e.net.RoundPhase(st.span, "commit", idx)
+			e.net.RoundEnd(st.span)
+			st.span = 0
+		}
 		e.net.DeliverBlock(idx, st.blk)
 		if st.nAccepted == len(e.net.Nodes) {
 			delete(e.rounds, c.round)

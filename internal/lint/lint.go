@@ -63,6 +63,7 @@ func DefaultDeterministic(modPath string) []string {
 		modPath + "/internal/snapshot",
 		modPath + "/internal/core",
 		modPath + "/internal/pexec",
+		modPath + "/internal/span",
 	}
 }
 

@@ -52,6 +52,11 @@ type Entry struct {
 // node origin to become visible at node viewer.
 type VisibilityFunc func(origin, viewer int) time.Duration
 
+// AdmitHook observes successful admissions. The harness wires it to the
+// causal span layer so every admission opens a "mempool.admit" anchor
+// span; nil (the default) costs nothing.
+type AdmitHook func(tx *types.Transaction, origin int, now time.Duration)
+
 // Pool is a FIFO transaction pool with policy enforcement and per-node
 // visibility. It is not safe for concurrent use; the simulation is
 // single-threaded.
@@ -63,7 +68,11 @@ type Pool struct {
 	visible  VisibilityFunc
 	dropped  uint64
 	accepted uint64
+	onAdmit  AdmitHook
 }
+
+// SetAdmitHook installs the admission observer.
+func (p *Pool) SetAdmitHook(h AdmitHook) { p.onAdmit = h }
 
 // New creates a pool. visible may be nil, meaning instant visibility.
 func New(policy Policy, visible VisibilityFunc) *Pool {
@@ -102,6 +111,9 @@ func (p *Pool) Add(tx *types.Transaction, origin int, now time.Duration) error {
 	p.byID[id] = struct{}{}
 	p.bySender[tx.From]++
 	p.accepted++
+	if p.onAdmit != nil {
+		p.onAdmit(tx, origin, now)
+	}
 	return nil
 }
 

@@ -381,15 +381,21 @@ func Compare(cur, base *Result, tol float64) error {
 	if !cur.SweepDeterministic {
 		return fmt.Errorf("perfharness: parallel sweep diverged from serial results")
 	}
-	if !cur.ExecDeterministic {
-		return fmt.Errorf("perfharness: parallel block execution diverged from serial results")
-	}
-	// The worker pool must actually pay for itself, but only on a machine
-	// with enough cores to run the workers concurrently: on fewer cores
-	// the pool degenerates to time-slicing and the honest speedup is ~1x.
-	if cur.ExecWorkers > 1 && cur.NumCPU >= cur.ExecWorkers && cur.ExecSpeedup < 2 {
-		return fmt.Errorf("perfharness: parallel execution speedup %.2fx below the 2x gate (workers=%d, cpus=%d)",
-			cur.ExecSpeedup, cur.ExecWorkers, cur.NumCPU)
+	// A record written before the intra-block execution stage existed has
+	// no exec_* / num_cpu fields — they decode to zero values. Such a
+	// record never ran the stage, so its exec gates are vacuous and must
+	// not read as failures (ExecWorkers is never 0 in a record that did).
+	if cur.ExecWorkers > 0 {
+		if !cur.ExecDeterministic {
+			return fmt.Errorf("perfharness: parallel block execution diverged from serial results")
+		}
+		// The worker pool must actually pay for itself, but only on a machine
+		// with enough cores to run the workers concurrently: on fewer cores
+		// the pool degenerates to time-slicing and the honest speedup is ~1x.
+		if cur.ExecWorkers > 1 && cur.NumCPU >= cur.ExecWorkers && cur.ExecSpeedup < 2 {
+			return fmt.Errorf("perfharness: parallel execution speedup %.2fx below the 2x gate (workers=%d, cpus=%d)",
+				cur.ExecSpeedup, cur.ExecWorkers, cur.NumCPU)
+		}
 	}
 	return nil
 }

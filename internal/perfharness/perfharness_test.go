@@ -89,3 +89,32 @@ func TestHarnessQuickRun(t *testing.T) {
 		t.Fatalf("speedup gate bound on a single-core machine: %v", err)
 	}
 }
+
+// TestCompareTolerantOfOldRecords gates the repo's real PR 2 record (written
+// before the exec_* / num_cpu fields existed) against the PR 7 record in both
+// directions: missing exec fields decode to zero values and must read as
+// "stage not run", never as a determinism or speedup failure.
+func TestCompareTolerantOfOldRecords(t *testing.T) {
+	old, err := ReadJSON("../../BENCH_PR2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := ReadJSON("../../BENCH_PR7.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.ExecWorkers != 0 || old.NumCPU != 0 {
+		t.Fatalf("BENCH_PR2.json unexpectedly carries exec fields: %+v", old)
+	}
+	// New measurement against the pre-exec baseline: exec gates apply to
+	// the measurement, which carries the fields, and must still pass.
+	if err := Compare(cur, old, 0.5); err != nil {
+		t.Fatalf("gating PR 7 record against PR 2 baseline: %v", err)
+	}
+	// Old measurement against the new baseline: the old record never ran
+	// the exec stage, so its zero-valued exec_deterministic must not trip
+	// the divergence gate.
+	if err := Compare(old, cur, 0.5); err != nil {
+		t.Fatalf("gating PR 2 record against PR 7 baseline: %v", err)
+	}
+}

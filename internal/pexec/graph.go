@@ -19,7 +19,13 @@ type Graph struct {
 // transaction that did not speculate (e.g. an in-band deploy); it is
 // marked hazardous itself and contributes no speculative writes — its
 // actual writes surface during the commit scan's fallback bookkeeping.
-func BuildGraph(sets []*RWSet) *Graph {
+func BuildGraph(sets []*RWSet) *Graph { return BuildGraphObserved(sets, nil) }
+
+// BuildGraphObserved is BuildGraph with a per-edge observer: onEdge is
+// called once per read-after-write conflict with the reading transaction's
+// index and the conflicting key, which is how the span layer attributes
+// fallbacks to hot state keys. A nil observer costs nothing.
+func BuildGraphObserved(sets []*RWSet, onEdge func(j int, k Key)) *Graph {
 	g := &Graph{hazard: make([]bool, len(sets))}
 	written := make(map[Key]struct{})
 	for j, set := range sets {
@@ -31,6 +37,9 @@ func BuildGraph(sets []*RWSet) *Graph {
 			if _, ok := written[k]; ok {
 				g.hazard[j] = true
 				g.edges++
+				if onEdge != nil {
+					onEdge(j, k)
+				}
 			}
 		}
 		for _, k := range set.writes {

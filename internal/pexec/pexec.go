@@ -16,6 +16,8 @@
 // to serial execution.
 package pexec
 
+import "strconv"
+
 // Space partitions the key universe so different kinds of state never
 // collide: an account's balance, its nonce, a contract storage slot, an
 // AVM app-state key, the contract registry itself, a gas-cache entry, and
@@ -47,6 +49,41 @@ type Key struct {
 	Space Space
 	Addr  [AddrSize]byte
 	Slot  uint64
+}
+
+// spaceNames are the Key.String prefixes, indexable by Space.
+var spaceNames = [...]string{
+	SpaceBalance:  "balance",
+	SpaceNonce:    "nonce",
+	SpaceStorage:  "storage",
+	SpaceAppState: "appstate",
+	SpaceContract: "contract",
+	SpaceCache:    "cache",
+	SpaceLen:      "len",
+	SpaceAppLen:   "applen",
+}
+
+const keyHexDigits = "0123456789abcdef"
+
+// String renders the key as "space:addrhex" (slotted spaces append
+// ":slot"), the stable form conflict-attribution records carry.
+func (k Key) String() string {
+	name := "space?"
+	if int(k.Space) < len(spaceNames) {
+		name = spaceNames[k.Space]
+	}
+	buf := make([]byte, 0, len(name)+1+2*AddrSize+21)
+	buf = append(buf, name...)
+	buf = append(buf, ':')
+	for _, b := range k.Addr {
+		buf = append(buf, keyHexDigits[b>>4], keyHexDigits[b&0xf])
+	}
+	switch k.Space {
+	case SpaceStorage, SpaceAppState, SpaceCache:
+		buf = append(buf, ':')
+		buf = strconv.AppendUint(buf, k.Slot, 10)
+	}
+	return string(buf)
 }
 
 // RWSet records the state a transaction touched: a deduplicated read set

@@ -72,12 +72,30 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// Profiler observes the scheduler's event lifecycle for causal span
+// tracing. EventScheduled is called when an event enters the queue and
+// returns an opaque span id (0 = untracked); EventRun/EventDone bracket
+// its execution; EventCancelled retires a span whose event will never
+// run. A Profiler must only observe — it may not schedule events or draw
+// randomness, so attaching one never perturbs the simulation.
+type Profiler interface {
+	EventScheduled(kind EventKind, now Time) uint64
+	EventCancelled(id uint64)
+	EventRun(id uint64, now Time)
+	EventDone()
+}
+
+// SetProfiler attaches a lifecycle profiler. Pass only a non-nil
+// implementation; the disabled state is the scheduler's nil field.
+func (s *Scheduler) SetProfiler(p Profiler) { s.prof = p }
+
 // event is one slab slot. A slot is reused after its event runs, is
 // reaped, or is compacted away; gen distinguishes incarnations so stale
 // EventIDs can never touch a recycled slot.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among events with equal timestamps
+	span uint64 // profiler span id; 0 when untracked
 	fn   func()
 	cb   Callback
 	gen  uint32
@@ -109,6 +127,10 @@ func (id EventID) Cancel() {
 	}
 	ev.dead = true
 	ev.fn, ev.cb = nil, nil
+	if ev.span != 0 {
+		s.prof.EventCancelled(ev.span)
+		ev.span = 0
+	}
 	if ev.obs {
 		s.obsLive--
 	}
@@ -139,6 +161,7 @@ type Scheduler struct {
 	rngSrc *CountingSource
 	nexec  uint64
 	halted bool
+	prof   Profiler // nil = span tracing disabled
 
 	// Observer-event accounting: read-only instruments (the checkpoint
 	// capture ticker) run as ordinary events for determinism, but are
@@ -212,6 +235,7 @@ func (s *Scheduler) release(idx int32) {
 	ev.dead = false
 	ev.obs = false
 	ev.kind = KindGeneric
+	ev.span = 0
 	ev.gen++
 	s.free = append(s.free, idx)
 }
@@ -223,6 +247,9 @@ func (s *Scheduler) schedule(at Time, fn func(), cb Callback, kind EventKind) Ev
 	idx := s.alloc()
 	ev := &s.slab[idx]
 	ev.at, ev.seq, ev.fn, ev.cb, ev.kind = at, s.seq, fn, cb, kind
+	if s.prof != nil {
+		ev.span = s.prof.EventScheduled(kind, s.now)
+	}
 	s.seq++
 	s.heapPush(idx)
 	return EventID{s: s, slot: idx, gen: ev.gen}
@@ -450,11 +477,18 @@ func (s *Scheduler) Step() bool {
 			s.obsLive--
 		}
 		fn, cb := ev.fn, ev.cb
+		spanID := ev.span
 		s.release(idx)
+		if spanID != 0 {
+			s.prof.EventRun(spanID, s.now)
+		}
 		if cb != nil {
 			cb.Run()
 		} else {
 			fn()
+		}
+		if spanID != 0 {
+			s.prof.EventDone()
 		}
 		return true
 	}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"diablo/internal/sim"
+	"diablo/internal/span"
 )
 
 // NodeID identifies a node within a Network.
@@ -175,6 +176,10 @@ type Network struct {
 	// plain pointer (one predictable branch, array indexing, no allocation)
 	// so enabling it does not disturb the hot path.
 	linkStats *LinkStats
+	// spans, when non-nil, labels each delivery event (destination node)
+	// for causal span tracing. Nil-receiver hints make the disabled path
+	// free.
+	spans *span.Recorder
 
 	// Delivered counts messages delivered; BytesSent counts payload bytes;
 	// Lost counts messages dropped by link faults (not crashes/partitions).
@@ -429,8 +434,13 @@ func (n *Network) Send(from, to NodeID, size int, payload any) {
 	e := n.allocEnvelope()
 	e.net, e.dst = n, dst
 	e.msg = Message{From: from, To: to, Size: size, Payload: payload}
+	n.spans.Hint("net.deliver", int32(to))
 	n.Sched.AtCallKind(sim.KindDelivery, arrive, e)
 }
+
+// SetSpans installs (or, with nil, removes) the causal span recorder that
+// labels delivery events.
+func (n *Network) SetSpans(r *span.Recorder) { n.spans = r }
 
 // LinkStats aggregates directed per-region-pair traffic: messages offered
 // to each link, payload bytes, and messages dropped by link faults.

@@ -1,0 +1,72 @@
+package span
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// flameMaxDepth caps the folded stack depth. Event chains can span a
+// whole run (every ticker firing is caused by the previous one), so the
+// stack is truncated at the root end and consecutive identical labels are
+// collapsed — the flamegraph groups by what the time was spent on, not by
+// how long the causal chain behind it was.
+const flameMaxDepth = 16
+
+// WriteFolded writes the virtual-time flamegraph as folded stacks
+// ("a;b;c <nanoseconds>" per line, speedscope/flamegraph.pl-compatible).
+// Each span contributes its self time: duration minus its children's
+// durations, floored at zero. Output is sorted, so same-seed files fold
+// to byte-identical graphs.
+func (f *File) WriteFolded(w io.Writer) error {
+	childSum := make(map[uint64]time.Duration, len(f.Spans))
+	for _, s := range f.Spans {
+		if s.Parent != 0 {
+			childSum[s.Parent] += s.Dur()
+		}
+	}
+	agg := make(map[string]time.Duration)
+	frames := make([]string, 0, flameMaxDepth)
+	for _, s := range f.Spans {
+		self := s.Dur() - childSum[s.ID]
+		if self <= 0 {
+			continue
+		}
+		frames = frames[:0]
+		cur := s
+		for {
+			if len(frames) == 0 || frames[len(frames)-1] != cur.Label {
+				frames = append(frames, cur.Label)
+			}
+			if len(frames) >= flameMaxDepth || cur.Parent == 0 {
+				break
+			}
+			parent, ok := f.Lookup(cur.Parent)
+			if !ok {
+				break
+			}
+			cur = parent
+		}
+		// frames is leaf-first; fold root-first.
+		var stack string
+		for i := len(frames) - 1; i >= 0; i-- {
+			if stack != "" {
+				stack += ";"
+			}
+			stack += frames[i]
+		}
+		agg[stack] += self
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, agg[k].Nanoseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

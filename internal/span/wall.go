@@ -1,0 +1,118 @@
+// Wall-time flavor of the flamegraph: self-wall-time per span label,
+// profiling the *simulator's* hot paths (which event kinds burn real CPU)
+// rather than the simulated chain. Wall readings never enter the
+// deterministic span file, the trace, the result JSON or any checkpoint —
+// they go only to the sidecar writer given to EnableWall, which is why
+// this file (and only this file) may read the wall clock.
+//
+//lint:allowfile wallclock wall-time self-profiling writes only to the --spans-wall sidecar, never into deterministic outputs; TestSpansDoNotPerturb pins byte-identity of every deterministic artifact
+
+package span
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// wallFrame is one level of the wall-profiling stack. Its label is the
+// full folded path ("consensus.step;exec.apply"), so accumulated self
+// times emit directly as folded flamegraph lines.
+type wallFrame struct {
+	label string
+	start time.Time
+}
+
+// wallProfile accumulates per-stack self wall time. All methods are safe
+// on a nil receiver, the disabled state.
+type wallProfile struct {
+	sink  io.Writer
+	self  map[string]time.Duration
+	stack []wallFrame
+}
+
+// EnableWall attaches a wall-time sidecar sink; folded stacks are written
+// to it by FlushWall.
+func (r *Recorder) EnableWall(w io.Writer) {
+	if r == nil || w == nil {
+		return
+	}
+	r.wall = &wallProfile{sink: w, self: make(map[string]time.Duration)}
+}
+
+// push opens a frame under the current one, pausing the parent's
+// self-time accumulation.
+func (w *wallProfile) push(label string) {
+	if w == nil {
+		return
+	}
+	now := time.Now()
+	if n := len(w.stack); n > 0 {
+		top := &w.stack[n-1]
+		w.self[top.label] += now.Sub(top.start)
+		label = top.label + ";" + label
+	}
+	w.stack = append(w.stack, wallFrame{label: label, start: now})
+}
+
+// pop closes the current frame, accumulating its self time and resuming
+// its parent's.
+func (w *wallProfile) pop() {
+	if w == nil {
+		return
+	}
+	n := len(w.stack)
+	if n == 0 {
+		return
+	}
+	now := time.Now()
+	top := w.stack[n-1]
+	w.self[top.label] += now.Sub(top.start)
+	w.stack = w.stack[:n-1]
+	if n > 1 {
+		w.stack[n-2].start = now
+	}
+}
+
+// FrameEnter opens an explicit wall frame inside the current event — the
+// chain harness brackets block execution with it so the flamegraph splits
+// "consensus.step" into its execution component. No-op unless a wall
+// sidecar is enabled.
+func (r *Recorder) FrameEnter(label string) {
+	if r == nil {
+		return
+	}
+	r.wall.push(label)
+}
+
+// FrameExit closes the frame opened by the matching FrameEnter.
+func (r *Recorder) FrameExit() {
+	if r == nil {
+		return
+	}
+	r.wall.pop()
+}
+
+// FlushWall writes the accumulated folded stacks ("a;b;c <nanoseconds>"
+// per line, speedscope/flamegraph.pl-compatible) to the sidecar sink.
+func (r *Recorder) FlushWall() error {
+	if r == nil || r.wall == nil {
+		return nil
+	}
+	w := r.wall
+	keys := make([]string, 0, len(w.self))
+	for k := range w.self {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if w.self[k] <= 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w.sink, "%s %d\n", k, w.self[k].Nanoseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
