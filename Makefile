@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint lint-audit race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke adversary-smoke pexec-smoke spans-smoke clean
+.PHONY: build test test-short vet lint lint-audit race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke adversary-smoke pexec-smoke spans-smoke knee-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ lint:
 lint-audit:
 	$(GO) run ./cmd/diablo-lint -audit ./...
 
-test: vet lint adversary-smoke pexec-smoke spans-smoke
+test: vet lint adversary-smoke pexec-smoke spans-smoke knee-smoke
 	$(GO) test ./...
 
 test-short:
@@ -35,16 +35,18 @@ race:
 		./internal/obs ./internal/collect ./internal/snapshot \
 		./internal/report ./internal/perfharness \
 		./internal/adversary ./internal/invariant ./internal/pexec \
-		./internal/span
+		./internal/span ./internal/stream
 
 # Tracked perf harness: scheduler events/sec, simnet msgs/sec, end-to-end
-# cell runtime, parallel-sweep speedup and intra-block execution speedup.
-# Gates against the recorded BENCH_PR7.json (fails on a >20%
-# scheduler-throughput drop, a hot path that allocates again, or a
-# nondeterministic parallel pass — throughput ratios only gate when the
-# baseline ran at the same GOMAXPROCS), then re-records it.
+# cell runtime, parallel-sweep speedup, intra-block execution speedup and
+# million-client stream generation (allocs/tx + peak heap budgets).
+# Gates against the recorded BENCH_PR7.json baseline (fails on a >20%
+# scheduler-throughput drop, a hot path that allocates again, a
+# nondeterministic parallel pass, or a stream generator that stops being
+# constant-memory — throughput ratios only gate when the baseline ran at
+# the same GOMAXPROCS), then records BENCH_PR9.json.
 bench:
-	$(GO) run ./cmd/diablo bench --out=BENCH_PR7.json --baseline=BENCH_PR7.json
+	$(GO) run ./cmd/diablo bench --out=BENCH_PR9.json --baseline=BENCH_PR7.json
 
 # One Go benchmark per table/figure, reduced scale.
 bench-exhibits:
@@ -147,6 +149,12 @@ spans-smoke:
 	$(GO) run ./cmd/diablo-report spans --flame sp-a.jsonl.gz > sp-a.folded
 	test -s sp-a.folded
 	rm -f sp-*.json sp-*.jsonl.gz sp-*.folded
+
+# Capacity-search smoke test: a 2-bisection knee search on laptop-scale
+# quorum must converge (the closed-loop driver behind `diablo-exp --knee`).
+knee-smoke:
+	$(GO) run ./cmd/diablo-exp --knee --knee-lo=50 --knee-hi=4000 \
+		--knee-iters=2 --knee-probe=5s --node-scale=10 quorum
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -7,6 +7,13 @@
 // Each exhibit runs the corresponding experiment on the simulated testbed
 // and prints the paper's layout; --csv also writes machine-readable series
 // for plotting.
+//
+// With --knee the command instead binary-searches each named chain's
+// maximum sustainable TPS (commit-latency and backlog-growth stopping
+// rules) and prints a knee report per chain:
+//
+//	diablo-exp --knee quorum avalanche        # capacity search, two chains
+//	diablo-exp --knee --node-scale=10         # default trio, laptop scale
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"diablo/internal/bench"
 	"diablo/internal/report"
 )
 
@@ -28,25 +36,60 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	knee := flag.Bool("knee", false, "capacity search: binary-search each chain's max sustainable TPS")
+	kneeLo := flag.Float64("knee-lo", 100, "knee search bracket floor (TPS)")
+	kneeHi := flag.Float64("knee-hi", 10000, "knee search bracket ceiling (TPS)")
+	kneeIters := flag.Int("knee-iters", 6, "knee search bisection steps")
+	kneeProbe := flag.Duration("knee-probe", 30*time.Second, "knee search probe length")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: diablo-exp [flags] <exhibit>...\nexhibits: %v or 'all'\n", report.IDs())
+		fmt.Fprintf(os.Stderr, "   or: diablo-exp --knee [flags] [<chain>...]  (default chains: %v)\n", report.KneeChains)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	ids := flag.Args()
-	if len(ids) == 0 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	if len(ids) == 1 && ids[0] == "all" {
-		ids = report.IDs()
-	}
 	opts := report.Options{
 		NodeScale:   *nodeScale,
 		RateScale:   *rateScale,
 		MaxDuration: *maxDur,
 		Seed:        *seed,
 		Workers:     *workers,
+	}
+	if *knee {
+		chains := ids
+		if len(chains) == 0 {
+			chains = report.KneeChains
+		}
+		start := time.Now()
+		results, err := report.Knees(chains, opts, bench.KneeOptions{
+			Lo: *kneeLo, Hi: *kneeHi, Iterations: *kneeIters, Probe: *kneeProbe,
+		})
+		if err != nil {
+			log.Fatalf("diablo-exp: knee: %v", err)
+		}
+		report.RenderKnee(os.Stdout, results)
+		fmt.Printf("\n[knee search finished in %s]\n", time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*csvDir, "knee.csv")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.WriteKneeCSV(f, results)
+			f.Close()
+			fmt.Printf("[CSV written to %s]\n", path)
+		}
+		return
+	}
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = report.IDs()
 	}
 	for _, id := range ids {
 		runner, ok := report.Experiments[id]

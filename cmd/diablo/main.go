@@ -115,7 +115,7 @@ run flags:
                             spec's parallel-execution setting, 0/1 = serial)
 
 bench flags:
-  --out=BENCH_PR7.json      write the machine-readable perf record
+  --out=BENCH_PR9.json      write the machine-readable perf record
   --baseline=FILE           gate against a recorded baseline (default: --out
                             if it exists)
   --tolerance=0.2           allowed throughput drop before failing
@@ -300,8 +300,8 @@ func runLocal(args []string) error {
 	if *resume != "" && !resumeIsDir && *repeat > 1 {
 		return fmt.Errorf("--resume with a single checkpoint file does not combine with --repeat; pass the checkpoint directory instead")
 	}
-	logger(level)("running %s on %s (%d workload traces, %d seeds)",
-		setup.Chain, setup.Config.Name, len(traces), *repeat)
+	logger(level)("running %s on %s (%d workload traces, %d streams, %d seeds)",
+		setup.Chain, setup.Config.Name, len(traces), len(benchmark.Streams), *repeat)
 	if setup.Faults != nil {
 		logger(level)("chaos schedule: %d faults", len(setup.Faults.Events))
 	}
@@ -334,6 +334,7 @@ func runLocal(args []string) error {
 			Chain:            setup.Chain,
 			Config:           setup.Config,
 			Traces:           traces,
+			Streams:          benchmark.Streams,
 			Seed:             setup.Seed + int64(i),
 			Tail:             *tail,
 			ScaleNodes:       setup.NodeScale,
@@ -626,11 +627,11 @@ func lastDot(s string) int {
 
 // runBench executes the tracked perf harness (scheduler throughput, simnet
 // message rate, end-to-end cell runtime, sweep speedup, intra-block
-// execution speedup), gates it against a recorded baseline and records the
-// new measurement.
+// execution speedup, million-client stream generation), gates it against a
+// recorded baseline and records the new measurement.
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_PR7.json", "machine-readable output path (empty = don't write)")
+	out := fs.String("out", "BENCH_PR9.json", "machine-readable output path (empty = don't write)")
 	baseline := fs.String("baseline", "", "baseline to gate against (default: --out if it exists)")
 	tolerance := fs.Float64("tolerance", 0.2, "allowed relative throughput drop")
 	workers := fs.Int("workers", 0, "parallel-sweep pool size (0 = GOMAXPROCS)")

@@ -90,7 +90,7 @@ func TestRunExhibitFacade(t *testing.T) {
 	if err := diablo.RunExhibit(&buf, "figure99", diablo.ExhibitOptions{}); err == nil {
 		t.Fatal("unknown exhibit accepted")
 	}
-	if len(diablo.ExhibitIDs()) != 10 {
+	if len(diablo.ExhibitIDs()) != 11 {
 		t.Fatalf("exhibits = %v", diablo.ExhibitIDs())
 	}
 }

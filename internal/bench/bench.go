@@ -21,6 +21,7 @@ import (
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
 	"diablo/internal/span"
+	"diablo/internal/stream"
 	"diablo/internal/wallet"
 	"diablo/internal/workloads"
 )
@@ -33,6 +34,11 @@ type Experiment struct {
 	Config *configs.Config
 	// Traces are the workloads to run concurrently.
 	Traces []*workloads.Trace
+	// Streams are constant-memory generated workloads (internal/stream)
+	// run alongside the traces; either list may be empty, but not both.
+	// Configs (not live sources) keep repeated runs independent: Run
+	// builds fresh sources from (Streams, Seed) every time.
+	Streams []stream.Config
 	// Seed makes runs reproducible; runs with equal seeds are identical.
 	Seed int64
 	// Tail extends observation beyond the last submission (default 120s).
@@ -230,8 +236,8 @@ func Run(e Experiment) (*Outcome, error) {
 	if e.Config == nil {
 		return nil, fmt.Errorf("bench: experiment needs a configuration")
 	}
-	if len(e.Traces) == 0 {
-		return nil, fmt.Errorf("bench: experiment needs at least one trace")
+	if len(e.Traces) == 0 && len(e.Streams) == 0 {
+		return nil, fmt.Errorf("bench: experiment needs at least one trace or stream")
 	}
 	params, err := chains.ParamsFor(e.Chain)
 	if err != nil {
@@ -401,7 +407,14 @@ func Run(e Experiment) (*Outcome, error) {
 	// observes the settled state. Capture only reads state — no RNG draws,
 	// no scheduling besides its own ticker — so the run's outputs are
 	// byte-identical with or without it.
-	ck, err := armCheckpoints(e, sched, wan, chaosEng, advEng, mon, net, reg, spans)
+	// Stream sources are built fresh per run from (configs, seed): equal
+	// seeds replay byte-identically, and repeated cells stay independent.
+	sources, err := stream.BuildAll(e.Streams, e.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	ck, err := armCheckpoints(e, sched, wan, chaosEng, advEng, mon, net, reg, spans, sources)
 	if err != nil {
 		return nil, err
 	}
@@ -409,6 +422,7 @@ func Run(e Experiment) (*Outcome, error) {
 	net.Start()
 	result, err := core.Run(sched, adapter, core.BenchmarkSpec{
 		Traces:    e.Traces,
+		Streams:   sources,
 		Accounts:  accounts,
 		Seed:      e.Seed,
 		Tail:      e.Tail,

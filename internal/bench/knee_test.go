@@ -1,0 +1,63 @@
+package bench_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"diablo/internal/bench"
+	"diablo/internal/configs"
+)
+
+// kneeOptions is a laptop-scale search: short probes, two bisection steps,
+// a bracket wide enough that quorum's devnet knee falls inside it.
+func kneeOptions() bench.KneeOptions {
+	return bench.KneeOptions{
+		Chain:      "quorum",
+		Config:     configs.Devnet,
+		Lo:         50,
+		Hi:         4000,
+		Iterations: 2,
+		Probe:      5 * time.Second,
+		Seed:       1,
+	}
+}
+
+func TestFindKneeConverges(t *testing.T) {
+	res, err := bench.FindKnee(kneeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clipped {
+		t.Fatalf("knee clipped: bracket [50, 4000] should contain quorum's devnet knee, got %+v", res)
+	}
+	if res.Knee < 50 || res.Knee >= res.Ceiling {
+		t.Fatalf("knee %f not inside (50, %f)", res.Knee, res.Ceiling)
+	}
+	// Bracket (2 probes) + 2 bisection steps.
+	if len(res.Probes) != 4 {
+		t.Fatalf("expected 4 probes, got %d", len(res.Probes))
+	}
+	if !res.Probes[0].Sustainable {
+		t.Fatalf("floor probe should sustain: %+v", res.Probes[0])
+	}
+	if res.Probes[1].Sustainable {
+		t.Fatalf("ceiling probe should break: %+v", res.Probes[1])
+	}
+}
+
+// TestFindKneeDeterministic: every probe is a seeded isolated run, so the
+// whole search replays identically.
+func TestFindKneeDeterministic(t *testing.T) {
+	a, err := bench.FindKnee(kneeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.FindKnee(kneeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("knee search not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -13,7 +13,28 @@ import (
 	"diablo/internal/simnet"
 	"diablo/internal/snapshot"
 	"diablo/internal/span"
+	"diablo/internal/stream"
 )
+
+// streamSection checkpoints every stream source's generator cursor as one
+// opaque sub-payload per source; Reconcile then reports the diverged
+// source by its positional label.
+type streamSection []stream.Source
+
+// SnapshotState implements snapshot.Stater.
+func (s streamSection) SnapshotState(e *snapshot.Encoder) {
+	e.U64("sources", uint64(len(s)))
+	for i, src := range s {
+		sub := snapshot.NewEncoder()
+		src.SnapshotState(sub)
+		e.Bytes(fmt.Sprintf("src%d_%s", i, src.Name()), sub.Payload())
+	}
+}
+
+// RestoreState implements snapshot.Restorer.
+func (s streamSection) RestoreState(d *snapshot.Decoder) error {
+	return snapshot.Reconcile(s, d)
+}
 
 // ckState tracks a run's checkpoint recorder. All methods are safe on the
 // nil receiver, which is the disabled (no checkpointing) state.
@@ -54,11 +75,11 @@ func (c *ckState) verifiedAt() time.Duration {
 
 // armCheckpoints wires the snapshot recorder into a run: section
 // registration in a fixed order (sched, simnet, chaos, adversary, chain,
-// pool, exec, clients, engine, obs, invariant, spans — the order bisect
-// reports subsystems in), a capture ticker, and — when resuming — reconciliation
+// pool, exec, clients, stream, engine, obs, invariant, spans — the order
+// bisect reports subsystems in), a capture ticker, and — when resuming — reconciliation
 // of the stored checkpoint against the fast-forwarded state at its
 // virtual time. Returns nil state when checkpointing is disabled.
-func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, chaosEng *chaos.Engine, advEng *adversary.Engine, mon *invariant.Monitor, net *chain.Network, reg *obs.Registry, spans *span.Recorder) (*ckState, error) {
+func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, chaosEng *chaos.Engine, advEng *adversary.Engine, mon *invariant.Monitor, net *chain.Network, reg *obs.Registry, spans *span.Recorder, sources []stream.Source) (*ckState, error) {
 	interval := e.CheckpointEvery
 	var resume *snapshot.File
 	if e.Resume != "" {
@@ -112,6 +133,9 @@ func armCheckpoints(e Experiment, sched *sim.Scheduler, wan *simnet.Network, cha
 	rec.Register("pool", net.Pool)
 	rec.Register("exec", net.Exec)
 	rec.Register("clients", snapshot.StateFunc(net.SnapshotClients))
+	if len(sources) > 0 {
+		rec.Register("stream", streamSection(sources))
+	}
 	// Engine state rides along when the consensus engine opts in; a
 	// third-party engine without SnapshotState still checkpoints through
 	// the chain/pool/exec sections.

@@ -1,0 +1,126 @@
+package bench_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"diablo/internal/bench"
+	"diablo/internal/configs"
+	"diablo/internal/stream"
+)
+
+// streamExperiment is a small quorum run driven purely by streams: a
+// flash-crowd NFT mint plus DEX arbitrage bots, no trace workloads at all.
+func streamExperiment(buf *bytes.Buffer) bench.Experiment {
+	return bench.Experiment{
+		Chain:  "quorum",
+		Config: configs.Devnet,
+		Streams: []stream.Config{
+			{Scenario: "flash-mint", Clients: 600, Peak: 150, Decay: 5 * time.Second, Duration: 10 * time.Second},
+			{Scenario: "dex-arb", Clients: 16, Rate: 40, AmountMax: 100, Duration: 10 * time.Second},
+		},
+		Seed:  5,
+		Tail:  60 * time.Second,
+		Trace: buf,
+	}
+}
+
+func TestStreamRunCommits(t *testing.T) {
+	var buf bytes.Buffer
+	out, err := bench.Run(streamExperiment(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DeployErr != nil {
+		t.Fatalf("stream contracts failed to deploy: %v", out.DeployErr)
+	}
+	if out.Summary.Submitted == 0 {
+		t.Fatal("streams submitted nothing")
+	}
+	// Every flash-mint client mints exactly once (peak·decay ≈ 750 > 600
+	// clients, so the population drains) and the bots swap for 10s.
+	if out.Summary.Submitted < 600 {
+		t.Fatalf("expected the full mint crowd, submitted only %d", out.Summary.Submitted)
+	}
+	if out.Summary.Committed < out.Summary.Submitted*9/10 {
+		t.Fatalf("only %d of %d stream transactions committed", out.Summary.Committed, out.Summary.Submitted)
+	}
+	if out.AbortedExec > 0 {
+		t.Fatalf("%d stream transactions aborted execution", out.AbortedExec)
+	}
+	names := out.Result.Traces
+	if len(names) != 2 || names[0] != "flash-mint" || names[1] != "dex-arb" {
+		t.Fatalf("stream names missing from result traces: %v", names)
+	}
+}
+
+// TestStreamByteIdenticalSerialVsWorkers is the determinism guarantee for
+// streaming workloads: the same seeded cells produce byte-identical JSONL
+// traces and equal summaries whether RunMany runs them serially or on a
+// 4-worker pool.
+func TestStreamByteIdenticalSerialVsWorkers(t *testing.T) {
+	run := func(workers int) ([]*bytes.Buffer, []*bench.Outcome) {
+		bufs := []*bytes.Buffer{{}, {}}
+		exps := []bench.Experiment{streamExperiment(bufs[0]), streamExperiment(bufs[1])}
+		exps[1].Seed = 6
+		outs, err := bench.RunMany(workers, exps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bufs, outs
+	}
+	serialBufs, serialOuts := run(1)
+	parBufs, parOuts := run(4)
+	for i := range serialBufs {
+		if !bytes.Equal(serialBufs[i].Bytes(), parBufs[i].Bytes()) {
+			t.Fatalf("cell %d: stream trace differs between serial and 4-worker runs", i)
+		}
+		if !reflect.DeepEqual(serialOuts[i].Summary, parOuts[i].Summary) {
+			t.Fatalf("cell %d: summary differs: %+v vs %+v", i, serialOuts[i].Summary, parOuts[i].Summary)
+		}
+	}
+	if bytes.Equal(serialBufs[0].Bytes(), serialBufs[1].Bytes()) {
+		t.Fatal("different seeds produced identical stream traces")
+	}
+}
+
+// TestStreamResumeReconciles proves the stream generators' cursors ride in
+// checkpoints: a run resumed mid-stream fast-forwards, reconciles the
+// stored "stream" section and finishes byte-identical to the original.
+func TestStreamResumeReconciles(t *testing.T) {
+	dir := t.TempDir()
+	var orig bytes.Buffer
+	exp := streamExperiment(&orig)
+	exp.CheckpointEvery = 5 * time.Second
+	exp.CheckpointDir = filepath.Join(dir, "a")
+	out, err := bench.Run(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Checkpoints) < 2 {
+		t.Fatalf("expected several checkpoints, got %v", out.Checkpoints)
+	}
+	// Resume from a checkpoint in the middle of stream emission (5s of a
+	// 10s schedule), re-checkpointing into a fresh directory.
+	var resumed bytes.Buffer
+	exp2 := streamExperiment(&resumed)
+	exp2.CheckpointEvery = 5 * time.Second
+	exp2.CheckpointDir = filepath.Join(dir, "b")
+	exp2.Resume = out.Checkpoints[0]
+	out2, err := bench.Run(exp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Verified < 0 {
+		t.Fatal("resume checkpoint was never reconciled")
+	}
+	if !bytes.Equal(orig.Bytes(), resumed.Bytes()) {
+		t.Fatal("resumed stream run's trace differs from the original")
+	}
+	if !reflect.DeepEqual(out.Summary, out2.Summary) {
+		t.Fatalf("resumed summary differs: %+v vs %+v", out.Summary, out2.Summary)
+	}
+}

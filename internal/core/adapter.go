@@ -18,6 +18,10 @@ import (
 type SimAdapter struct {
 	Net    *chain.Network
 	Wallet *wallet.Wallet
+	// Lazy derives the implicit streaming clients (internal/stream) on
+	// demand; its namespace is disjoint from the provisioned wallet's so
+	// the two populations can never collide.
+	Lazy *wallet.Lazy
 
 	// deployer signs contract deployments; it is distinct from workload
 	// accounts so deployment nonces never stall strict-sequence chains.
@@ -30,6 +34,7 @@ func NewSimAdapter(net *chain.Network, w *wallet.Wallet) *SimAdapter {
 	return &SimAdapter{
 		Net:       net,
 		Wallet:    w,
+		Lazy:      wallet.NewLazy(w.Scheme, w.Namespace+"/stream", 0),
 		deployer:  wallet.NewAccount(w.Scheme, []byte("diablo-primary-deployer")),
 		contracts: make(map[string]*chain.Contract),
 	}
@@ -133,7 +138,6 @@ func (c *simClient) Encode(spec InteractionSpec) (Interaction, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	acct := c.adapter.Wallet.Get(spec.From % c.adapter.Wallet.Len())
 	// London chains require pricing against the live base fee, so the
 	// Secondary signs right before sending (the paper's accommodation for
 	// Ethereum and Avalanche). Wallet convention: maxFeePerGas of twice
@@ -146,10 +150,15 @@ func (c *simClient) Encode(spec InteractionSpec) (Interaction, error) {
 	var tx *types.Transaction
 	switch spec.Kind {
 	case InteractTransfer:
-		to := c.adapter.Wallet.Get(spec.To % c.adapter.Wallet.Len())
+		var to types.Address
+		if spec.Implicit {
+			to = c.adapter.Lazy.Address(spec.ToIndex)
+		} else {
+			to = c.adapter.Wallet.Get(spec.To % c.adapter.Wallet.Len()).Address
+		}
 		tx = &types.Transaction{
 			Kind:     types.KindTransfer,
-			To:       to.Address,
+			To:       to,
 			Value:    spec.Amount,
 			GasLimit: 21000,
 			GasPrice: gasPrice,
@@ -177,7 +186,17 @@ func (c *simClient) Encode(spec InteractionSpec) (Interaction, error) {
 			Data:     chain.EncodeInvokeData(calldata, spec.ExtraDataBytes),
 		}
 	}
-	acct.SignNext(tx)
+	if spec.Implicit {
+		// Implicit senders carry generator-assigned nonces: the stream's
+		// round counter is the client's sequence number, so no per-client
+		// nonce table ever exists.
+		acct := c.adapter.Lazy.Account(spec.FromIndex)
+		tx.Nonce = spec.Nonce
+		acct.Sign(tx)
+	} else {
+		acct := c.adapter.Wallet.Get(spec.From % c.adapter.Wallet.Len())
+		acct.SignNext(tx)
+	}
 	return simInteraction{tx: tx}, nil
 }
 

@@ -82,6 +82,16 @@ type InteractionSpec struct {
 	Args     []uint64
 	// ExtraDataBytes is opaque payload appended to calldata (video data).
 	ExtraDataBytes int
+
+	// Implicit marks a streaming interaction (internal/stream): FromIndex
+	// and ToIndex are implicit client indices resolved lazily against the
+	// chain's derived wallet, and Nonce is assigned by the generator's
+	// round counter instead of per-account counters — no per-client state
+	// exists until the moment of encoding.
+	Implicit  bool
+	FromIndex uint64
+	ToIndex   uint64
+	Nonce     uint64
 }
 
 // Interaction is an encoded, pre-signed interaction, opaque to the engine.
@@ -138,7 +148,7 @@ type Blockchain interface {
 func (s InteractionSpec) Validate() error {
 	switch s.Kind {
 	case InteractTransfer:
-		if s.From < 0 || s.To < 0 {
+		if !s.Implicit && (s.From < 0 || s.To < 0) {
 			return fmt.Errorf("core: transfer needs from/to accounts")
 		}
 	case InteractInvoke:

@@ -10,6 +10,7 @@ import (
 	"diablo/internal/obs"
 	"diablo/internal/sim"
 	"diablo/internal/stats"
+	"diablo/internal/stream"
 	"diablo/internal/types"
 	"diablo/internal/workloads"
 )
@@ -43,6 +44,9 @@ type BenchmarkSpec struct {
 	// Traces are the workloads to submit concurrently; the GAFAM exchange
 	// benchmark runs its five per-stock traces side by side.
 	Traces []*workloads.Trace
+	// Streams are constant-memory generated workloads (internal/stream)
+	// running alongside the traces; either list may be empty, but not both.
+	Streams []stream.Source
 	// Secondaries is the number of Secondary processes; each connects to
 	// its collocated endpoint (endpoint i for Secondary i mod |E|).
 	// Defaults to the number of endpoints.
@@ -110,8 +114,8 @@ const batchWindow = 50 * time.Millisecond
 // The caller is responsible for starting the chain's block production
 // before calling Run and stopping it afterwards.
 func Run(sched *sim.Scheduler, bc Blockchain, spec BenchmarkSpec) (*Result, error) {
-	if len(spec.Traces) == 0 {
-		return nil, fmt.Errorf("core: no traces to run")
+	if len(spec.Traces) == 0 && len(spec.Streams) == 0 {
+		return nil, fmt.Errorf("core: no traces or streams to run")
 	}
 	endpoints := bc.Endpoints()
 	if spec.Secondaries <= 0 {
@@ -129,10 +133,36 @@ func Run(sched *sim.Scheduler, bc Blockchain, spec BenchmarkSpec) (*Result, erro
 	for _, tr := range spec.Traces {
 		res.Traces = append(res.Traces, tr.Name)
 	}
+	for _, src := range spec.Streams {
+		res.Traces = append(res.Traces, src.Name())
+	}
 	dur := duration(spec.Traces)
+	if sd := streamDuration(spec.Streams); sd > dur {
+		dur = sd
+	}
 
-	// Primary phase 1: deploy the DApps the traces need.
+	// Primary phase 1: deploy the DApps the traces and streams need.
 	contracts := map[string]Resource{}
+	deploy := func(name string) error {
+		if _, done := contracts[name]; done {
+			return nil
+		}
+		r, err := bc.CreateResource(ResourceSpec{Kind: ResourceContract, Name: name})
+		if err != nil {
+			return err
+		}
+		contracts[name] = r
+		return nil
+	}
+	emptyRun := func(err error) (*Result, error) {
+		// The chain cannot express this DApp (state-model limits):
+		// record and report an empty run, as the paper does.
+		res.DeployErr = err
+		res.Summary = stats.Summarize(nil, dur)
+		res.SubmittedPerSec = stats.NewTimeSeries(time.Second, dur)
+		res.CommittedPerSec = stats.NewTimeSeries(time.Second, dur)
+		return res, nil
+	}
 	dappOf := make([]*dapps.DApp, len(spec.Traces))
 	for i, tr := range spec.Traces {
 		if tr.DApp == "" {
@@ -143,20 +173,20 @@ func Run(sched *sim.Scheduler, bc Blockchain, spec BenchmarkSpec) (*Result, erro
 			return nil, err
 		}
 		dappOf[i] = d
-		if _, done := contracts[tr.DApp]; done {
+		if err := deploy(tr.DApp); err != nil {
+			return emptyRun(err)
+		}
+	}
+	for _, src := range spec.Streams {
+		if src.DApp() == "" {
 			continue
 		}
-		r, err := bc.CreateResource(ResourceSpec{Kind: ResourceContract, Name: tr.DApp})
-		if err != nil {
-			// The chain cannot express this DApp (state-model limits):
-			// record and report an empty run, as the paper does.
-			res.DeployErr = err
-			res.Summary = stats.Summarize(nil, dur)
-			res.SubmittedPerSec = stats.NewTimeSeries(time.Second, dur)
-			res.CommittedPerSec = stats.NewTimeSeries(time.Second, dur)
-			return res, nil
+		if _, err := dapps.Get(src.DApp()); err != nil {
+			return nil, err
 		}
-		contracts[tr.DApp] = r
+		if err := deploy(src.DApp()); err != nil {
+			return emptyRun(err)
+		}
 	}
 
 	// Primary phase 2: create the Secondaries' clients, one per Secondary,
@@ -280,6 +310,21 @@ func Run(sched *sim.Scheduler, bc Blockchain, spec BenchmarkSpec) (*Result, erro
 				}
 			}
 		})
+	}
+
+	// Primary phase 4: arm one pump per stream. Pumps are pull-based — a
+	// single pending intent each, re-scheduling themselves window by
+	// window — so arming them costs O(streams), not O(transactions).
+	for _, src := range spec.Streams {
+		p := &streamPump{
+			sched:    sched,
+			src:      src,
+			res:      res,
+			spec:     &spec,
+			clients:  clients,
+			contract: contracts[src.DApp()],
+		}
+		p.start()
 	}
 
 	// Run to completion: the trace plus the observation tail.

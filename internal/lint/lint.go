@@ -64,6 +64,7 @@ func DefaultDeterministic(modPath string) []string {
 		modPath + "/internal/core",
 		modPath + "/internal/pexec",
 		modPath + "/internal/span",
+		modPath + "/internal/stream",
 	}
 }
 

@@ -1,14 +1,17 @@
 // Package perfharness measures the suite's performance trajectory: raw
 // scheduler throughput (events/sec), simnet message rate (msgs/sec), the
 // end-to-end runtime of one experiment cell, the wall-clock speedup of
-// the parallel sweep runner over a serial sweep, and the intra-block
-// parallel-execution speedup over serial block application. Results
-// serialize to a machine-readable JSON file (BENCH_PR7.json at the
-// repository root) so future changes can be gated against a recorded
-// baseline: `make bench` fails when scheduler throughput drops more than
-// the tolerance below the baseline (like-for-like, same GOMAXPROCS only),
-// when the hot paths start allocating again, or when either parallel pass
-// stops being bit-identical to its serial twin.
+// the parallel sweep runner over a serial sweep, the intra-block
+// parallel-execution speedup over serial block application, and the
+// streaming generation pipeline's cost and peak heap over a million
+// implicit clients. Results serialize to a machine-readable JSON file
+// (BENCH_PR9.json at the repository root) so future changes can be gated
+// against a recorded baseline: `make bench` fails when scheduler
+// throughput drops more than the tolerance below the baseline
+// (like-for-like, same GOMAXPROCS only), when the hot paths start
+// allocating again, when either parallel pass stops being bit-identical
+// to its serial twin, or when stream generation busts its constant-memory
+// budgets.
 package perfharness
 
 import (
@@ -28,8 +31,10 @@ import (
 	"diablo/internal/sim"
 	"diablo/internal/simnet"
 	"diablo/internal/snapshot"
+	"diablo/internal/stream"
 	"diablo/internal/types"
 	"diablo/internal/vmprofiles"
+	"diablo/internal/wallet"
 	"diablo/internal/workloads"
 )
 
@@ -75,7 +80,31 @@ type Result struct {
 	// ExecDeterministic records that the parallel pass produced the exact
 	// serial receipts and state snapshot.
 	ExecDeterministic bool `json:"exec_deterministic"`
+
+	// Million-client streaming generation (DESIGN.md §16): the flash-crowd
+	// generator emits one signed transaction per implicit client, deriving
+	// accounts on demand through the lazy wallet. The stage proves the
+	// generator's memory is O(1) in the population — peak heap must stay
+	// under StreamHeapBudgetMB no matter how many clients stream through —
+	// and that generation replays bit-identically (same trace digest twice).
+	StreamClients     int     `json:"stream_clients,omitempty"`
+	StreamTxs         int     `json:"stream_txs,omitempty"`
+	StreamTxsPerSec   float64 `json:"stream_txs_per_sec,omitempty"`
+	StreamAllocsPerTx float64 `json:"stream_allocs_per_tx,omitempty"`
+	StreamPeakHeapMB  float64 `json:"stream_peak_heap_mb,omitempty"`
+	// StreamDeterministic records that two full generation passes produced
+	// the same digest over (client, nonce, signature).
+	StreamDeterministic bool `json:"stream_deterministic,omitempty"`
 }
+
+// StreamHeapBudgetMB bounds the generation stage's peak heap. A
+// materialized million-client wallet alone would need hundreds of MB;
+// the lazy pipeline must stay well under this regardless of population.
+const StreamHeapBudgetMB = 128
+
+// StreamAllocBudget bounds allocations per generated transaction: account
+// derivation plus signing, independent of the client count.
+const StreamAllocBudget = 16
 
 // Options scales the harness; zero values pick defaults sized for a
 // seconds-long run.
@@ -86,6 +115,9 @@ type Options struct {
 	SimnetMessages int
 	// SweepWorkers is the parallel sweep's pool size (default GOMAXPROCS).
 	SweepWorkers int
+	// StreamClients sizes the streaming generation stage (default
+	// 1,000,000 implicit clients).
+	StreamClients int
 	// Quick shrinks the end-to-end stages for tests.
 	Quick bool
 }
@@ -252,6 +284,79 @@ func benchExecRun(workers, nContracts, nBlocks int) ([]*types.Receipt, []byte, f
 	return receipts, enc.Payload(), elapsed, nil
 }
 
+// streamPass is one full generation run: every implicit client of the
+// flash-crowd scenario mints once, signed through the lazy wallet. It
+// returns the trace digest, the transaction count, the allocations per
+// transaction and the peak heap observed (sampled every 64Ki txs).
+func streamPass(clients int) (digest uint64, txs int, allocsPerTx, peakHeapMB float64, err error) {
+	src, err := stream.Build(stream.Config{
+		Scenario: "flash-mint",
+		Clients:  uint64(clients),
+		// Peak and decay only shape virtual timestamps; peak*decay > clients
+		// guarantees the whole population drains.
+		Peak:     float64(clients),
+		Decay:    4 * time.Second,
+		Duration: 60 * time.Second,
+	}, 1)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	lazy := wallet.NewLazy(wallet.FastScheme{}, "perf/stream", 0)
+	contract := types.Address{0xD0}
+	h := snapshot.NewHash()
+	var tx types.Transaction
+	var it stream.Intent
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	mallocs0, peak := ms.Mallocs, ms.HeapAlloc
+	for src.Next(&it) {
+		tx = types.Transaction{Kind: types.KindInvoke, To: contract, Nonce: it.Nonce}
+		lazy.Account(it.Client).Sign(&tx)
+		h.U64(it.Client)
+		h.U64(it.Nonce)
+		h.Bytes(tx.Sig)
+		txs++
+		if txs&0xFFFF == 0 {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+		}
+	}
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak {
+		peak = ms.HeapAlloc
+	}
+	return h.Sum(), txs,
+		float64(ms.Mallocs-mallocs0) / float64(txs),
+		float64(peak) / (1 << 20), nil
+}
+
+// benchStream runs the generation pass twice — once for the measurement,
+// once for the determinism check — and fills in the Stream* fields of r.
+func benchStream(r *Result, clients int) error {
+	start := time.Now()
+	digest, txs, allocs, peakMB, err := streamPass(clients)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Seconds()
+	again, txs2, _, _, err := streamPass(clients)
+	if err != nil {
+		return err
+	}
+	r.StreamClients = clients
+	r.StreamTxs = txs
+	if elapsed > 0 {
+		r.StreamTxsPerSec = float64(txs) / elapsed
+	}
+	r.StreamAllocsPerTx = allocs
+	r.StreamPeakHeapMB = peakMB
+	r.StreamDeterministic = digest == again && txs == txs2
+	return nil
+}
+
 // benchExec runs the intra-block execution benchmark serially and on the
 // worker pool, filling in the Exec* fields of r.
 func benchExec(r *Result, workers int, quick bool) error {
@@ -341,6 +446,17 @@ func Run(o Options) (*Result, error) {
 	if err := benchExec(r, 4, o.Quick); err != nil {
 		return nil, err
 	}
+
+	streamClients := o.StreamClients
+	if streamClients <= 0 {
+		streamClients = 1_000_000
+	}
+	if o.Quick {
+		streamClients = min(streamClients, 50_000)
+	}
+	if err := benchStream(r, streamClients); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
@@ -397,6 +513,24 @@ func Compare(cur, base *Result, tol float64) error {
 				cur.ExecSpeedup, cur.ExecWorkers, cur.NumCPU)
 		}
 	}
+	// Streaming generation gates are absolute (machine-independent): the
+	// lazy pipeline's heap must not scale with the population and the
+	// per-transaction allocation count is a constant-factor budget. A
+	// baseline recorded before the stage existed has StreamClients 0 and
+	// gates nothing extra; the current run self-gates whenever it ran.
+	if cur.StreamClients > 0 {
+		if !cur.StreamDeterministic {
+			return fmt.Errorf("perfharness: stream generation not deterministic across passes")
+		}
+		if cur.StreamPeakHeapMB > StreamHeapBudgetMB {
+			return fmt.Errorf("perfharness: stream generation peak heap %.1f MB exceeds the %d MB budget (%d clients)",
+				cur.StreamPeakHeapMB, StreamHeapBudgetMB, cur.StreamClients)
+		}
+		if cur.StreamAllocsPerTx > StreamAllocBudget {
+			return fmt.Errorf("perfharness: stream generation allocates %.1f/tx, budget %d",
+				cur.StreamAllocsPerTx, StreamAllocBudget)
+		}
+	}
 	return nil
 }
 
@@ -432,4 +566,8 @@ func Render(w io.Writer, r *Result) {
 		r.SweepCells, r.SweepSerialSeconds, r.SweepWorkers, r.SweepParallelSeconds, r.SweepSpeedup, r.SweepDeterministic)
 	fmt.Fprintf(w, "  exec         serial %.3f s, parallel(%d) %.3f s -> %.2fx speedup (deterministic: %v, cpus: %d)\n",
 		r.ExecSerialSeconds, r.ExecWorkers, r.ExecParallelSeconds, r.ExecSpeedup, r.ExecDeterministic, r.NumCPU)
+	if r.StreamClients > 0 {
+		fmt.Fprintf(w, "  stream       %d clients: %12.0f txs/sec  %6.2f allocs/tx  peak heap %.1f MB (deterministic: %v)\n",
+			r.StreamClients, r.StreamTxsPerSec, r.StreamAllocsPerTx, r.StreamPeakHeapMB, r.StreamDeterministic)
+	}
 }

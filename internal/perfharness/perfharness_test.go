@@ -88,6 +88,34 @@ func TestHarnessQuickRun(t *testing.T) {
 	if err := Compare(&slow, back, 0.2); err != nil {
 		t.Fatalf("speedup gate bound on a single-core machine: %v", err)
 	}
+
+	// Streaming generation: the quick run must have generated the whole
+	// (reduced) population deterministically inside the memory budgets.
+	if r.StreamClients <= 0 || r.StreamTxs != r.StreamClients {
+		t.Fatalf("stream stage incomplete: %d txs for %d clients", r.StreamTxs, r.StreamClients)
+	}
+	if !r.StreamDeterministic {
+		t.Fatal("stream generation diverged between passes")
+	}
+	// Gate shapes: a heap blow-up, an allocation blow-up and a divergence
+	// must each trip Compare even against a stream-less baseline.
+	noStream := *back
+	noStream.StreamClients = 0
+	hog := *r
+	hog.StreamPeakHeapMB = StreamHeapBudgetMB + 1
+	if err := Compare(&hog, &noStream, 0.2); err == nil || !strings.Contains(err.Error(), "peak heap") {
+		t.Fatalf("stream heap regression not detected: %v", err)
+	}
+	churn := *r
+	churn.StreamAllocsPerTx = StreamAllocBudget + 1
+	if err := Compare(&churn, &noStream, 0.2); err == nil || !strings.Contains(err.Error(), "allocates") {
+		t.Fatalf("stream allocation regression not detected: %v", err)
+	}
+	flaky := *r
+	flaky.StreamDeterministic = false
+	if err := Compare(&flaky, &noStream, 0.2); err == nil || !strings.Contains(err.Error(), "not deterministic") {
+		t.Fatalf("stream divergence not detected: %v", err)
+	}
 }
 
 // TestCompareTolerantOfOldRecords gates the repo's real PR 2 record (written

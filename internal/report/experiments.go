@@ -84,6 +84,10 @@ type Cell struct {
 	DeployErr string
 	Latencies []time.Duration
 	Submitted int
+	// Violations lists invariant breaches detected while the run's
+	// monitors were armed (empty unless the exhibit arms them, as the
+	// robustness grid does).
+	Violations []string
 }
 
 func cellOf(out *bench.Outcome, cfg, workload string) Cell {
@@ -103,6 +107,9 @@ func cellOf(out *bench.Outcome, cfg, workload string) Cell {
 	}
 	if out.DeployErr != nil {
 		c.DeployErr = out.DeployErr.Error()
+	}
+	for _, v := range out.Violations {
+		c.Violations = append(c.Violations, fmt.Sprintf("%s@%.0fs", v.Invariant, v.VTime.Seconds()))
 	}
 	return c
 }

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"diablo/internal/bench"
+	"diablo/internal/configs"
+	"diablo/internal/core"
+)
+
+// KneeChains are the default engines for the capacity search: one from
+// each consensus family the suite models (BFT committee, proof-of-stake
+// lottery, metastable DAG).
+var KneeChains = []string{"quorum", "algorand", "avalanche"}
+
+// Knees runs the closed-loop capacity search (bench.FindKnee) on each
+// named chain in its best configuration. The per-chain searches run on the
+// Options worker pool; each search's probes are sequential by nature (the
+// next rate depends on the last verdict).
+func Knees(names []string, o Options, ko bench.KneeOptions) ([]*bench.KneeResult, error) {
+	results := make([]*bench.KneeResult, len(names))
+	err := core.ForEach(o.Workers, len(names), func(i int) error {
+		opts := ko
+		opts.Chain = names[i]
+		opts.Config = BestConfig[names[i]]
+		if opts.Config == nil {
+			// Extension chains have no Figure 4 entry; they run on the
+			// community configuration like the extension study does.
+			opts.Config = configs.Community
+		}
+		opts.Seed = o.seed()
+		opts.ScaleNodes = o.NodeScale
+		res, err := bench.FindKnee(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RenderKnee prints the per-chain capacity report: the knee (highest
+// sustainable TPS found), the ceiling above it, and every probe's verdict.
+func RenderKnee(w io.Writer, results []*bench.KneeResult) {
+	fmt.Fprintln(w, "Capacity knees — closed-loop search for maximum sustainable TPS")
+	fmt.Fprintln(w, "a probe is sustainable when the cluster stays up, the commit ratio,")
+	fmt.Fprintln(w, "p95 commit latency and backlog growth all stay inside the stopping rules.")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-11s %-12s %12s %14s %7s %s\n",
+		"chain", "config", "knee (TPS)", "ceiling (TPS)", "probes", "note")
+	for _, r := range results {
+		note := ""
+		if r.Clipped {
+			if r.Knee == 0 {
+				note = "below bracket floor"
+			} else {
+				note = "above bracket ceiling"
+			}
+		}
+		fmt.Fprintf(w, "%-11s %-12s %12.0f %14.0f %7d %s\n",
+			r.Chain, r.Config, r.Knee, r.Ceiling, len(r.Probes), note)
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "\n%s probes:\n", r.Chain)
+		for _, p := range r.Probes {
+			fmt.Fprintf(w, "  %7.0f TPS  tput %7.0f  p95 %8s  commit %.2f  %s\n",
+				p.TPS, p.Throughput, p.P95.Round(10*time.Millisecond), p.CommitRatio, p.Reason)
+		}
+	}
+}
+
+// WriteKneeCSV emits the raw probe series for plotting.
+func WriteKneeCSV(w io.Writer, results []*bench.KneeResult) {
+	fmt.Fprintln(w, "chain,config,probe_tps,sustainable,throughput_tps,p95_s,commit_ratio,backlog_per_sec,reason")
+	for _, r := range results {
+		for _, p := range r.Probes {
+			fmt.Fprintf(w, "%s,%s,%.0f,%t,%.1f,%.3f,%.4f,%.1f,%q\n",
+				r.Chain, r.Config, p.TPS, p.Sustainable, p.Throughput,
+				p.P95.Seconds(), p.CommitRatio, p.BacklogPerSec, p.Reason)
+		}
+	}
+}

@@ -425,6 +425,8 @@ func Render(w io.Writer, id string, cells []Cell) error {
 		RenderFigure6(w, cells)
 	case "extensions":
 		RenderExtensions(w, cells)
+	case "robustness":
+		RenderRobustness(w, cells)
 	default:
 		return fmt.Errorf("report: unknown exhibit %q", id)
 	}
@@ -443,12 +445,14 @@ var Experiments = map[string]func(Options) ([]Cell, error){
 	"figure4": Figure4,
 	"figure5": Figure5,
 	"figure6": Figure6,
-	// extensions is this repository's beyond-the-paper study.
+	// extensions and robustness are this repository's beyond-the-paper
+	// studies.
 	"extensions": Extensions,
+	"robustness": Robustness,
 }
 
 // IDs lists the exhibits in presentation order (the paper's nine plus the
 // extension study).
 func IDs() []string {
-	return []string{"table1", "table2", "table3", "table4", "figure2", "figure3", "figure4", "figure5", "figure6", "extensions"}
+	return []string{"table1", "table2", "table3", "table4", "figure2", "figure3", "figure4", "figure5", "figure6", "extensions", "robustness"}
 }

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"diablo/internal/bench"
+	"diablo/internal/chains"
+	"diablo/internal/chaos"
+	"diablo/internal/workloads"
+)
+
+// RobustnessFaults are the grid's columns: the canonical single-node
+// crash-restart probe and a 30-second half-half network partition. Both
+// recover well before the observation tail ends, so a correct chain must
+// come back and keep every safety and liveness invariant.
+var RobustnessFaults = []string{"crash", "partition"}
+
+// robustnessSchedule builds the fault timeline for one grid column given
+// the deployment's (scaled) node count.
+func robustnessSchedule(fault string, nodes int) *chaos.Schedule {
+	if fault == "crash" {
+		return chaos.CanonicalCrashRestart(1, 30*time.Second, 60*time.Second)
+	}
+	// Partition the second half of the nodes away from the first (nodes
+	// not listed join side 0), heal after 30 seconds.
+	half := make([]int, 0, nodes/2)
+	for n := nodes / 2; n < nodes; n++ {
+		half = append(half, n)
+	}
+	return chaos.NewSchedule(
+		chaos.Event{At: 30 * time.Second, Kind: chaos.Partition, Sides: [][]int{nil, half}},
+		chaos.Event{At: 60 * time.Second, Kind: chaos.Heal},
+	)
+}
+
+// Robustness runs every chain in its best configuration under each fault
+// of the grid with the full invariant monitors armed (agreement, validity,
+// integrity, eventual inclusion). The workload is the Figure 4 moderate
+// load (1,000 TPS native transfers) so a verdict reflects the fault, not
+// overload collapse.
+func Robustness(o Options) ([]Cell, error) {
+	type job struct {
+		chain string
+		fault string
+	}
+	var jobs []job
+	for _, name := range chains.Names() {
+		for _, fault := range RobustnessFaults {
+			jobs = append(jobs, job{chain: name, fault: fault})
+		}
+	}
+	return o.runCells(len(jobs), func(i int) (Cell, error) {
+		j := jobs[i]
+		cfg := BestConfig[j.chain]
+		tr := workloads.NativeConstant(1000, 90*time.Second)
+		out, err := bench.Run(bench.Experiment{
+			Chain:      j.chain,
+			Config:     cfg,
+			Traces:     o.traces([]*workloads.Trace{tr}),
+			Seed:       o.seed(),
+			Tail:       o.Tail,
+			ScaleNodes: o.NodeScale,
+			Faults:     robustnessSchedule(j.fault, cfg.Scaled(o.NodeScale).Nodes),
+			Invariants: true,
+		})
+		if err != nil {
+			return Cell{}, err
+		}
+		c := cellOf(out, cfg.Name, j.fault)
+		return c, nil
+	})
+}
+
+// verdictOf condenses one grid cell into its table entry.
+func verdictOf(c Cell) string {
+	switch {
+	case c.DeployErr != "":
+		return "X"
+	case len(c.Violations) > 0:
+		return fmt.Sprintf("VIOLATED (%s)", strings.Join(c.Violations, ", "))
+	case c.Crashed:
+		return "collapsed"
+	default:
+		return fmt.Sprintf("hold (commit %.2f)", c.Commit)
+	}
+}
+
+// RenderRobustness prints the chain x fault invariant verdict grid.
+func RenderRobustness(w io.Writer, cells []Cell) {
+	fmt.Fprintln(w, "Robustness grid — invariant verdicts under fault injection")
+	fmt.Fprintln(w, "1,000 TPS native transfers in each chain's best configuration;")
+	fmt.Fprintln(w, "crash: node 1 down 30s-60s; partition: half-half split 30s-60s.")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-11s %-12s %-22s %-22s\n", "chain", "config", "crash", "partition")
+	for _, name := range chains.Names() {
+		row := map[string]Cell{}
+		cfg := ""
+		for _, c := range cells {
+			if c.Chain == name {
+				row[c.Workload] = c
+				cfg = c.Config
+			}
+		}
+		fmt.Fprintf(w, "%-11s %-12s %-22s %-22s\n",
+			name, cfg, verdictOf(row["crash"]), verdictOf(row["partition"]))
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"diablo/internal/chaos"
 	"diablo/internal/configs"
 	"diablo/internal/dapps"
+	"diablo/internal/stream"
 	"diablo/internal/workloads"
 	"diablo/internal/yamlite"
 )
@@ -26,6 +27,10 @@ import (
 // Benchmark is a parsed workload specification.
 type Benchmark struct {
 	Workloads []Workload
+	// Streams holds the `stream:` section's constant-memory generated
+	// workloads (see internal/stream). A spec may carry workloads,
+	// streams, or both.
+	Streams []stream.Config
 }
 
 // Workload is one "workloads:" entry: Number concurrent clients sharing a
@@ -72,20 +77,29 @@ func ParseBenchmark(src string) (*Benchmark, error) {
 	if err != nil {
 		return nil, err
 	}
-	wls, ok := root.Get("workloads")
-	if !ok || wls.Kind != yamlite.Seq {
-		return nil, fmt.Errorf("spec: missing workloads section")
-	}
 	out := &Benchmark{}
-	for i, w := range wls.Items {
-		wl, err := parseWorkload(w)
-		if err != nil {
-			return nil, fmt.Errorf("spec: workload %d: %w", i, err)
+	wls, haveWorkloads := root.Get("workloads")
+	if haveWorkloads {
+		if wls.Kind != yamlite.Seq {
+			return nil, fmt.Errorf("spec: workloads section must be a sequence")
 		}
-		out.Workloads = append(out.Workloads, wl)
+		for i, w := range wls.Items {
+			wl, err := parseWorkload(w)
+			if err != nil {
+				return nil, fmt.Errorf("spec: workload %d: %w", i, err)
+			}
+			out.Workloads = append(out.Workloads, wl)
+		}
 	}
-	if len(out.Workloads) == 0 {
-		return nil, fmt.Errorf("spec: no workloads")
+	if st, ok := root.Get("stream"); ok {
+		cfgs, err := stream.ParseSection(st)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		out.Streams = cfgs
+	}
+	if len(out.Workloads) == 0 && len(out.Streams) == 0 {
+		return nil, fmt.Errorf("spec: missing workloads or stream section")
 	}
 	return out, nil
 }
@@ -313,7 +327,7 @@ func (b *Benchmark) Accounts() int {
 	return max
 }
 
-// Duration returns the longest workload schedule.
+// Duration returns the longest workload or stream schedule.
 func (b *Benchmark) Duration() time.Duration {
 	max := 0
 	for _, wl := range b.Workloads {
@@ -323,7 +337,11 @@ func (b *Benchmark) Duration() time.Duration {
 			}
 		}
 	}
-	return time.Duration(max) * time.Second
+	d := time.Duration(max) * time.Second
+	if sd := stream.Durations(b.Streams); sd > d {
+		d = sd
+	}
+	return d
 }
 
 // Setup is a parsed blockchain setup file.

@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"diablo/internal/yamlite"
+)
+
+// ParseSection interprets a workload specification's `stream:` section,
+// a sequence of scenario entries:
+//
+//	stream:
+//	  - scenario: flash-mint
+//	    clients: 1000000
+//	    peak: 50000
+//	    decay: 20s
+//	    duration: 60s
+//	  - scenario: dex-arb
+//	    clients: 64
+//	    rate: 200
+//	    amount-max: 1000
+//	    duration: 60s
+//	  - scenario: diurnal
+//	    clients: 100000
+//	    base: 50
+//	    peak: 400
+//	    day: 120s
+//	    days: 3
+//
+// Unknown keys are rejected with the pinned message
+// `stream: unknown key "<key>"` so typos cannot silently change a run.
+func ParseSection(n *yamlite.Node) ([]Config, error) {
+	if n == nil || n.Kind != yamlite.Seq {
+		return nil, fmt.Errorf("stream: section must be a sequence of scenarios")
+	}
+	var out []Config
+	for i, item := range n.Items {
+		c, err := parseEntry(item)
+		if err != nil {
+			return nil, fmt.Errorf("stream entry %d: %w", i, err)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("stream: section is empty")
+	}
+	return out, nil
+}
+
+func parseEntry(n *yamlite.Node) (Config, error) {
+	var c Config
+	if n == nil || n.Kind != yamlite.Map {
+		return c, fmt.Errorf("stream: scenario entry must be a mapping")
+	}
+	for _, f := range n.Fields {
+		v := f.Value.Value
+		var err error
+		switch f.Key {
+		case "scenario":
+			c.Scenario = v
+		case "clients":
+			c.Clients, err = parseCount(v)
+		case "duration":
+			c.Duration, err = parseDur(v)
+		case "peak":
+			c.Peak, err = parseRate(v)
+		case "decay":
+			c.Decay, err = parseDur(v)
+		case "rate":
+			c.Rate, err = parseRate(v)
+		case "amount-max":
+			c.AmountMax, err = parseCount(v)
+		case "base":
+			c.Base, err = parseRate(v)
+		case "day":
+			c.Day, err = parseDur(v)
+		case "days":
+			var d int
+			d, err = strconv.Atoi(v)
+			if err == nil && d < 1 {
+				err = fmt.Errorf("must be positive")
+			}
+			c.Days = d
+		default:
+			return c, fmt.Errorf("stream: unknown key %q", f.Key)
+		}
+		if err != nil {
+			return c, fmt.Errorf("stream: bad %s %q: %v", f.Key, v, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func parseCount(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a count")
+	}
+	return v, nil
+}
+
+func parseRate(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("not a rate")
+	}
+	return v, nil
+}
+
+func parseDur(s string) (time.Duration, error) {
+	v, err := time.ParseDuration(s)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("not a duration")
+	}
+	return v, nil
+}

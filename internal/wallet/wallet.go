@@ -167,14 +167,15 @@ func VerifyTx(scheme Scheme, tx *types.Transaction) error {
 // Wallet is an ordered set of accounts, as provisioned for an experiment
 // (the paper uses 2,000 accounts, or 130 where Diem's tooling fails).
 type Wallet struct {
-	Scheme   Scheme
-	Accounts []*Account
-	byAddr   map[types.Address]*Account
+	Scheme    Scheme
+	Namespace string
+	Accounts  []*Account
+	byAddr    map[types.Address]*Account
 }
 
 // New creates n deterministic accounts labelled by an experiment namespace.
 func New(scheme Scheme, namespace string, n int) *Wallet {
-	w := &Wallet{Scheme: scheme, byAddr: make(map[types.Address]*Account, n)}
+	w := &Wallet{Scheme: scheme, Namespace: namespace, byAddr: make(map[types.Address]*Account, n)}
 	for i := 0; i < n; i++ {
 		seed := make([]byte, 0, len(namespace)+8)
 		seed = append(seed, namespace...)
