@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet lint lint-audit race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke adversary-smoke pexec-smoke spans-smoke knee-smoke clean
+.PHONY: build test test-short vet lint lint-fast lint-audit race bench bench-exhibits exhibits exhibits-quick examples trace-smoke snapshot-smoke adversary-smoke pexec-smoke spans-smoke knee-smoke clean
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,21 @@ vet:
 	$(GO) vet ./...
 
 # Determinism linter: proves the sim-time packages clean of wall clocks,
-# global randomness, order-sensitive map iteration, concurrency primitives
-# and unmirrored snapshot methods (DESIGN.md "Determinism rules & lint").
-# Exits non-zero on any unsuppressed finding.
+# global randomness, order-sensitive map iteration, concurrency primitives,
+# unmirrored snapshot methods, float math on ordering/digest paths,
+# unencoded mutable snapshot fields, impure observers, and heap allocation
+# in //perf:noalloc hot paths (DESIGN.md "Determinism rules & lint" and
+# "Static analysis v2"). Exits non-zero on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/diablo-lint ./...
 
-# Same, plus the //lint:allow suppression audit trail.
+# Subset run for tight edit loops: make lint-fast CHECKS=float,hotalloc
+# (default: every check).
+CHECKS ?=
+lint-fast:
+	$(GO) run ./cmd/diablo-lint $(if $(CHECKS),-checks $(CHECKS)) ./...
+
+# Same as lint, plus the //lint:allow suppression audit trail.
 lint-audit:
 	$(GO) run ./cmd/diablo-lint -audit ./...
 

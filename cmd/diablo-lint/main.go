@@ -1,15 +1,18 @@
 // Command diablo-lint is the determinism linter: it type-checks the whole
 // module from source and proves the sim-time packages clean of wall-clock
 // reads, global randomness, order-sensitive map iteration, concurrency
-// primitives, and unmirrored snapshot methods. It exits non-zero on any
-// unsuppressed finding, so `make lint` gates the tree.
+// primitives, unmirrored snapshot methods, float arithmetic on
+// ordering/digest paths, unencoded mutable snapshot fields, impure
+// observers, and heap allocation in //perf:noalloc hot paths. It exits
+// non-zero on any unsuppressed finding, so `make lint` gates the tree.
 //
 // Usage:
 //
 //	diablo-lint [flags] [./... | path prefixes]
 //
 //	-audit       print the //lint:allow suppression trail (flagging unused ones)
-//	-json        emit findings as JSON
+//	-json        emit a JSON report: findings (each carrying its check name)
+//	             plus per-check finding and suppression counts
 //	-checks a,b  run only the named checks
 package main
 
@@ -56,9 +59,20 @@ func main() {
 	findings := filterArgs(rep.Findings, flag.Args(), root)
 
 	if *asJSON {
+		out := jsonReport{
+			Findings:          relFindings(root, findings),
+			FindingsByCheck:   map[string]int{},
+			SuppressedByCheck: map[string]int{},
+		}
+		for _, f := range findings {
+			out.FindingsByCheck[f.Check]++
+		}
+		for _, f := range rep.Suppressed {
+			out.SuppressedByCheck[f.Check]++
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -88,6 +102,27 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// jsonReport is the machine-readable output: the findings themselves (each
+// tagged with its check) plus per-check totals for unsuppressed and
+// suppressed findings, so CI dashboards can track both what failed and
+// what the audit trail is absorbing.
+type jsonReport struct {
+	Findings          []lint.Finding `json:"findings"`
+	FindingsByCheck   map[string]int `json:"findings_by_check"`
+	SuppressedByCheck map[string]int `json:"suppressed_by_check"`
+}
+
+// relFindings rewrites finding positions root-relative so JSON output is
+// stable across checkouts.
+func relFindings(root string, findings []lint.Finding) []lint.Finding {
+	out := make([]lint.Finding, len(findings))
+	for i, f := range findings {
+		f.Pos.Filename = strings.TrimPrefix(f.Pos.Filename, root+string(filepath.Separator))
+		out[i] = f
+	}
+	return out
 }
 
 // filterArgs restricts findings to the given path prefixes (relative to the

@@ -32,7 +32,7 @@ type Engine struct {
 	// and not digestible; the sequence number and size are folded into the
 	// snapshot digest instead.
 	lastSize    []int
-	lastPayload []any
+	lastPayload []any //lint:allow snapshotdrift adversary bookkeeping for equivocation dedup; process-local, not replay state
 	lastSeq     []uint64
 
 	// Counters. Applied counts window transitions (clears included); the
@@ -46,8 +46,8 @@ type Engine struct {
 	Censored      uint64 // transactions skipped by a censoring proposer
 	Replayed      uint64 // stale messages re-delivered by Replay
 
-	tracer *obs.Tracer
-	faults *obs.Counter
+	tracer *obs.Tracer  //lint:allow snapshotdrift observer wiring attached before a run; never checkpointed state
+	faults *obs.Counter //lint:allow snapshotdrift observer wiring attached before a run; never checkpointed state
 }
 
 // Install schedules every behavior window of the schedule on the

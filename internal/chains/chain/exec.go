@@ -53,7 +53,7 @@ type Executor struct {
 	// fidelity). The cache is sound for the DIABLO DApp suite because each
 	// function's control flow is input-independent at benchmark scale; a
 	// conformance test (TestGasCacheFidelity) checks the equivalence.
-	CacheAfter int
+	CacheAfter int //lint:allow snapshotdrift run configuration set at setup, fixed during a run
 	cache      map[cacheKey]*cacheEntry
 
 	// Executed counts fully interpreted transactions; Replayed counts
@@ -70,24 +70,24 @@ type Executor struct {
 	// blocks with at least minParallelTxs transactions speculate on a
 	// pool of this many workers and commit in canonical order, with
 	// results byte-identical to serial execution. <= 1 executes serially.
-	Workers int
+	Workers int //lint:allow snapshotdrift run configuration set at setup, fixed during a run
 	// interps are the per-worker interpreters of the parallel pass (the
 	// shared e.interp is not safe for concurrent use). Grown lazily.
-	interps []*vm.Interpreter
+	interps []*vm.Interpreter //lint:allow snapshotdrift interpreter free pool; allocation cache, not replay state
 
 	// Parallel-execution diagnostics. They depend on the worker count, so
 	// they are deliberately excluded from SnapshotState and the default
 	// result JSON: checkpoints and outputs stay identical across worker
 	// counts. (`diablo run` surfaces them, as omitempty summary fields,
 	// only when --exec-workers > 1.)
-	ParallelBlocks uint64 // blocks that took the parallel path
-	SpecCommitted  uint64 // transactions committed from speculation
-	Fallbacks      uint64 // transactions re-executed sequentially
-	HazardEdges    uint64 // read-after-write edges in the conflict graphs
+	ParallelBlocks uint64 //lint:allow snapshotdrift reporting counter (blocks on the parallel path) for the result table, not replay state
+	SpecCommitted  uint64 //lint:allow snapshotdrift reporting counter (speculatively committed txs) for the result table, not replay state
+	Fallbacks      uint64 //lint:allow snapshotdrift reporting counter (sequential re-executions) for the result table, not replay state
+	HazardEdges    uint64 //lint:allow snapshotdrift reporting counter (conflict-graph RAW edges) for the result table, not replay state
 
 	// spans, when attached (Network.SetSpans), receives per-key conflict
 	// attributions from the parallel commit scan; nil-disabled.
-	spans *span.Recorder
+	spans *span.Recorder //lint:allow snapshotdrift observer wiring attached before a run; never checkpointed state
 }
 
 type cacheKey struct {

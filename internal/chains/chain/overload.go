@@ -77,17 +77,30 @@ func (n *Network) recordArrival() {
 }
 
 // OverloadRatio returns max(1, submissionRate / verificationCapacity).
-// Engines multiply their processing delays by this ratio.
+// Engines multiply their processing delays by this ratio via Scale.
 func (n *Network) OverloadRatio() float64 {
 	cap := float64(n.Params.VerifyPerSecPerVCPU * uint64(n.VCPUs))
 	if cap <= 0 {
 		return 1
 	}
-	r := n.arrivals.rate(n.Sched.Now()) / cap
+	r := n.arrivals.rate(n.Sched.Now()) / cap //lint:allow float single IEEE division has no x*y±z contraction shape and is bit-exact on every GOARCH
 	if r < 1 {
 		return 1
 	}
 	return r
+}
+
+// Scale stretches a modeled delay by an overload ratio. This is the one
+// audited place consensus timing meets floating point: below saturation
+// (r == 1, the common case) the duration passes through untouched, and the
+// stretched case is a lone multiply — a single correctly-rounded IEEE
+// operation with no x*y±z shape for the compiler to contract into an FMA —
+// so the resulting deadline is bit-identical on every GOARCH.
+func Scale(d time.Duration, r float64) time.Duration {
+	if r == 1 {
+		return d
+	}
+	return time.Duration(float64(d) * r) //lint:allow float lone multiply, single rounding, no contraction shape; the audited overload-scaling site
 }
 
 // CrashNetwork models cluster-wide resource exhaustion: block production

@@ -105,7 +105,7 @@ func (e Event) String() string {
 	case Heal:
 		b.WriteString("heal")
 	case Loss:
-		fmt.Fprintf(&b, "loss %.1f%% %s", e.Rate*100, e.linkName())
+		fmt.Fprintf(&b, "loss %.1f%% %s", e.Rate*100, e.linkName()) //lint:allow float percentage label formatting; the string never feeds scheduling
 	case Delay:
 		fmt.Fprintf(&b, "delay %v", e.ExtraDelay)
 		if e.Jitter > 0 {
@@ -113,7 +113,7 @@ func (e Event) String() string {
 		}
 		fmt.Fprintf(&b, " %s", e.linkName())
 	case Bandwidth:
-		fmt.Fprintf(&b, "bandwidth %.0f%% %s", e.Factor*100, e.linkName())
+		fmt.Fprintf(&b, "bandwidth %.0f%% %s", e.Factor*100, e.linkName()) //lint:allow float percentage label formatting; the string never feeds scheduling
 	}
 	return b.String()
 }

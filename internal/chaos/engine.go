@@ -18,8 +18,8 @@ type Engine struct {
 	// Applied counts fault applications (clearing expiries included).
 	Applied int
 
-	tracer *obs.Tracer
-	faults *obs.Counter
+	tracer *obs.Tracer  //lint:allow snapshotdrift observer wiring attached before a run; never checkpointed state
+	faults *obs.Counter //lint:allow snapshotdrift observer wiring attached before a run; never checkpointed state
 }
 
 // Instrument attaches a lifecycle tracer (fault annotation events) and a

@@ -158,7 +158,7 @@ func (e *Engine) propose() {
 	st.span = e.net.RoundBegin(round, proposer)
 	e.rounds[round] = st
 	r := e.net.OverloadRatio()
-	e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Assemble)*r), func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, chain.Scale(cost.Assemble, r), func() {
 		if e.stopped {
 			return
 		}
@@ -177,7 +177,7 @@ func (e *Engine) onBlock(idx int, round uint64) {
 		return
 	}
 	st.blockSeen[idx] = true
-	validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
+	validation := chain.Scale(st.cost.Validate, e.net.OverloadRatio())
 	if e.committee(round, 0)[idx] && !st.softSent[idx] {
 		st.softSent[idx] = true
 		e.net.Sched.AfterKind(sim.KindConsensus, validation+processing, func() {

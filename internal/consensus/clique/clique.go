@@ -60,7 +60,7 @@ func (e *Engine) seal() {
 	blk, cost := e.net.AssembleBlock(sealer, true)
 	round := e.net.RoundBegin(blk.Number, sealer)
 	r := e.net.OverloadRatio()
-	assembly := time.Duration(float64(cost.Assemble) * r)
+	assembly := chain.Scale(cost.Assemble, r)
 	e.net.Sched.AfterKind(sim.KindConsensus, assembly, func() {
 		if e.stopped {
 			return
@@ -68,7 +68,7 @@ func (e *Engine) seal() {
 		e.net.RoundPhase(round, "propose", sealer)
 		e.net.Gossip(sealer, blk.Size(), chain.DefaultFanout, func(idx int, _ time.Duration) {
 			// Import: validate (re-execute) then expose to clients.
-			e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Validate)*e.net.OverloadRatio()), func() {
+			e.net.Sched.AfterKind(sim.KindConsensus, chain.Scale(cost.Validate, e.net.OverloadRatio()), func() {
 				e.net.DeliverBlock(idx, blk)
 			})
 		})

@@ -131,7 +131,7 @@ func (e *Engine) propose() {
 	}
 	fragment := blk.Size()/k + 64
 	r := e.net.OverloadRatio()
-	perProposer := time.Duration(float64(cost.Assemble) / float64(k) * r)
+	perProposer := time.Duration(float64(cost.Assemble) / float64(k) * r) //lint:allow float div-then-mul chain has no x*y±z contraction shape; single-rounded IEEE ops are bit-exact on every GOARCH
 	arrivals := make([]int, size)
 	for p := 0; p < k; p++ {
 		root := (coordinator + p) % size
@@ -165,7 +165,7 @@ func (e *Engine) onBlock(idx int, round uint64) {
 		return
 	}
 	st.seen[idx] = true
-	validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
+	validation := chain.Scale(st.cost.Validate, e.net.OverloadRatio())
 	e.net.Sched.AfterKind(sim.KindConsensus, validation, func() {
 		if e.stopped {
 			return

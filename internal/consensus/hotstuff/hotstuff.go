@@ -51,16 +51,16 @@ type Engine struct {
 
 	view   uint64
 	blocks map[uint64]*types.Block // view -> proposed block
-	costs  map[uint64]chain.Cost
+	costs  map[uint64]chain.Cost   //lint:allow snapshotdrift per-view cost of in-flight proposals; transient round state carried by pending events, covered by the queue digest
 	// lastNonEmpty is the most recent view that proposed transactions;
 	// the pacemaker keeps proposing (empty) blocks until it is committed.
 	lastNonEmpty uint64
 	anyProposed  bool
 	votes        int
 	voted        []bool
-	timeoutEv    sim.EventID
+	timeoutEv    sim.EventID //lint:allow snapshotdrift event handle; pending-event identity is covered by the scheduler queue digest
 	curTimeout   time.Duration
-	roundSpan    uint64 // open consensus-round span for the current view
+	roundSpan    uint64 //lint:allow snapshotdrift open consensus-round span id; observer wiring, not replay state
 
 	// Views counts started views.
 	Views uint64
@@ -145,7 +145,7 @@ func (e *Engine) propose() {
 	e.curTimeout = viewTimeoutBase
 	e.timeoutEv.Cancel()
 	e.timeoutEv = e.net.Sched.AfterKind(sim.KindConsensus, e.curTimeout, e.onTimeout)
-	e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Assemble)*r), func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, chain.Scale(cost.Assemble, r), func() {
 		if e.stopped || e.view != view {
 			return
 		}
@@ -182,7 +182,7 @@ func (e *Engine) onProposal(idx int, p proposal) {
 		return
 	}
 	e.voted[idx] = true
-	validation := time.Duration(float64(e.costs[p.view].Validate) * e.net.OverloadRatio())
+	validation := chain.Scale(e.costs[p.view].Validate, e.net.OverloadRatio())
 	next := e.collectorOf(p.view)
 	view := p.view
 	e.net.Sched.AfterKind(sim.KindConsensus, validation, func() {

@@ -67,7 +67,7 @@ type Engine struct {
 	seq       uint64 // sequence currently being agreed on
 	states    map[uint64]*seqState
 	timeout   time.Duration
-	timeoutEv sim.EventID
+	timeoutEv sim.EventID //lint:allow snapshotdrift event handle; pending-event identity is covered by the scheduler queue digest
 
 	// Rounds counts proposer rounds; RoundChanges counts timeouts.
 	Rounds       uint64
@@ -146,7 +146,7 @@ func (e *Engine) propose() {
 	e.timeoutEv = e.net.Sched.AfterKind(sim.KindConsensus, e.timeout, e.onTimeout)
 	// Leader executes the block before disseminating, then gossips the
 	// pre-prepare carrying the full block body.
-	e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(st.cost.Assemble)*r), func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, chain.Scale(st.cost.Assemble, r), func() {
 		if e.stopped {
 			return
 		}
@@ -165,7 +165,7 @@ func (e *Engine) onPrePrepare(idx int, seq uint64, round int) {
 		return
 	}
 	st.prepared[idx] = true
-	validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
+	validation := chain.Scale(st.cost.Validate, e.net.OverloadRatio())
 	e.net.Sched.AfterKind(sim.KindConsensus, validation, func() {
 		if e.stopped {
 			return

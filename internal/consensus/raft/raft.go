@@ -74,8 +74,8 @@ type Engine struct {
 	// delivered[height] tracks which nodes have learned the commit.
 	delivered map[uint64][]bool
 
-	electionEv sim.EventID
-	produceEv  sim.EventID
+	electionEv sim.EventID //lint:allow snapshotdrift event handle; pending-event identity is covered by the scheduler queue digest
+	produceEv  sim.EventID //lint:allow snapshotdrift event handle; pending-event identity is covered by the scheduler queue digest
 
 	// Elections counts leader elections (1 in a crash-free run).
 	Elections uint64
@@ -222,7 +222,7 @@ func (e *Engine) produce() {
 	e.delivered[blk.Number] = make([]bool, len(e.net.Nodes))
 	r := e.net.OverloadRatio()
 	leader := e.leader
-	e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Assemble)*r), func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, chain.Scale(cost.Assemble, r), func() {
 		if e.stopped {
 			return
 		}
@@ -245,7 +245,7 @@ func (e *Engine) onAppend(at int, m appendEntries) {
 		st := e.blocks[m.seq]
 		if st != nil && !st.seenB[at] {
 			st.seenB[at] = true
-			validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
+			validation := chain.Scale(st.cost.Validate, e.net.OverloadRatio())
 			e.net.Sched.AfterKind(sim.KindConsensus, validation, func() {
 				if e.stopped {
 					return

@@ -134,7 +134,7 @@ func (e *Engine) propose() {
 	if r > 1.05 {
 		e.scheduleNext(e.net.Params.MinBlockInterval)
 	}
-	e.net.Sched.AfterKind(sim.KindConsensus, time.Duration(float64(cost.Assemble)*r), func() {
+	e.net.Sched.AfterKind(sim.KindConsensus, chain.Scale(cost.Assemble, r), func() {
 		if e.stopped {
 			return
 		}
@@ -152,7 +152,7 @@ func (e *Engine) startSampling(idx int, round uint64) {
 		return
 	}
 	// Validate (re-execute) before sampling.
-	validation := time.Duration(float64(st.cost.Validate) * e.net.OverloadRatio())
+	validation := chain.Scale(st.cost.Validate, e.net.OverloadRatio())
 	e.net.Sched.AfterKind(sim.KindConsensus, validation, func() { e.sampleOnce(idx, round) })
 }
 

@@ -89,7 +89,7 @@ type Monitor struct {
 	admitted  map[types.Hash]admitRec
 	included  map[types.Hash]uint64
 	canonical map[uint64]commitRec
-	flagged   map[uint64]bool
+	flagged   map[uint64]bool //lint:allow snapshotdrift violation dedup set; monitor findings are reporting output, not replay state
 
 	violations []Violation
 
@@ -97,8 +97,8 @@ type Monitor struct {
 	// resumed run must replay the exact observation sequence.
 	admitSeq, includeSeq, commitSeq uint64
 
-	tracer  *obs.Tracer
-	counter *obs.Counter
+	tracer  *obs.Tracer  //lint:allow snapshotdrift observer wiring attached before a run; never checkpointed state
+	counter *obs.Counter //lint:allow snapshotdrift observer wiring attached before a run; never checkpointed state
 }
 
 // NewMonitor returns a monitor with the given eventual-inclusion horizon

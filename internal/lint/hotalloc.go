@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The hotalloc analyzer turns the BENCH alloc budgets into a compile-time
+// gate. A function annotated
+//
+//	//perf:noalloc
+//
+// (a directive line in its doc comment) declares a zero-allocation
+// contract: the scheduler slab path, simnet send/deliver, and the stream
+// pump must not heap-allocate in steady state, and a benchmark can only
+// prove that after the regression shipped. The analyzer instead asks the
+// compiler: it rebuilds the annotated packages with -gcflags=-m and fails
+// on any escape-analysis diagnostic ("escapes to heap", "moved to heap")
+// positioned inside an annotated function. Deliberate slow paths — a pool
+// filling on first use, interface boxing on a panic path that never runs
+// live — carry a //lint:allow hotalloc <reason> on the allocating line,
+// so every sanctioned allocation is an audited decision and any new one
+// fails `make lint` before it ever reaches a benchmark.
+//
+// The -m diagnostics replay from the build cache, so repeat runs cost a
+// cache probe, not a recompile.
+
+// noallocDirective is the annotation line, written without a space like
+// all Go tool directives.
+const noallocDirective = "//perf:noalloc"
+
+// noallocFn is one annotated function: a file region the build
+// diagnostics are matched against.
+type noallocFn struct {
+	name       string // receiver-qualified name for reports
+	file       string // absolute path
+	start, end int    // body line range, inclusive
+	dir        string // package directory (absolute)
+}
+
+// hasNoalloc reports whether a function declaration carries the
+// directive.
+func hasNoalloc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == noallocDirective || strings.HasPrefix(c.Text, noallocDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func declName(fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name = id.Name + "." + name
+		}
+	}
+	return name
+}
+
+// collectNoalloc gathers annotated functions from already-parsed files.
+func collectNoalloc(fset *token.FileSet, files []*ast.File) []noallocFn {
+	var out []noallocFn
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoalloc(fd) {
+				continue
+			}
+			start := fset.Position(fd.Pos())
+			end := fset.Position(fd.Body.End())
+			out = append(out, noallocFn{
+				name:  declName(fd),
+				file:  start.Filename,
+				start: start.Line,
+				end:   end.Line,
+				dir:   filepath.Dir(start.Filename),
+			})
+		}
+	}
+	return out
+}
+
+// runHotalloc is the analyzer entry point over the loaded module: no
+// annotated function in the analyzed packages means no build and no cost.
+func runHotalloc(p *pass) []Finding {
+	var files []*ast.File
+	for _, pkg := range p.pkgs {
+		files = append(files, pkg.Files...)
+	}
+	ann := collectNoalloc(p.mod.Fset, files)
+	if len(ann) == 0 {
+		return nil
+	}
+	return escapeGate(p.mod.Root, ann)
+}
+
+// escapeDiag matches one compiler diagnostic line: path:line:col: message.
+var escapeDiag = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// escapeGate rebuilds the packages containing annotated functions with
+// escape-analysis diagnostics enabled and reports every allocation inside
+// an annotated body.
+func escapeGate(root string, ann []noallocFn) []Finding {
+	dirSet := map[string]bool{}
+	for _, a := range ann {
+		dirSet[a.dir] = true
+	}
+	var args []string
+	for dir := range dirSet {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		args = append(args, "./"+filepath.ToSlash(rel))
+	}
+	sort.Strings(args)
+
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, args...)...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// -m diagnostics go to stderr with exit status 0; a non-zero exit
+		// is a real build failure the rest of the gate cannot see past.
+		return []Finding{{
+			Pos:     token.Position{Filename: filepath.Join(root, "go.mod"), Line: 1},
+			Check:   "hotalloc",
+			Message: fmt.Sprintf("go build %s failed: %v: %s", strings.Join(args, " "), err, firstLine(out)),
+		}}
+	}
+
+	var findings []Finding
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeDiag.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		for i := range ann {
+			a := &ann[i]
+			if a.file != file || lineNo < a.start || lineNo > a.end {
+				continue
+			}
+			findings = append(findings, Finding{
+				Pos:     token.Position{Filename: file, Line: lineNo, Column: col},
+				Check:   "hotalloc",
+				Message: fmt.Sprintf("//perf:noalloc function %s allocates: %s", a.name, msg),
+				Hint:    "keep the hot path allocation-free (pool, preallocate, avoid boxing), or audit a deliberate slow path with //lint:allow hotalloc <reason>",
+			})
+			break
+		}
+	}
+	return findings
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// HotallocCheckDir runs the escape gate over one package directory
+// standing alone — the fixture harness. The directory's module root is
+// located the same way the CLI locates the repository's, so a fixture can
+// live in the main module's testdata or carry its own go.mod.
+func HotallocCheckDir(dir string) ([]Finding, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	ann := collectNoalloc(fset, files)
+	if len(ann) == 0 {
+		return nil, fmt.Errorf("lint: no %s functions in %s", noallocDirective, dir)
+	}
+	return escapeGate(root, ann), nil
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The interprocedural analyzers, each against its fixture. checkFixture
+// runs every analyzer, so each fixture also proves the others stay silent
+// on it.
+
+func TestFloatFixture(t *testing.T) {
+	checkFixture(t, []string{"floathelper", "float"}, nil)
+}
+
+func TestSnapshotDriftFixture(t *testing.T) {
+	rep := checkFixture(t, []string{"snapshotdrift"}, nil)
+	// The audited exemption (debugSeen) must flow through the suppression
+	// machinery, not vanish.
+	if len(rep.Suppressed) != 1 || rep.Suppressed[0].Check != "snapshotdrift" {
+		t.Fatalf("suppressed = %v, want one snapshotdrift finding (debugSeen)", rep.Suppressed)
+	}
+	for _, s := range rep.Allows {
+		if !s.Used {
+			t.Errorf("%s: fixture allow unused", s.Pos)
+		}
+	}
+}
+
+func TestObserverPureFixture(t *testing.T) {
+	checkFixture(t, []string{"simstate", "obs"}, nil)
+}
+
+// TestFloatTwoHopPinned pins the tentpole's acceptance shape directly: a
+// float multiply two static call hops below a digest writer — fixture
+// package float's State.Digest → State.fixed → floathelper.Fixed — is
+// flagged in the helper package at the exact file:line of the multiply,
+// with the digest root named as the anchor.
+func TestFloatTwoHopPinned(t *testing.T) {
+	m := loadTestModule(t)
+	helper := fixturePkg(t, m, "floathelper")
+	root := fixturePkg(t, m, "float")
+	det := []string{m.Path + fixtureBase + "float", m.Path + fixtureBase + "floathelper"}
+	rep := Run(m, []*Package{helper, root}, Config{Deterministic: det})
+
+	wantLine := 0
+	for _, file := range helper.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "two-hop digest float marker") {
+					wantLine = m.Fset.Position(c.Pos()).Line + 2 // marker sits on the doc comment; the multiply is in the return below the signature
+				}
+			}
+		}
+	}
+	if wantLine == 0 {
+		t.Fatal("fixture lost its two-hop marker comment")
+	}
+	for _, f := range rep.Findings {
+		if f.Check == "float" && strings.HasSuffix(f.Pos.Filename, "floathelper/floathelper.go") &&
+			f.Pos.Line == wantLine && strings.Contains(f.Message, "digest/snapshot path anchored at") {
+			if f.Hint == "" {
+				t.Error("float finding carries no fix hint")
+			}
+			return
+		}
+	}
+	t.Fatalf("two-hop digest float not flagged at floathelper.go:%d; findings: %v", wantLine, rep.Findings)
+}
+
+// TestHotallocGate drives the escape-analysis gate through the real
+// compiler over testdata/hotalloc: the //perf:noalloc function that
+// allocates must fail at the allocation's file:line, the clean one must
+// stay silent. (Suppression of sanctioned allocations is exercised by
+// TestRepositoryLintsClean against the scheduler's audited panic path.)
+func TestHotallocGate(t *testing.T) {
+	findings, err := HotallocCheckDir("testdata/hotalloc")
+	if err != nil {
+		t.Fatalf("HotallocCheckDir: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the LeakyAdd escape", findings)
+	}
+	f := findings[0]
+	if f.Check != "hotalloc" || !strings.Contains(f.Message, "LeakyAdd") {
+		t.Fatalf("finding = %v, want a hotalloc report naming LeakyAdd", f)
+	}
+	if strings.Contains(f.Message, "CleanAdd") {
+		t.Fatalf("clean function reported: %v", f)
+	}
+	if !strings.HasSuffix(f.Pos.Filename, "testdata/hotalloc/hotalloc.go") || f.Pos.Line == 0 {
+		t.Fatalf("finding not pinned to the fixture file:line: %v", f.Pos)
+	}
+}

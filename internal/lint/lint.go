@@ -80,6 +80,7 @@ type pass struct {
 	mod  *Module
 	pkgs []*Package
 	det  func(path string) bool
+	sum  *Summaries // lazily built interprocedural summaries
 }
 
 // analyzers in reporting order. badallow is not listed: it is emitted by
@@ -90,6 +91,10 @@ var analyzers = []*analyzer{
 	{name: "maprange", doc: "map iteration order leaking into ordered output", run: runMapRange},
 	{name: "concurrency", doc: "goroutines, channels or sync in deterministic packages", run: runConcurrency},
 	{name: "snapshotpair", doc: "SnapshotState without a mirrored RestoreState", run: runSnapshotPair},
+	{name: "float", doc: "floating-point arithmetic on digest/snapshot/ordering paths", run: runFloat},
+	{name: "snapshotdrift", doc: "mutable fields never read by SnapshotState", run: runSnapshotDrift},
+	{name: "observerpure", doc: "observer-only code writing simulation state", run: runObserverPure},
+	{name: "hotalloc", doc: "heap allocation inside //perf:noalloc functions", run: runHotalloc},
 }
 
 // CheckNames lists every analyzer name, plus badallow.

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+// observerPkg reports whether a package is an observability package: its
+// functions are entered from hook sites in simulation code (tracer
+// callbacks, span hints, invariant monitors) and must only observe. The
+// classification is by final path segment so fixture packages under
+// testdata get the same treatment as internal/obs, internal/span and
+// internal/invariant.
+func observerPkg(path string) bool {
+	base := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		base = path[i+1:]
+	}
+	return base == "obs" || base == "span" || base == "invariant"
+}
+
+// runObserverPure is the static twin of TestSpansDoNotPerturb: code that
+// is reachable only from observability hook sites — the obs, span and
+// invariant packages and any helper that only they call — must not write
+// simulation, chain or mempool state, and must not schedule events.
+// Attaching a tracer, a span recorder or an invariant monitor has to be
+// invisible to a run's bytes; an observer that mutates what it watches
+// breaks replay in a way only an expensive paired-run diff would catch
+// dynamically.
+//
+// Shared helpers stay legal: a function the deterministic packages also
+// reach without passing through an observer package (the "reachable only"
+// qualifier) is simulation code in its own right, vetted by the other
+// analyzers. Writes to the observer packages' own state are their job and
+// are always allowed.
+func runObserverPure(p *pass) []Finding {
+	sums := p.summaries()
+
+	// Observer side: everything declared in an observer package, plus all
+	// module code it statically reaches.
+	var obsRoots []*types.Func
+	for _, fn := range sums.Funcs {
+		if observerPkg(pkgPathOf(fn)) {
+			obsRoots = append(obsRoots, fn)
+		}
+	}
+	observed := sums.Reach(obsRoots, nil)
+
+	// Simulation side: everything declared in a deterministic non-observer
+	// package reaches, with calls INTO observer packages cut — those are
+	// exactly the hook sites.
+	var simRoots []*types.Func
+	for _, fn := range sums.Funcs {
+		if path := pkgPathOf(fn); p.det(path) && !observerPkg(path) {
+			simRoots = append(simRoots, fn)
+		}
+	}
+	simReach := sums.Reach(simRoots, func(fn *types.Func) bool {
+		return !observerPkg(pkgPathOf(fn))
+	})
+
+	protected := func(path string) bool {
+		return p.det(path) && !observerPkg(path)
+	}
+
+	var out []Finding
+	for _, fn := range sums.Funcs {
+		root, inObs := observed[fn]
+		if !inObs {
+			continue
+		}
+		if _, shared := simReach[fn]; shared {
+			continue // also plain simulation code; not observer-only
+		}
+		sum := sums.ByFn[fn]
+		via := ""
+		if root != fn {
+			via = fmt.Sprintf(" (reached from %s)", root.FullName())
+		}
+		for _, w := range sum.Writes {
+			if !protected(w.Key.Pkg) {
+				continue
+			}
+			target := w.Key.Pkg + "." + w.Key.Field
+			if w.Key.Type != "" {
+				target = w.Key.Type + "." + w.Key.Field
+			}
+			out = append(out, Finding{
+				Pos:     p.mod.Fset.Position(w.Pos),
+				Check:   "observerpure",
+				Message: fmt.Sprintf("observer-only code %s writes simulation state %s%s", fn.Name(), target, via),
+				Hint:    "hooks must only observe: record into the observer's own state, or make this a simulation-side function",
+			})
+		}
+		for _, s := range sum.Schedules {
+			if strings.HasSuffix(s.What, "Observer") {
+				continue // EveryObserver etc.: excluded from Executed and Stats by design
+			}
+			out = append(out, Finding{
+				Pos:     p.mod.Fset.Position(s.Pos),
+				Check:   "observerpure",
+				Message: fmt.Sprintf("observer-only code %s schedules an event (%s)%s: attaching an instrument would change the event sequence", fn.Name(), s.What, via),
+				Hint:    "observers may not schedule; use EveryObserver wiring from the simulation side if periodic capture is needed",
+			})
+		}
+	}
+	return out
+}

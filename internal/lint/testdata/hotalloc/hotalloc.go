@@ -1,0 +1,21 @@
+// Package hotallocfix is the hotalloc fixture, built (not type-loaded —
+// the module loader skips testdata) by HotallocCheckDir through the real
+// `go build -gcflags=-m` gate: LeakyAdd breaks its //perf:noalloc
+// contract, CleanAdd keeps it.
+package hotallocfix
+
+// LeakyAdd returns a pointer to force its result onto the heap.
+//
+//perf:noalloc
+func LeakyAdd(a, b int) *int {
+	r := new(int) // the escape the gate must catch
+	*r = a + b
+	return r
+}
+
+// CleanAdd allocates nothing: the gate must stay silent.
+//
+//perf:noalloc
+func CleanAdd(a, b int) int {
+	return a + b
+}

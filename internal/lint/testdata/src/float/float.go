@@ -1,0 +1,42 @@
+// Package float is a lint fixture: float arithmetic on digest and
+// event-ordering paths — directly at a sink and two static call hops
+// above one — plus legal reporting math no sink path reaches.
+package float
+
+import (
+	"time"
+
+	"diablo/internal/lint/testdata/src/floathelper"
+	"diablo/internal/sim"
+	"diablo/internal/snapshot"
+)
+
+type State struct {
+	weight float64
+	txs    uint64
+}
+
+// Digest feeds the checkpoint codec, so everything it transitively calls
+// is on a digest path: the float multiply sits two hops down, in
+// floathelper.Fixed.
+func (s *State) Digest(e *snapshot.Encoder) {
+	e.U64("weight", s.fixed())
+	e.U64("txs", s.txs)
+}
+
+// fixed is the first hop: no float math of its own.
+func (s *State) fixed() uint64 {
+	return floathelper.Fixed(s.weight)
+}
+
+// Kick schedules an event, so the delay math feeds an ordering sink
+// directly.
+func Kick(sched *sim.Scheduler, d float64) {
+	delay := d * 2 // want `float: float \* in Kick, which feeds a event-ordering sink directly`
+	sched.After(time.Duration(delay), func() {})
+}
+
+// AvgLatency is reporting-side float math no sink path reaches: legal.
+func AvgLatency(sum float64, n int) float64 {
+	return sum / float64(n)
+}

@@ -1,0 +1,13 @@
+// Package floathelper is the bottom hop of the float fixture: Fixed is
+// reached from a digest writer two calls up, Free is reached by nothing.
+package floathelper
+
+// Fixed converts a weight to fixed point. two-hop digest float marker
+func Fixed(w float64) uint64 {
+	return uint64(w * 1e6) // want `float: float \* in Fixed, on the digest/snapshot path anchored at .*float\.State\)\.Digest`
+}
+
+// Free is float math no digest or ordering path reaches: legal.
+func Free(a, b float64) float64 {
+	return a + b
+}

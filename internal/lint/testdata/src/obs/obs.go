@@ -1,0 +1,33 @@
+// Package obs is a lint fixture for observer purity: code reachable only
+// from observability hooks must not write simulation state or schedule
+// events. Writing the probe's own state and calling a shared helper stay
+// legal.
+package obs
+
+import (
+	"diablo/internal/lint/testdata/src/simstate"
+	"diablo/internal/sim"
+)
+
+type Probe struct {
+	samples int
+}
+
+// Sample is observer-only: counting into the probe is fine, mutating the
+// world it watches is the violation.
+func (p *Probe) Sample(w *simstate.World) {
+	p.samples++
+	w.Height++ // want `observerpure: observer-only code Sample writes simulation state World\.Height`
+}
+
+// Rearm is observer-only and inserts a plain event: the event sequence of
+// an instrumented run would differ from an uninstrumented one.
+func Rearm(s *sim.Scheduler) {
+	s.After(1, func() {}) // want `observerpure: observer-only code Rearm schedules an event \(Scheduler\.After\)`
+}
+
+// Watch only reads, via the shared helper simstate.Advance also calls:
+// Tick's write is simulation code, not an observer violation.
+func Watch(w *simstate.World) uint64 {
+	return simstate.Tick(w)
+}

@@ -1,0 +1,22 @@
+// Package simstate is the deterministic half of the observerpure fixture:
+// simulation state, a simulation-side mutator, and a helper shared with
+// observer code (whose write therefore stays legal).
+package simstate
+
+type World struct {
+	Height uint64
+	ticks  uint64
+}
+
+// Tick is called from both simulation and observer code, so it is plain
+// simulation code and its write is not observer-only.
+func Tick(w *World) uint64 {
+	w.ticks++
+	return w.ticks
+}
+
+// Advance is the simulation-side caller that makes Tick shared.
+func Advance(w *World) {
+	w.Height++
+	_ = Tick(w)
+}

@@ -1,0 +1,38 @@
+// Package snapshotdrift is a lint fixture: a checkpointed type gains a
+// mutable field its capture never reads — the silent-drift shape — next to
+// every legal shape: covered fields, constructor-only configuration,
+// unencodable wiring, and an audited exemption.
+package snapshotdrift
+
+import "diablo/internal/snapshot"
+
+type Pool struct {
+	depth     uint64 // covered: SnapshotState reads it
+	dropped   uint64 // want `snapshotdrift: Pool.dropped is mutated \(.*Pool\)\.Drop\) but never read by SnapshotState`
+	limit     int    // constructor-only: configuration, not state
+	handler   func() // unencodable wiring, skipped
+	debugSeen uint64 //lint:allow snapshotdrift debug counter, reporting only
+}
+
+// New is the constructor: stores here describe configuration.
+func New(limit int) *Pool { return &Pool{limit: limit} }
+
+func (p *Pool) Add() {
+	p.depth++
+	p.debugSeen++
+}
+
+func (p *Pool) Drop() {
+	p.depth--
+	p.dropped++
+}
+
+func (p *Pool) SetHandler(h func()) { p.handler = h }
+
+func (p *Pool) SnapshotState(e *snapshot.Encoder) {
+	e.U64("depth", p.depth)
+}
+
+func (p *Pool) RestoreState(d *snapshot.Decoder) error {
+	return snapshot.Reconcile(p, d)
+}

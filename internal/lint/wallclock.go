@@ -2,10 +2,7 @@ package lint
 
 import (
 	"fmt"
-	"go/ast"
-	"go/token"
 	"go/types"
-	"sort"
 )
 
 // wallclockFuncs are the package time functions that read the wall clock
@@ -23,122 +20,38 @@ var wallclockFuncs = map[string]bool{
 	"NewTicker": true,
 }
 
-// sinkSite is one wall-clock call inside a module function.
-type sinkSite struct {
-	pos  token.Pos
-	name string // "time.Now"
-}
-
-// funcNode is one function in the static call graph.
-type funcNode struct {
-	fn      *types.Func
-	pkg     *Package
-	callees []*types.Func // static calls into module functions
-	sinks   []sinkSite
-}
-
-// buildCallGraph indexes every declared function and method of pkgs with
-// its statically resolvable callees. Calls through function values and
-// interface methods have no static target and contribute no edge — the
-// analysis under-approximates reachability, never over-approximates it.
-func buildCallGraph(p *pass) map[*types.Func]*funcNode {
-	nodes := map[*types.Func]*funcNode{}
-	modulePkgs := map[string]bool{}
-	for _, pkg := range p.pkgs {
-		modulePkgs[pkg.Path] = true
-	}
-	for _, pkg := range p.pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				node := &funcNode{fn: fn, pkg: pkg}
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					callee := funcFor(pkg.Info, call)
-					if callee == nil {
-						return true
-					}
-					switch path := pkgPathOf(callee); {
-					case path == "time" && wallclockFuncs[callee.Name()]:
-						node.sinks = append(node.sinks, sinkSite{pos: call.Pos(), name: "time." + callee.Name()})
-					case modulePkgs[path]:
-						node.callees = append(node.callees, callee)
-					}
-					return true
-				})
-				nodes[fn] = node
-			}
-		}
-	}
-	return nodes
-}
-
 // runWallclock flags wall-clock reads inside deterministic packages, and —
-// through call-graph reachability — in any module function a deterministic
-// package can reach, so a helper in wallet or stats cannot smuggle
-// time.Now into a simulated run.
+// through call-graph reachability over the interprocedural summaries — in
+// any module function a deterministic package can reach, so a helper in
+// wallet or stats cannot smuggle time.Now into a simulated run.
 func runWallclock(p *pass) []Finding {
-	nodes := buildCallGraph(p)
+	sums := p.summaries()
 
 	// Seed the reachable set with every function declared in a
 	// deterministic package, then flood forward along static call edges.
-	// rootOf remembers one witness root for the report.
-	rootOf := map[*types.Func]*types.Func{}
-	var queue []*types.Func
+	// Reach remembers one witness root per function for the report.
 	var seeds []*types.Func
-	for fn := range nodes {
+	for _, fn := range sums.Funcs {
 		if p.det(pkgPathOf(fn)) {
 			seeds = append(seeds, fn)
 		}
 	}
-	// Map iteration above is unordered; sort the seeds so the witness
-	// chosen for a shared callee is deterministic. (The linter holds
-	// itself to its own rules.)
-	sort.Slice(seeds, func(i, j int) bool { return seeds[i].FullName() < seeds[j].FullName() })
-	for _, fn := range seeds {
-		rootOf[fn] = fn
-		queue = append(queue, fn)
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		node := nodes[fn]
-		if node == nil {
-			continue
-		}
-		for _, callee := range node.callees {
-			if _, seen := rootOf[callee]; seen {
-				continue
-			}
-			rootOf[callee] = rootOf[fn]
-			queue = append(queue, callee)
-		}
-	}
+	rootOf := sums.Reach(seeds, nil)
 
 	const hint = "sim-time code must use the scheduler's virtual clock: sim.Scheduler Now/At/After"
 	var out []Finding
-	for fn, node := range nodes {
+	for _, fn := range sums.Funcs {
 		root, reachable := rootOf[fn]
 		if !reachable {
 			continue
 		}
-		for _, s := range node.sinks {
-			msg := fmt.Sprintf("%s called in %s of deterministic package %s", s.name, fn.Name(), pkgPathOf(fn))
+		for _, s := range sums.ByFn[fn].Wallclock {
+			msg := fmt.Sprintf("%s called in %s of deterministic package %s", s.What, fn.Name(), pkgPathOf(fn))
 			if !p.det(pkgPathOf(fn)) {
-				msg = fmt.Sprintf("%s called in %s, which sim-time code reaches via %s", s.name, fn.FullName(), root.FullName())
+				msg = fmt.Sprintf("%s called in %s, which sim-time code reaches via %s", s.What, fn.FullName(), root.FullName())
 			}
 			out = append(out, Finding{
-				Pos:     p.mod.Fset.Position(s.pos),
+				Pos:     p.mod.Fset.Position(s.Pos),
 				Check:   "wallclock",
 				Message: msg,
 				Hint:    hint,

@@ -62,9 +62,9 @@ type AdmitHook func(tx *types.Transaction, origin int, now time.Duration)
 // single-threaded.
 type Pool struct {
 	policy   Policy
-	entries  []Entry // FIFO by Seen time
-	byID     map[types.Hash]struct{}
-	bySender map[types.Address]int
+	entries  []Entry                 // FIFO by Seen time
+	byID     map[types.Hash]struct{} //lint:allow snapshotdrift index over entries; the entries digest covers the canonical order
+	bySender map[types.Address]int   //lint:allow snapshotdrift index over entries; the entries digest covers the canonical order
 	visible  VisibilityFunc
 	dropped  uint64
 	accepted uint64

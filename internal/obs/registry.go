@@ -87,12 +87,12 @@ type column struct {
 // simulation outcome. Registration order fixes the column order (and is
 // therefore deterministic); histogram-derived columns come last.
 type Registry struct {
-	cols  []column
-	hists []*Histogram
+	cols   []column
+	hists  []*Histogram
 	hnames []string
 
-	interval time.Duration
-	times    []time.Duration
+	interval time.Duration   //lint:allow snapshotdrift sampling configuration set at attach, fixed during a run
+	times    []time.Duration //lint:allow snapshotdrift sampled output rows; reporting only, never replayed
 	rows     [][]float64
 }
 
@@ -160,13 +160,15 @@ func (r *Registry) sample() []float64 {
 
 // Attach schedules periodic sampling on the scheduler. Each tick stores a
 // row and, when a tracer is given, emits a "sample" event. The ticker runs
-// until the simulation ends.
+// until the simulation ends. Sampling rides on observer events, so an
+// attached registry never shows up in the Executed count or occupancy
+// stats it samples.
 func (r *Registry) Attach(sched *sim.Scheduler, every time.Duration, tr *Tracer) {
 	if r == nil || every <= 0 {
 		return
 	}
 	r.interval = every
-	sched.Every(every, func() {
+	sched.EveryObserver(every, func() {
 		now := sched.Now()
 		row := r.sample()
 		r.times = append(r.times, now)

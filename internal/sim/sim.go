@@ -116,6 +116,7 @@ type EventID struct {
 // already-cancelled event is a no-op. The event's callback is released
 // immediately; the queue slot itself is reclaimed lazily (on pop, or by
 // compaction when dead events pile up).
+//perf:noalloc
 func (id EventID) Cancel() {
 	s := id.s
 	if s == nil {
@@ -160,8 +161,8 @@ type Scheduler struct {
 	rng    *rand.Rand
 	rngSrc *CountingSource
 	nexec  uint64
-	halted bool
-	prof   Profiler // nil = span tracing disabled
+	halted bool     //lint:allow snapshotdrift run-control latch for Halt; never set while a checkpoint is captured
+	prof   Profiler //lint:allow snapshotdrift profiler hook (nil = span tracing disabled); observer wiring
 
 	// Observer-event accounting: read-only instruments (the checkpoint
 	// capture ticker) run as ordinary events for determinism, but are
@@ -217,6 +218,7 @@ func (s *Scheduler) Stats() HeapStats {
 
 // alloc returns a free slab slot, growing the slab when the free list is
 // empty.
+//perf:noalloc
 func (s *Scheduler) alloc() int32 {
 	if n := len(s.free); n > 0 {
 		idx := s.free[n-1]
@@ -229,6 +231,7 @@ func (s *Scheduler) alloc() int32 {
 
 // release recycles a slot: the next incarnation gets a new generation so
 // stale EventIDs become no-ops.
+//perf:noalloc
 func (s *Scheduler) release(idx int32) {
 	ev := &s.slab[idx]
 	ev.fn, ev.cb = nil, nil
@@ -240,9 +243,10 @@ func (s *Scheduler) release(idx int32) {
 	s.free = append(s.free, idx)
 }
 
+//perf:noalloc
 func (s *Scheduler) schedule(at Time, fn func(), cb Callback, kind EventKind) EventID {
 	if at < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now)) //lint:allow hotalloc panic path: boxing for the format args only happens on a scheduling bug, never in steady state
 	}
 	idx := s.alloc()
 	ev := &s.slab[idx]
@@ -373,6 +377,7 @@ func (t *Ticker) Stop() {
 }
 
 // less orders heap entries by (timestamp, insertion sequence).
+//perf:noalloc
 func (s *Scheduler) less(a, b int32) bool {
 	ea, eb := &s.slab[a], &s.slab[b]
 	if ea.at != eb.at {
@@ -382,11 +387,13 @@ func (s *Scheduler) less(a, b int32) bool {
 }
 
 // heapPush inserts a slab index into the 4-ary heap.
+//perf:noalloc
 func (s *Scheduler) heapPush(idx int32) {
 	s.heap = append(s.heap, idx)
 	s.siftUp(len(s.heap) - 1)
 }
 
+//perf:noalloc
 func (s *Scheduler) siftUp(i int) {
 	h := s.heap
 	for i > 0 {
@@ -399,6 +406,7 @@ func (s *Scheduler) siftUp(i int) {
 	}
 }
 
+//perf:noalloc
 func (s *Scheduler) siftDown(i int) {
 	h := s.heap
 	n := len(h)
@@ -426,6 +434,7 @@ func (s *Scheduler) siftDown(i int) {
 }
 
 // heapPop removes and returns the earliest entry.
+//perf:noalloc
 func (s *Scheduler) heapPop() int32 {
 	h := s.heap
 	top := h[0]
@@ -442,6 +451,7 @@ func (s *Scheduler) heapPop() int32 {
 // rebuilds heap order, bounding the queue by the live event count even
 // under cancel-heavy workloads (retry timers rescheduled on every
 // delivery).
+//perf:noalloc
 func (s *Scheduler) compact() {
 	live := s.heap[:0]
 	for _, idx := range s.heap {
@@ -461,6 +471,7 @@ func (s *Scheduler) compact() {
 
 // Step runs the single earliest pending event. It returns false when no
 // events remain or the scheduler has been halted.
+//perf:noalloc
 func (s *Scheduler) Step() bool {
 	for len(s.heap) > 0 && !s.halted {
 		idx := s.heapPop()

@@ -58,6 +58,7 @@ func (s *Scheduler) SnapshotState(e *snapshot.Encoder) {
 	e.Dur("now", s.now)
 	e.U64("seq", s.seq)
 	e.U64("executed", s.nexec)
+	e.U64("obs_executed", s.obsExec)
 	e.U64("rand_draws", s.rngSrc.Draws())
 	st := s.Stats()
 	e.U64("live", uint64(st.Live))

@@ -86,9 +86,9 @@ type link struct {
 }
 
 func (l *link) initParams(a, b Region) {
-	l.halfRTT = time.Duration(RTT(a, b) / 2 * float64(time.Millisecond))
+	l.halfRTT = time.Duration(RTT(a, b) / 2 * float64(time.Millisecond)) //lint:allow float div-then-mul chain has no x*y±z contraction shape; bit-exact on every GOARCH
 	if bw := Bandwidth(a, b); bw > 0 {
-		l.bytesPerSec = bw * 1e6 / 8
+		l.bytesPerSec = bw * 1e6 / 8 //lint:allow float multiply and divide by exact powers of ten and two; no contraction shape
 	}
 	l.init = true
 }
@@ -125,6 +125,7 @@ type envelope struct {
 }
 
 // Run delivers the message (sim.Callback).
+//perf:noalloc
 func (e *envelope) Run() {
 	n, dst, msg := e.net, e.dst, e.msg
 	e.net, e.dst = nil, nil
@@ -168,18 +169,18 @@ type Network struct {
 	// scheduler's source so fault draws never perturb protocol behaviour.
 	// The counting wrapper leaves the stream untouched but exposes the draw
 	// position to checkpoint digests.
-	rng    *rand.Rand
+	rng    *rand.Rand //lint:allow snapshotdrift PRNG object; its draw position is captured as fault_draws
 	rngSrc *sim.CountingSource
 	// envFree is the recycled in-flight envelope pool.
-	envFree *envelope
+	envFree *envelope //lint:allow snapshotdrift envelope free list; allocation cache, not replay state
 	// linkStats, when non-nil, aggregates per-region-pair traffic. Kept a
 	// plain pointer (one predictable branch, array indexing, no allocation)
 	// so enabling it does not disturb the hot path.
-	linkStats *LinkStats
+	linkStats *LinkStats //lint:allow snapshotdrift reporting counters for the result table, not replay state
 	// spans, when non-nil, labels each delivery event (destination node)
 	// for causal span tracing. Nil-receiver hints make the disabled path
 	// free.
-	spans *span.Recorder
+	spans *span.Recorder //lint:allow snapshotdrift observer wiring attached before a run; never checkpointed state
 
 	// Delivered counts messages delivered; BytesSent counts payload bytes;
 	// Lost counts messages dropped by link faults (not crashes/partitions).
@@ -297,6 +298,7 @@ func (n *Network) ClearLinkFaults() {
 
 // linkFaultFor returns the active fault on the (a, b) regions' link, or
 // nil when the link is healthy.
+//perf:noalloc
 func (n *Network) linkFaultFor(a, b Region) *LinkFault {
 	if f := n.linkFaults[pairKey(a, b)]; f.active() {
 		return f
@@ -323,6 +325,7 @@ func (n *Network) SetNodeSlowdown(id NodeID, factor float64) {
 }
 
 // slowFactor returns the delay multiplier for a message between two nodes.
+//perf:noalloc
 func (n *Network) slowFactor(from, to NodeID) float64 {
 	f := 1.0
 	if s := n.slow[from]; s > f {
@@ -352,13 +355,14 @@ func (n *Network) transmission(from, to NodeID, size int) time.Duration {
 }
 
 // allocEnvelope pops a recycled envelope or makes a fresh one.
+//perf:noalloc
 func (n *Network) allocEnvelope() *envelope {
 	if e := n.envFree; e != nil {
 		n.envFree = e.next
 		e.next = nil
 		return e
 	}
-	return &envelope{}
+	return &envelope{} //lint:allow hotalloc pool fill: one envelope per concurrency high-water mark, recycled forever after
 }
 
 // Send schedules delivery of a message. Delivery time is:
@@ -372,6 +376,7 @@ func (n *Network) allocEnvelope() *envelope {
 // or from crashed nodes, across a partition, or losing the per-link loss
 // draw are silently dropped (the link time is still consumed for outgoing
 // traffic, as a real NIC would).
+//perf:noalloc
 func (n *Network) Send(from, to NodeID, size int, payload any) {
 	src, dst := n.Node(from), n.Node(to)
 	if src.crashed {
@@ -394,10 +399,10 @@ func (n *Network) Send(from, to NodeID, size int, payload any) {
 	}
 	var trans time.Duration
 	if l.bytesPerSec > 0 && size > 0 {
-		trans = time.Duration(float64(size) / l.bytesPerSec * float64(time.Second))
+		trans = time.Duration(float64(size) / l.bytesPerSec * float64(time.Second)) //lint:allow float div-then-mul chain has no x*y±z contraction shape; bit-exact on every GOARCH
 	}
 	if fault != nil && fault.BandwidthFactor > 0 && fault.BandwidthFactor != 1 {
-		trans = time.Duration(float64(trans) / fault.BandwidthFactor)
+		trans = time.Duration(float64(trans) / fault.BandwidthFactor) //lint:allow float lone division, single rounding, no contraction shape
 	}
 	done := start + trans
 	l.busyUntil = done
@@ -405,12 +410,12 @@ func (n *Network) Send(from, to NodeID, size int, payload any) {
 	if fault != nil {
 		prop += fault.ExtraDelay
 		if fault.Jitter > 0 {
-			prop += time.Duration(n.rng.Float64() * float64(fault.Jitter))
+			prop += time.Duration(n.rng.Float64() * float64(fault.Jitter)) //lint:allow float lone multiply, single rounding, no contraction shape
 		}
 	}
 	if n.slow != nil {
 		if s := n.slowFactor(from, to); s > 1 {
-			prop = time.Duration(float64(prop) * s)
+			prop = time.Duration(float64(prop) * s) //lint:allow float lone multiply, single rounding, no contraction shape
 		}
 	}
 	arrive := done + prop
@@ -431,7 +436,7 @@ func (n *Network) Send(from, to NodeID, size int, payload any) {
 		return // dropped by the partition, bandwidth already consumed
 	}
 
-	e := n.allocEnvelope()
+	e := n.allocEnvelope() //lint:allow hotalloc inlined pool fill (allocEnvelope): one envelope per concurrency high-water mark
 	e.net, e.dst = n, dst
 	e.msg = Message{From: from, To: to, Size: size, Payload: payload}
 	n.spans.Hint("net.deliver", int32(to))

@@ -39,7 +39,7 @@ func (n *Network) SnapshotState(e *snapshot.Encoder) {
 	for _, node := range n.nodes {
 		if f, ok := n.slow[node.ID]; ok {
 			slow.I64(int64(node.ID))
-			slow.U64(uint64(f * 1e6)) // fixed-point: avoids float formatting
+			slow.U64(uint64(f * 1e6)) //lint:allow float fixed-point via a lone multiply by an exact power of ten: single rounding, avoids float formatting
 		}
 	}
 	e.U64("slow_digest", slow.Sum())
@@ -56,10 +56,10 @@ func (n *Network) SnapshotState(e *snapshot.Encoder) {
 		return keys[i][1] < keys[j][1]
 	})
 	foldFault := func(f *LinkFault) {
-		faults.U64(uint64(f.Loss * 1e9))
+		faults.U64(uint64(f.Loss * 1e9)) //lint:allow float lone multiply by an exact power of ten: fixed-point with a single rounding
 		faults.Dur(f.ExtraDelay)
 		faults.Dur(f.Jitter)
-		faults.U64(uint64(f.BandwidthFactor * 1e6))
+		faults.U64(uint64(f.BandwidthFactor * 1e6)) //lint:allow float lone multiply by an exact power of ten: fixed-point with a single rounding
 	}
 	for _, k := range keys {
 		faults.I64(int64(k[0]))
